@@ -1,0 +1,451 @@
+// Package aftermath is a Go implementation of Aftermath, the tool for
+// interactive, off-line visualization, filtering and analysis of
+// execution traces of task-parallel applications and run-time systems
+// with explicit NUMA support, described in:
+//
+//	Drebes, Pop, Heydemann, Cohen. "Interactive Visualization of
+//	Cross-Layer Performance Anomalies in Dynamic Task-Parallel
+//	Applications and Systems". ISPASS 2016.
+//
+// The package bundles three layers behind one import:
+//
+//   - Trace analysis: load binary traces (Open), reconstruct task
+//     graphs (ReconstructGraph), compute derived metrics
+//     (IdleWorkers, AverageTaskDuration, CounterDeltaPerTask),
+//     statistics (DurationHistogram, CommMatrix, AverageParallelism)
+//     and regressions (LinearRegression).
+//   - Rendering: the timeline in all five modes of the paper
+//     (RenderTimeline), counter overlays, plots, communication
+//     matrices and ASCII output, plus the interactive HTTP viewer
+//     (NewViewer).
+//   - Workload simulation: an OpenStream-like runtime simulator for
+//     dependent task graphs on NUMA machine models, with the paper's
+//     applications (seidel, k-means) as ready-made workloads — the
+//     substrate that generates traces with the cross-layer anomalies
+//     the paper analyzes.
+package aftermath
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/openstream/aftermath/internal/annotations"
+	"github.com/openstream/aftermath/internal/apps"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/export"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/hw"
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/regress"
+	"github.com/openstream/aftermath/internal/render"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/symbols"
+	"github.com/openstream/aftermath/internal/taskgraph"
+	"github.com/openstream/aftermath/internal/topology"
+	"github.com/openstream/aftermath/internal/trace"
+	"github.com/openstream/aftermath/internal/ui"
+)
+
+// ---- Trace model ----
+
+// Trace is a loaded, indexed execution trace.
+type Trace = core.Trace
+
+// TaskInfo describes a task instance with its execution placement.
+type TaskInfo = core.TaskInfo
+
+// Interval is a half-open interval in trace time.
+type Interval = core.Interval
+
+// Counter is a performance counter with per-CPU samples.
+type Counter = core.Counter
+
+// Time is a point in trace time, in cycles.
+type Time = trace.Time
+
+// WorkerState identifies a worker thread activity.
+type WorkerState = trace.WorkerState
+
+// Worker states (see the trace format documentation).
+const (
+	StateIdle       = trace.StateIdle
+	StateTaskExec   = trace.StateTaskExec
+	StateTaskCreate = trace.StateTaskCreate
+	StateResolve    = trace.StateResolve
+	StateBroadcast  = trace.StateBroadcast
+	StateSync       = trace.StateSync
+)
+
+// Well-known counter names emitted by the runtime simulator.
+const (
+	CounterCycles       = trace.CounterCycles
+	CounterCacheMisses  = trace.CounterCacheMisses
+	CounterBranchMisses = trace.CounterBranchMisses
+	CounterOSSystemTime = trace.CounterOSSystemTime
+	CounterResidentKB   = trace.CounterResidentKB
+)
+
+// Open loads and indexes a trace file (gzip detected transparently).
+func Open(path string) (*Trace, error) { return core.Load(path) }
+
+// OpenReader loads a trace from a stream.
+func OpenReader(r io.Reader) (*Trace, error) { return core.FromReader(r) }
+
+// ---- Filters ----
+
+// TaskFilter selects tasks for views, statistics and exports.
+type TaskFilter = filter.TaskFilter
+
+// FilterByTypes returns a filter matching tasks whose type name is one
+// of names.
+func FilterByTypes(tr *Trace, names ...string) *TaskFilter {
+	return filter.ByTypeNames(tr, names...)
+}
+
+// FilterTasks returns the tasks matching f (nil matches all).
+func FilterTasks(tr *Trace, f *TaskFilter) []*TaskInfo { return filter.Tasks(tr, f) }
+
+// TaskDurations returns the execution durations of matching tasks.
+func TaskDurations(tr *Trace, f *TaskFilter) []float64 { return filter.Durations(tr, f) }
+
+// ---- Derived metrics ----
+
+// Series is a derived metric over time.
+type Series = metrics.Series
+
+// TaskDelta is a per-task counter increase.
+type TaskDelta = metrics.TaskDelta
+
+// IdleWorkers returns the average number of idle workers per interval
+// (paper Figure 3).
+func IdleWorkers(tr *Trace, intervals int) Series {
+	return metrics.WorkersInState(tr, trace.StateIdle, intervals)
+}
+
+// WorkersInState generalizes IdleWorkers to any state.
+func WorkersInState(tr *Trace, s WorkerState, intervals int) Series {
+	return metrics.WorkersInState(tr, s, intervals)
+}
+
+// AverageTaskDuration returns the mean duration of tasks running in
+// each interval (paper Figure 8).
+func AverageTaskDuration(tr *Trace, intervals int, f *TaskFilter) Series {
+	return metrics.AverageTaskDuration(tr, intervals, f)
+}
+
+// AggregateCounter sums a counter across CPUs at interval boundaries.
+func AggregateCounter(tr *Trace, c *Counter, intervals int) Series {
+	return metrics.AggregateCounter(tr, c, intervals)
+}
+
+// Derivative computes the discrete derivative of a cumulative series
+// (paper Figures 10 and 18).
+func Derivative(s Series) Series { return metrics.Derivative(s) }
+
+// CounterDeltaPerTask attributes a monotonic counter to tasks (paper
+// Section V).
+func CounterDeltaPerTask(tr *Trace, c *Counter, f *TaskFilter) []TaskDelta {
+	return metrics.CounterDeltaPerTask(tr, c, f)
+}
+
+// ---- Statistics ----
+
+// Histogram is a fixed-range histogram.
+type Histogram = stats.Histogram
+
+// CommMatrix is the NUMA communication incidence matrix.
+type CommMatrix = stats.CommMatrix
+
+// CommKinds selects read and/or write accesses.
+type CommKinds = stats.CommKinds
+
+// Communication kind selectors.
+const (
+	Reads          = stats.Reads
+	Writes         = stats.Writes
+	ReadsAndWrites = stats.ReadsAndWrites
+)
+
+// DurationHistogram bins the durations of matching tasks (Figure 16).
+func DurationHistogram(tr *Trace, f *TaskFilter, bins int) *Histogram {
+	return stats.DurationHistogram(tr, f, bins)
+}
+
+// NewHistogram bins arbitrary values.
+func NewHistogram(values []float64, bins int, min, max float64) *Histogram {
+	return stats.NewHistogram(values, bins, min, max)
+}
+
+// CommMatrixOf accumulates the node-to-node communication matrix over
+// a window (Figure 15).
+func CommMatrixOf(tr *Trace, kinds CommKinds, t0, t1 Time) *CommMatrix {
+	return stats.CommMatrixOf(tr, kinds, t0, t1)
+}
+
+// LocalityFraction returns the fraction of bytes accessed locally.
+func LocalityFraction(tr *Trace, kinds CommKinds, t0, t1 Time) float64 {
+	return stats.LocalityFraction(tr, kinds, t0, t1)
+}
+
+// AverageParallelism returns the mean number of executing tasks.
+func AverageParallelism(tr *Trace, t0, t1 Time) float64 {
+	return stats.AverageParallelism(tr, t0, t1)
+}
+
+// StateTimes aggregates per-state time across CPUs.
+func StateTimes(tr *Trace, t0, t1 Time) []Time { return stats.StateTimes(tr, t0, t1) }
+
+// ---- Task graph ----
+
+// Graph is a reconstructed task dependence graph.
+type Graph = taskgraph.Graph
+
+// DOTOptions controls task graph DOT export.
+type DOTOptions = taskgraph.DOTOptions
+
+// ReconstructGraph derives the task graph from the memory accesses in
+// the trace (paper Section III-A).
+func ReconstructGraph(tr *Trace) *Graph { return taskgraph.Reconstruct(tr) }
+
+// ---- Regression ----
+
+// Fit is a least-squares line with its coefficient of determination.
+type Fit = regress.Fit
+
+// LinearRegression fits a least-squares line (paper Section V).
+func LinearRegression(xs, ys []float64) (Fit, error) { return regress.Linear(xs, ys) }
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 { return regress.Mean(xs) }
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return regress.StdDev(xs) }
+
+// ---- Rendering ----
+
+// Framebuffer is an offscreen RGBA image.
+type Framebuffer = render.Framebuffer
+
+// TimelineConfig parameterizes timeline rendering.
+type TimelineConfig = render.TimelineConfig
+
+// TimelineMode selects one of the five timeline modes.
+type TimelineMode = render.Mode
+
+// Timeline modes (paper Section II-B).
+const (
+	ModeState     = render.ModeState
+	ModeHeat      = render.ModeHeat
+	ModeType      = render.ModeType
+	ModeNUMARead  = render.ModeNUMARead
+	ModeNUMAWrite = render.ModeNUMAWrite
+	ModeNUMAHeat  = render.ModeNUMAHeat
+)
+
+// RenderStats reports rendering work.
+type RenderStats = render.Stats
+
+// RenderTimeline renders the timeline with the paper's optimized
+// algorithms (Section VI-B).
+func RenderTimeline(tr *Trace, cfg TimelineConfig) (*Framebuffer, RenderStats, error) {
+	return render.Timeline(tr, cfg)
+}
+
+// ASCIITimeline renders the state timeline as text for terminals.
+func ASCIITimeline(tr *Trace, width, maxRows int) string {
+	return render.ASCIITimeline(tr, width, maxRows)
+}
+
+// RenderCommMatrix renders a communication matrix view (Figure 15).
+func RenderCommMatrix(m *CommMatrix, cellPx int) *Framebuffer {
+	return render.RenderMatrix(m, cellPx)
+}
+
+// PlotConfig parameterizes standalone plots.
+type PlotConfig = render.PlotConfig
+
+// PlotSeries renders series as line plots.
+func PlotSeries(cfg PlotConfig, series ...Series) (*Framebuffer, error) {
+	return render.PlotSeries(cfg, series...)
+}
+
+// PlotScatter renders a scatter plot with an optional fit (Figure 19).
+func PlotScatter(cfg PlotConfig, xs, ys []float64, fit *Fit) (*Framebuffer, error) {
+	return render.PlotScatter(cfg, xs, ys, fit)
+}
+
+// NewViewer returns the interactive HTTP viewer for a trace: timeline
+// navigation, mode switching, filters, statistics and task details.
+func NewViewer(tr *Trace, name string) http.Handler { return ui.NewServer(tr, name) }
+
+// ---- Export, symbols, annotations ----
+
+// ExportTasksCSV writes per-task data (with counter attribution) as
+// CSV for external statistics tools (paper Section V).
+func ExportTasksCSV(w io.Writer, tr *Trace, f *TaskFilter, counters []*Counter) error {
+	return export.TasksCSV(w, tr, f, counters)
+}
+
+// ExportSeriesCSV writes derived metric series as CSV.
+func ExportSeriesCSV(w io.Writer, series ...Series) error {
+	return export.SeriesCSV(w, series...)
+}
+
+// SymbolTable resolves work-function addresses to names.
+type SymbolTable = symbols.Table
+
+// ParseNM parses nm(1)-format output (paper Section VI-C).
+func ParseNM(r io.Reader) (*SymbolTable, error) { return symbols.ParseNM(r) }
+
+// ResolveSymbols fills missing task type names from a symbol table.
+func ResolveSymbols(tr *Trace, t *SymbolTable) int { return symbols.Resolve(tr, t) }
+
+// Annotation marks a point of interest in a trace.
+type Annotation = annotations.Annotation
+
+// AnnotationSet is a collection of annotations stored separately from
+// the trace (paper Section VI-C).
+type AnnotationSet = annotations.Set
+
+// LoadAnnotations reads an annotation file.
+func LoadAnnotations(path string) (*AnnotationSet, error) { return annotations.Load(path) }
+
+// ---- Simulation (the trace-producing substrate) ----
+
+// Machine describes a NUMA machine.
+type Machine = topology.Machine
+
+// UV2000 models the paper's 192-core, 24-node SGI UV2000.
+func UV2000() *Machine { return topology.UV2000() }
+
+// Opteron6282SE models the paper's 64-core, 8-node AMD Opteron system.
+func Opteron6282SE() *Machine { return topology.Opteron6282SE() }
+
+// SmallMachine returns a uniform test machine.
+func SmallMachine(nodes, cpusPerNode int) *Machine { return topology.Small(nodes, cpusPerNode) }
+
+// HWModel holds hardware cost model parameters.
+type HWModel = hw.Model
+
+// DefaultHW returns the calibrated default hardware model.
+func DefaultHW() HWModel { return hw.Default() }
+
+// Program is a dependent-task program for the runtime simulator.
+type Program = openstream.Program
+
+// ProgramBuilder constructs Programs.
+type ProgramBuilder = openstream.Builder
+
+// TaskSpec describes one task of a Program.
+type TaskSpec = openstream.TaskSpec
+
+// RegionAccess is a task's access to a memory region.
+type RegionAccess = openstream.Access
+
+// RootTask marks tasks created by the control thread.
+const RootTask = openstream.Root
+
+// NewProgramBuilder returns an empty program builder.
+func NewProgramBuilder() *ProgramBuilder { return openstream.NewBuilder() }
+
+// SimConfig parameterizes a simulated execution.
+type SimConfig = openstream.Config
+
+// SimResult summarizes a simulated execution.
+type SimResult = openstream.Result
+
+// SchedPolicy selects the runtime scheduling strategy.
+type SchedPolicy = openstream.SchedPolicy
+
+// Scheduling policies: SchedRandom is the paper's non-optimized
+// configuration, SchedNUMA the optimized one (Section IV).
+const (
+	SchedRandom = openstream.SchedRandom
+	SchedNUMA   = openstream.SchedNUMA
+)
+
+// DefaultSimConfig returns a full-tracing configuration for a machine.
+func DefaultSimConfig(m *Machine) SimConfig { return openstream.DefaultConfig(m) }
+
+// Simulate executes a program and streams the trace to w (nil skips
+// tracing).
+func Simulate(p *Program, cfg SimConfig, w io.Writer) (SimResult, error) {
+	if w == nil {
+		return openstream.Run(p, cfg, nil)
+	}
+	tw := trace.NewWriter(w)
+	res, err := openstream.Run(p, cfg, tw)
+	if err != nil {
+		return res, err
+	}
+	return res, tw.Flush()
+}
+
+// SimulateToFile executes a program and writes the trace to path
+// (gzip-compressed when the path ends in .gz).
+func SimulateToFile(p *Program, cfg SimConfig, path string) (SimResult, error) {
+	fw, err := trace.Create(path)
+	if err != nil {
+		return SimResult{}, err
+	}
+	res, err := openstream.Run(p, cfg, fw.Writer)
+	if err != nil {
+		fw.Close()
+		return res, err
+	}
+	return res, fw.Close()
+}
+
+// SimulateToTrace executes a program and loads the resulting trace
+// directly.
+func SimulateToTrace(p *Program, cfg SimConfig) (*Trace, SimResult, error) {
+	return simulateToTrace(p, cfg)
+}
+
+// ---- Workloads ----
+
+// SeidelConfig parameterizes the seidel stencil workload.
+type SeidelConfig = apps.SeidelConfig
+
+// KMeansConfig parameterizes the k-means workload.
+type KMeansConfig = apps.KMeansConfig
+
+// MonteCarloConfig parameterizes the Monte Carlo workload.
+type MonteCarloConfig = apps.MonteCarloConfig
+
+// DefaultSeidelConfig returns the paper-scale seidel configuration.
+func DefaultSeidelConfig() SeidelConfig { return apps.DefaultSeidelConfig() }
+
+// ScaledSeidelConfig returns a reduced seidel configuration.
+func ScaledSeidelConfig(blocks, iters int) SeidelConfig {
+	return apps.ScaledSeidelConfig(blocks, iters)
+}
+
+// DefaultKMeansConfig returns the paper-scale k-means configuration.
+func DefaultKMeansConfig() KMeansConfig { return apps.DefaultKMeansConfig() }
+
+// ScaledKMeansConfig returns a reduced k-means configuration.
+func ScaledKMeansConfig(blocks, blockSize int) KMeansConfig {
+	return apps.ScaledKMeansConfig(blocks, blockSize)
+}
+
+// DefaultMonteCarloConfig returns the quickstart workload configuration.
+func DefaultMonteCarloConfig() MonteCarloConfig { return apps.DefaultMonteCarloConfig() }
+
+// BuildSeidel constructs the seidel program (paper Section III).
+func BuildSeidel(cfg SeidelConfig) (*Program, error) { return apps.BuildSeidel(cfg) }
+
+// BuildKMeans constructs the k-means program (Sections III-C, V).
+func BuildKMeans(cfg KMeansConfig) (*Program, error) { return apps.BuildKMeans(cfg) }
+
+// BuildMonteCarlo constructs the Monte Carlo program.
+func BuildMonteCarlo(cfg MonteCarloConfig) (*Program, error) { return apps.BuildMonteCarlo(cfg) }
+
+// Seidel and k-means task type names, for filters.
+const (
+	SeidelInitType     = apps.SeidelInitType
+	SeidelBlockType    = apps.SeidelBlockType
+	KMeansDistanceType = apps.KMeansDistanceType
+	KMeansInitType     = apps.KMeansInitType
+)

@@ -1,0 +1,185 @@
+package aftermath
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the full public surface: build a
+// workload, simulate to a file, open, analyze, filter, regress and
+// render — the same flow the examples use.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := ScaledKMeansConfig(16, 500)
+	cfg.MaxIterations = 3
+	prog, err := BuildKMeans(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "kmeans.atm.gz")
+	sim := DefaultSimConfig(SmallMachine(2, 4))
+	res, err := SimulateToFile(prog, sim, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != prog.NumTasks() {
+		t.Fatalf("executed %d of %d", res.TasksExecuted, prog.NumTasks())
+	}
+
+	tr, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != prog.NumTasks() {
+		t.Fatalf("loaded %d tasks", len(tr.Tasks))
+	}
+
+	// Filters and statistics.
+	dist := FilterByTypes(tr, KMeansDistanceType)
+	if n := len(FilterTasks(tr, dist)); n == 0 {
+		t.Fatal("no distance tasks")
+	}
+	if p := AverageParallelism(tr, tr.Span.Start, tr.Span.End); p <= 0 {
+		t.Error("no parallelism")
+	}
+	if h := DurationHistogram(tr, dist, 10); h.Total == 0 {
+		t.Error("empty histogram")
+	}
+
+	// Derived metrics and regression.
+	c, ok := tr.CounterByName(CounterBranchMisses)
+	if !ok {
+		t.Fatal("missing counter")
+	}
+	deltas := CounterDeltaPerTask(tr, c, dist)
+	if len(deltas) == 0 {
+		t.Fatal("no deltas")
+	}
+	var xs, ys []float64
+	for _, d := range deltas {
+		xs = append(xs, d.Rate)
+		ys = append(ys, float64(d.Task.Duration()))
+	}
+	if _, err := LinearRegression(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+
+	// Task graph.
+	g := ReconstructGraph(tr)
+	if g.NumEdges() == 0 {
+		t.Error("no edges")
+	}
+	var dot bytes.Buffer
+	if err := g.WriteDOT(&dot, DOTOptions{MaxTasks: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Error("bad DOT output")
+	}
+
+	// Rendering.
+	fb, st, err := RenderTimeline(tr, TimelineConfig{Width: 300, Height: 80, Mode: ModeState})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.W() != 300 || st.Rects == 0 {
+		t.Error("render produced nothing")
+	}
+	if out := ASCIITimeline(tr, 60, 8); !strings.Contains(out, "#") {
+		t.Error("ASCII timeline empty")
+	}
+	m := CommMatrixOf(tr, ReadsAndWrites, tr.Span.Start, tr.Span.End+1)
+	if m.Total() == 0 {
+		t.Error("empty communication matrix")
+	}
+	if RenderCommMatrix(m, 8) == nil {
+		t.Error("matrix render failed")
+	}
+
+	// Export.
+	var csv bytes.Buffer
+	if err := ExportTasksCSV(&csv, tr, dist, []*Counter{c}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "duration") {
+		t.Error("CSV missing header")
+	}
+
+	// Viewer constructs.
+	if NewViewer(tr, "test") == nil {
+		t.Error("no viewer")
+	}
+}
+
+// TestSimulateInMemory checks the io.Writer-based simulation entry.
+func TestSimulateInMemory(t *testing.T) {
+	prog, err := BuildMonteCarlo(MonteCarloConfig{Tasks: 16, SamplesPerTask: 100, CyclesPerSample: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Simulate(prog, DefaultSimConfig(SmallMachine(2, 2)), &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 18 {
+		t.Errorf("tasks = %d, want 18", len(tr.Tasks))
+	}
+	// Without a writer, only the result is produced.
+	prog2, _ := BuildMonteCarlo(MonteCarloConfig{Tasks: 16, SamplesPerTask: 100, CyclesPerSample: 10})
+	res, err := Simulate(prog2, DefaultSimConfig(SmallMachine(2, 2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != 18 {
+		t.Errorf("executed = %d", res.TasksExecuted)
+	}
+}
+
+// TestMachinePresets sanity-checks the public machine constructors.
+func TestMachinePresets(t *testing.T) {
+	if UV2000().NumCPUs() != 192 {
+		t.Error("UV2000 wrong")
+	}
+	if Opteron6282SE().NumNodes() != 8 {
+		t.Error("Opteron wrong")
+	}
+	if SmallMachine(2, 3).NumCPUs() != 6 {
+		t.Error("SmallMachine wrong")
+	}
+	if DefaultHW().FreqGHz <= 0 {
+		t.Error("bad default HW model")
+	}
+}
+
+// TestCustomProgram builds a workload through the public builder API.
+func TestCustomProgram(t *testing.T) {
+	b := NewProgramBuilder()
+	typ := b.Type("stage")
+	r := b.NewRegion(4096)
+	first := b.Task(TaskSpec{
+		Type: typ, Compute: 1000,
+		Writes:  []RegionAccess{{Region: r, Bytes: 4096}},
+		Creator: RootTask,
+	})
+	b.Task(TaskSpec{
+		Type: typ, Compute: 1000,
+		Reads:   []RegionAccess{{Region: r, Bytes: 4096}},
+		Creator: first,
+	})
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(prog, DefaultSimConfig(SmallMachine(1, 2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != 2 {
+		t.Errorf("executed %d", res.TasksExecuted)
+	}
+}

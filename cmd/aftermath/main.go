@@ -1,0 +1,117 @@
+// Command aftermath explores a trace file: it prints a summary and an
+// ASCII timeline, and optionally serves the interactive HTTP viewer
+// with the full timeline modes, filters and statistics of the paper.
+//
+// Usage:
+//
+//	aftermath trace.atm.gz                 # summary + ASCII timeline
+//	aftermath -http :8080 trace.atm.gz     # interactive viewer
+//	aftermath -dot graph.dot trace.atm.gz  # export the task graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	aftermath "github.com/openstream/aftermath"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "", "serve the interactive viewer on this address (e.g. :8080)")
+		dotOut   = flag.String("dot", "", "export the reconstructed task graph as DOT to this file")
+		dotMax   = flag.Int("dotmax", 500, "maximum tasks in the DOT export")
+		width    = flag.Int("width", 100, "ASCII timeline width")
+		rows     = flag.Int("rows", 16, "ASCII timeline rows (0 = all CPUs)")
+		nmPath   = flag.String("nm", "", "resolve work function names from this nm(1) output file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aftermath [flags] trace.atm[.gz]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *httpAddr, *dotOut, *dotMax, *width, *rows, *nmPath); err != nil {
+		fmt.Fprintln(os.Stderr, "aftermath:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, httpAddr, dotOut string, dotMax, width, rows int, nmPath string) error {
+	tr, err := aftermath.Open(path)
+	if err != nil {
+		return err
+	}
+	if nmPath != "" {
+		f, err := os.Open(nmPath)
+		if err != nil {
+			return err
+		}
+		table, err := aftermath.ParseNM(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		n := aftermath.ResolveSymbols(tr, table)
+		fmt.Printf("resolved %d task type names from %s\n", n, nmPath)
+	}
+
+	fmt.Printf("trace:    %s\n", path)
+	fmt.Printf("machine:  %s (%d CPUs, %d NUMA nodes)\n", tr.Topology.Name, tr.NumCPUs(), tr.NumNodes())
+	fmt.Printf("span:     %.3f Gcycles\n", float64(tr.Span.Duration())/1e9)
+	fmt.Printf("tasks:    %d in %d types\n", len(tr.Tasks), len(tr.Types))
+	for _, tt := range tr.Types {
+		n := 0
+		for i := range tr.Tasks {
+			if tr.Tasks[i].Type == tt.ID {
+				n++
+			}
+		}
+		fmt.Printf("          %-24s %8d tasks (work fn 0x%x)\n", tr.TypeName(tt.ID), n, tt.Addr)
+	}
+	par := aftermath.AverageParallelism(tr, tr.Span.Start, tr.Span.End)
+	fmt.Printf("parallelism: %.1f average\n", par)
+	loc := aftermath.LocalityFraction(tr, aftermath.ReadsAndWrites, tr.Span.Start, tr.Span.End+1)
+	fmt.Printf("NUMA locality: %.1f%% of accessed bytes are node-local\n", 100*loc)
+	states := aftermath.StateTimes(tr, tr.Span.Start, tr.Span.End)
+	var total int64
+	for _, v := range states {
+		total += v
+	}
+	if total > 0 {
+		fmt.Printf("states:   ")
+		for s, v := range states {
+			if v > 0 {
+				fmt.Printf("%s %.1f%%  ", aftermath.WorkerState(s), 100*float64(v)/float64(total))
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ntimeline (state mode; # exec, . idle, c create, r resolve, b broadcast):")
+	fmt.Print(aftermath.ASCIITimeline(tr, width, rows))
+
+	if dotOut != "" {
+		g := aftermath.ReconstructGraph(tr)
+		f, err := os.Create(dotOut)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteDOT(f, aftermath.DOTOptions{MaxTasks: dotMax, Label: path}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntask graph written to %s (%d edges)\n", dotOut, g.NumEdges())
+	}
+
+	if httpAddr != "" {
+		fmt.Printf("\nserving interactive viewer on http://%s\n", httpAddr)
+		return http.ListenAndServe(httpAddr, aftermath.NewViewer(tr, path))
+	}
+	return nil
+}

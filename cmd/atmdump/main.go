@@ -1,0 +1,93 @@
+// Command atmdump dumps the records of an Aftermath trace file for
+// debugging: record counts by kind, and optionally every record.
+//
+// Usage:
+//
+//	atmdump trace.atm.gz          # record statistics
+//	atmdump -v -n 50 trace.atm.gz # first 50 records, verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+func main() {
+	var (
+		verbose = flag.Bool("v", false, "print every record")
+		limit   = flag.Int("n", 0, "stop after this many records (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: atmdump [-v] [-n N] trace.atm[.gz]")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *verbose, *limit); err != nil && err != errLimit {
+		fmt.Fprintln(os.Stderr, "atmdump:", err)
+		os.Exit(1)
+	}
+}
+
+var errLimit = fmt.Errorf("record limit reached")
+
+func run(path string, verbose bool, limit int) error {
+	counts := map[string]int{}
+	total := 0
+	bump := func(kind string, format string, args ...interface{}) error {
+		counts[kind]++
+		total++
+		if verbose {
+			fmt.Printf("%-12s "+format+"\n", append([]interface{}{kind}, args...)...)
+		}
+		if limit > 0 && total >= limit {
+			return errLimit
+		}
+		return nil
+	}
+	err := trace.ReadFile(path, trace.Handler{
+		Topology: func(t trace.Topology) error {
+			return bump("topology", "%s: %d CPUs, %d nodes", t.Name, len(t.NodeOfCPU), t.NumNodes)
+		},
+		TaskType: func(t trace.TaskType) error {
+			return bump("tasktype", "id=%d addr=0x%x name=%s", t.ID, t.Addr, t.Name)
+		},
+		Task: func(t trace.Task) error {
+			return bump("task", "id=%d type=%d created=%d by cpu %d", t.ID, t.Type, t.Created, t.CreatorCPU)
+		},
+		State: func(s trace.StateEvent) error {
+			return bump("state", "cpu=%d %s [%d,%d) task=%d", s.CPU, s.State, s.Start, s.End, s.Task)
+		},
+		Discrete: func(d trace.DiscreteEvent) error {
+			return bump("discrete", "cpu=%d %s t=%d arg=%d", d.CPU, d.Kind, d.Time, d.Arg)
+		},
+		CounterDesc: func(c trace.CounterDesc) error {
+			return bump("counterdesc", "id=%d name=%s monotonic=%v", c.ID, c.Name, c.Monotonic)
+		},
+		Sample: func(s trace.CounterSample) error {
+			return bump("sample", "cpu=%d counter=%d t=%d v=%d", s.CPU, s.Counter, s.Time, s.Value)
+		},
+		Comm: func(c trace.CommEvent) error {
+			return bump("comm", "cpu=%d %s t=%d task=%d addr=0x%x size=%d src=%d",
+				c.CPU, c.Kind, c.Time, c.Task, c.Addr, c.Size, c.SrcCPU)
+		},
+		Region: func(r trace.MemRegion) error {
+			return bump("region", "id=%d addr=0x%x size=%d node=%d", r.ID, r.Addr, r.Size, r.Node)
+		},
+		Unknown: func(kind uint64, payload []byte) error {
+			return bump("unknown", "kind=%d len=%d", kind, len(payload))
+		},
+	})
+	if err != nil && err != errLimit {
+		return err
+	}
+	fmt.Printf("\n%s: %d records\n", path, total)
+	for _, k := range []string{"topology", "tasktype", "task", "state", "discrete", "counterdesc", "sample", "comm", "region", "unknown"} {
+		if counts[k] > 0 {
+			fmt.Printf("  %-12s %10d\n", k, counts[k])
+		}
+	}
+	return err
+}

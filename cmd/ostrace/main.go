@@ -1,0 +1,134 @@
+// Command ostrace generates Aftermath traces by simulating the paper's
+// workloads on a modelled NUMA machine.
+//
+// Usage:
+//
+//	ostrace -app seidel -machine uv2000 -sched numa -o seidel.atm.gz
+//	ostrace -app kmeans -blocksize 10000 -machine opteron -o kmeans.atm.gz
+//	ostrace -app montecarlo -o mc.atm
+//
+// The trace can then be explored with the aftermath command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	aftermath "github.com/openstream/aftermath"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "seidel", "workload: seidel, kmeans or montecarlo")
+		machine   = flag.String("machine", "", "machine model: uv2000, opteron or small (default: paper machine for the app)")
+		sched     = flag.String("sched", "numa", "scheduling policy: random or numa")
+		out       = flag.String("o", "", "output trace path (.gz compresses); required")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		scale     = flag.Float64("scale", 1.0, "problem size scale factor (1.0 = paper scale)")
+		blockSize = flag.Int("blocksize", 0, "k-means block size in points (default 10000)")
+		uncond    = flag.Bool("unconditional", false, "k-means: use the optimized unconditional-update work function")
+		rusage    = flag.Bool("rusage", true, "include OS statistics counters")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "ostrace: -o output path is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*app, *machine, *sched, *out, *seed, *scale, *blockSize, *uncond, *rusage); err != nil {
+		fmt.Fprintln(os.Stderr, "ostrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, machine, sched, out string, seed int64, scale float64, blockSize int, uncond, rusage bool) error {
+	var program *aftermath.Program
+	var mach *aftermath.Machine
+	var err error
+
+	switch app {
+	case "seidel":
+		cfg := aftermath.DefaultSeidelConfig()
+		if scale != 1.0 {
+			blocks := int(float64(cfg.N/cfg.BlockSize) * scale)
+			if blocks < 2 {
+				blocks = 2
+			}
+			cfg.N = blocks * cfg.BlockSize
+		}
+		cfg.Seed = seed
+		program, err = aftermath.BuildSeidel(cfg)
+		mach = aftermath.UV2000()
+	case "kmeans":
+		cfg := aftermath.DefaultKMeansConfig()
+		if blockSize > 0 {
+			cfg.BlockSize = blockSize
+		}
+		if scale != 1.0 {
+			pts := int(float64(cfg.Points) * scale)
+			pts -= pts % cfg.BlockSize
+			if pts < cfg.BlockSize {
+				pts = cfg.BlockSize
+			}
+			cfg.Points = pts
+		}
+		cfg.Unconditional = uncond
+		cfg.Seed = seed
+		program, err = aftermath.BuildKMeans(cfg)
+		mach = aftermath.Opteron6282SE()
+	case "montecarlo":
+		cfg := aftermath.DefaultMonteCarloConfig()
+		cfg.Tasks = int(float64(cfg.Tasks) * scale)
+		if cfg.Tasks < 1 {
+			cfg.Tasks = 1
+		}
+		cfg.Seed = seed
+		program, err = aftermath.BuildMonteCarlo(cfg)
+		mach = aftermath.SmallMachine(4, 4)
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch machine {
+	case "":
+		// keep the app default
+	case "uv2000":
+		mach = aftermath.UV2000()
+	case "opteron":
+		mach = aftermath.Opteron6282SE()
+	case "small":
+		mach = aftermath.SmallMachine(4, 4)
+	default:
+		return fmt.Errorf("unknown machine %q", machine)
+	}
+
+	simCfg := aftermath.DefaultSimConfig(mach)
+	simCfg.Seed = seed
+	simCfg.Tracing.Rusage = rusage
+	switch sched {
+	case "random":
+		simCfg.Sched = aftermath.SchedRandom
+	case "numa":
+		simCfg.Sched = aftermath.SchedNUMA
+	default:
+		return fmt.Errorf("unknown scheduling policy %q", sched)
+	}
+
+	res, err := aftermath.SimulateToFile(program, simCfg, out)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d tasks on %s (%d CPUs, %s scheduling)\n",
+		out, res.TasksExecuted, mach.Name(), mach.NumCPUs(), sched)
+	fmt.Printf("makespan %.3f Gcycles (%.3fs), %d steals, %.1f MB trace\n",
+		float64(res.Makespan)/1e9, res.Seconds, res.Steals, float64(fi.Size())/1e6)
+	return nil
+}

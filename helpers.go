@@ -1,0 +1,25 @@
+package aftermath
+
+import (
+	"bytes"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// simulateToTrace runs a program with tracing into memory and loads
+// the result.
+func simulateToTrace(p *openstream.Program, cfg openstream.Config) (*core.Trace, openstream.Result, error) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	res, err := openstream.Run(p, cfg, w)
+	if err != nil {
+		return nil, res, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, res, err
+	}
+	tr, err := core.FromReader(&buf)
+	return tr, res, err
+}

@@ -1,0 +1,76 @@
+// Package annotations stores user-defined annotations on traces.
+// Annotations are saved independently from the trace file and loaded
+// for later analysis sessions, supporting collaborative performance
+// debugging (paper Section VI-C).
+package annotations
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Annotation marks a point of interest in a trace.
+type Annotation struct {
+	// Time is the annotated instant in trace time (cycles).
+	Time trace.Time `json:"time"`
+	// CPU is the annotated CPU, or -1 for a global annotation.
+	CPU int32 `json:"cpu"`
+	// Author identifies who wrote the annotation.
+	Author string `json:"author,omitempty"`
+	// Text is the annotation body.
+	Text string `json:"text"`
+}
+
+// Set is a collection of annotations kept sorted by time.
+type Set struct {
+	// TracePath optionally records which trace the annotations
+	// belong to.
+	TracePath   string       `json:"trace,omitempty"`
+	Annotations []Annotation `json:"annotations"`
+}
+
+// Add inserts an annotation, keeping the set sorted by time.
+func (s *Set) Add(a Annotation) {
+	i := sort.Search(len(s.Annotations), func(i int) bool {
+		return s.Annotations[i].Time > a.Time
+	})
+	s.Annotations = append(s.Annotations, Annotation{})
+	copy(s.Annotations[i+1:], s.Annotations[i:])
+	s.Annotations[i] = a
+}
+
+// In returns the annotations with time in [t0, t1).
+func (s *Set) In(t0, t1 trace.Time) []Annotation {
+	lo := sort.Search(len(s.Annotations), func(i int) bool { return s.Annotations[i].Time >= t0 })
+	hi := sort.Search(len(s.Annotations), func(i int) bool { return s.Annotations[i].Time >= t1 })
+	return s.Annotations[lo:hi]
+}
+
+// Save writes the set as JSON to path.
+func (s *Set) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a set from a JSON file and sorts it by time.
+func Load(path string) (*Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Set
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("annotations: %s: %w", path, err)
+	}
+	sort.SliceStable(s.Annotations, func(i, j int) bool {
+		return s.Annotations[i].Time < s.Annotations[j].Time
+	})
+	return &s, nil
+}

@@ -1,0 +1,82 @@
+package annotations
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAddKeepsSorted(t *testing.T) {
+	var s Set
+	s.Add(Annotation{Time: 300, Text: "c"})
+	s.Add(Annotation{Time: 100, Text: "a"})
+	s.Add(Annotation{Time: 200, Text: "b"})
+	if len(s.Annotations) != 3 {
+		t.Fatalf("len = %d", len(s.Annotations))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if s.Annotations[i].Text != want {
+			t.Errorf("annotations[%d] = %q, want %q", i, s.Annotations[i].Text, want)
+		}
+	}
+}
+
+func TestIn(t *testing.T) {
+	var s Set
+	for _, tm := range []int64{10, 20, 30, 40} {
+		s.Add(Annotation{Time: tm})
+	}
+	if got := s.In(15, 35); len(got) != 2 {
+		t.Errorf("In(15,35) = %d annotations, want 2", len(got))
+	}
+	if got := s.In(100, 200); len(got) != 0 {
+		t.Errorf("In(100,200) = %d, want 0", len(got))
+	}
+	if got := s.In(10, 11); len(got) != 1 {
+		t.Errorf("In(10,11) = %d, want 1", len(got))
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.json")
+	s := &Set{TracePath: "trace.atm"}
+	s.Add(Annotation{Time: 500, CPU: 3, Author: "kh", Text: "idle band starts"})
+	s.Add(Annotation{Time: 100, CPU: -1, Author: "ad", Text: "init phase"})
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TracePath != "trace.atm" {
+		t.Errorf("trace path = %q", got.TracePath)
+	}
+	if len(got.Annotations) != 2 || got.Annotations[0].Text != "init phase" {
+		t.Errorf("loaded = %+v", got.Annotations)
+	}
+	if got.Annotations[1].CPU != 3 || got.Annotations[1].Author != "kh" {
+		t.Errorf("fields lost: %+v", got.Annotations[1])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := (&Set{}).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it.
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

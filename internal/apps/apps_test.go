@@ -1,0 +1,225 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/topology"
+)
+
+func TestSeidelGeometryValidation(t *testing.T) {
+	cfg := DefaultSeidelConfig()
+	cfg.N = 100
+	cfg.BlockSize = 64 // not a divisor
+	if _, err := BuildSeidel(cfg); err == nil {
+		t.Error("expected geometry error")
+	}
+	cfg = DefaultSeidelConfig()
+	cfg.Iterations = 0
+	if _, err := BuildSeidel(cfg); err == nil {
+		t.Error("expected iteration error")
+	}
+}
+
+func TestSeidelTaskCount(t *testing.T) {
+	cfg := ScaledSeidelConfig(4, 3) // 4x4 blocks, 3 sweeps
+	p, err := BuildSeidel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 + 16*3 // init + per-sweep blocks
+	if p.NumTasks() != want {
+		t.Errorf("tasks = %d, want %d", p.NumTasks(), want)
+	}
+}
+
+func TestSeidelRuns(t *testing.T) {
+	p, err := BuildSeidel(ScaledSeidelConfig(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := openstream.DefaultConfig(topology.Small(2, 4))
+	res, err := openstream.Run(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != p.NumTasks() {
+		t.Errorf("executed %d of %d", res.TasksExecuted, p.NumTasks())
+	}
+}
+
+// The Gauss-Seidel wavefront serializes the first task of each sweep:
+// makespan grows with iterations even with unlimited parallelism.
+func TestSeidelWavefrontSerialization(t *testing.T) {
+	run := func(iters int) int64 {
+		p, err := BuildSeidel(ScaledSeidelConfig(4, iters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := openstream.Run(p, openstream.DefaultConfig(topology.Small(8, 8)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if m2, m8 := run(2), run(8); m8 <= m2 {
+		t.Errorf("makespan with 8 sweeps (%d) not larger than with 2 (%d)", m8, m2)
+	}
+}
+
+func TestKMeansIterations(t *testing.T) {
+	cfg := DefaultKMeansConfig()
+	it := cfg.Iterations()
+	if it < 10 || it > 40 {
+		t.Errorf("default iterations = %d, want 10..40", it)
+	}
+	cfg.MaxIterations = 5
+	if cfg.Iterations() != 5 {
+		t.Errorf("cap not applied: %d", cfg.Iterations())
+	}
+	// Iteration count must not depend on block size.
+	a := ScaledKMeansConfig(8, 1000)
+	b := ScaledKMeansConfig(64, 125)
+	if a.Iterations() != b.Iterations() {
+		t.Error("iterations must be independent of block size")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	cfg := DefaultKMeansConfig()
+	cfg.Points = 1001
+	cfg.BlockSize = 10
+	if _, err := BuildKMeans(cfg); err == nil {
+		t.Error("expected geometry error")
+	}
+	cfg = DefaultKMeansConfig()
+	cfg.MispredWeights = cfg.MispredWeights[:1]
+	if _, err := BuildKMeans(cfg); err == nil {
+		t.Error("expected class/weight mismatch error")
+	}
+}
+
+func TestKMeansRuns(t *testing.T) {
+	cfg := ScaledKMeansConfig(16, 500)
+	cfg.MaxIterations = 4
+	p, err := BuildKMeans(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := openstream.Run(p, openstream.DefaultConfig(topology.Small(2, 4)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != p.NumTasks() {
+		t.Errorf("executed %d of %d", res.TasksExecuted, p.NumTasks())
+	}
+}
+
+func TestKMeansNonPowerOfTwoBlocks(t *testing.T) {
+	cfg := ScaledKMeansConfig(13, 300) // odd block count exercises tree edges
+	cfg.MaxIterations = 3
+	p, err := BuildKMeans(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := openstream.Run(p, openstream.DefaultConfig(topology.Small(2, 2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != p.NumTasks() {
+		t.Errorf("executed %d of %d", res.TasksExecuted, p.NumTasks())
+	}
+}
+
+func TestKMeansSingleBlock(t *testing.T) {
+	cfg := ScaledKMeansConfig(1, 1000)
+	cfg.MaxIterations = 3
+	p, err := BuildKMeans(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := openstream.Run(p, openstream.DefaultConfig(topology.Small(1, 2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != p.NumTasks() {
+		t.Errorf("executed %d of %d", res.TasksExecuted, p.NumTasks())
+	}
+}
+
+// The unconditional variant must execute far fewer mispredicted
+// branches while doing slightly more base work.
+func TestKMeansVariantsDiffer(t *testing.T) {
+	run := func(uncond bool) int64 {
+		cfg := ScaledKMeansConfig(8, 2000)
+		cfg.MaxIterations = 3
+		cfg.Unconditional = uncond
+		p, err := BuildKMeans(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var misses int64
+		for i := 0; i < p.NumTasks(); i++ {
+			spec := p.Task(openstream.TaskRef(i))
+			if p.TypeName(spec.Type) == KMeansDistanceType {
+				misses += spec.BranchMisses
+			}
+		}
+		return misses
+	}
+	cond, uncond := run(false), run(true)
+	if uncond*4 >= cond {
+		t.Errorf("unconditional misses %d not far below conditional %d", uncond, cond)
+	}
+}
+
+func TestMonteCarloRuns(t *testing.T) {
+	cfg := DefaultMonteCarloConfig()
+	cfg.Tasks = 32
+	cfg.SamplesPerTask = 1000
+	p, err := BuildMonteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTasks() != 34 { // params + samples + reduce
+		t.Errorf("tasks = %d, want 34", p.NumTasks())
+	}
+	res, err := openstream.Run(p, openstream.DefaultConfig(topology.Small(2, 2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != 34 {
+		t.Errorf("executed %d, want 34", res.TasksExecuted)
+	}
+	if _, err := BuildMonteCarlo(MonteCarloConfig{}); err == nil {
+		t.Error("expected validation error for zero tasks")
+	}
+}
+
+// Block size must not change total distance-task compute (same work,
+// different partitioning).
+func TestKMeansWorkInvariantAcrossBlockSizes(t *testing.T) {
+	total := func(blockSize int) int64 {
+		cfg := DefaultKMeansConfig()
+		cfg.Points = 16000
+		cfg.BlockSize = blockSize
+		cfg.MaxIterations = 2
+		cfg.JitterFrac = 0
+		p, err := BuildKMeans(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for i := 0; i < p.NumTasks(); i++ {
+			spec := p.Task(openstream.TaskRef(i))
+			if p.TypeName(spec.Type) == KMeansDistanceType {
+				sum += spec.Compute
+			}
+		}
+		return sum
+	}
+	a, b := total(1000), total(4000)
+	if a != b {
+		t.Errorf("distance compute differs across block sizes: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,356 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+// K-means task type names.
+const (
+	KMeansInitType      = "kmeans_init"
+	KMeansCentersType   = "kmeans_init_centers"
+	KMeansDistanceType  = "kmeans_distance"
+	KMeansReduceType    = "kmeans_reduce"
+	KMeansUpdateType    = "kmeans_update"
+	KMeansPropagateType = "kmeans_propagate"
+)
+
+// KMeansConfig parameterizes the k-means benchmark: Points
+// multidimensional points partitioned into Clusters clusters, the
+// point set divided into blocks of BlockSize points (Section III-C).
+// The paper uses 4096*10^4 points, 10 dimensions, 11 clusters on the
+// 64-core Opteron.
+type KMeansConfig struct {
+	// Points is the total number of points; must be a multiple of
+	// BlockSize.
+	Points int
+	// Dims is the point dimensionality.
+	Dims int
+	// Clusters is the number of clusters (k).
+	Clusters int
+	// BlockSize is the number of points per block; it determines the
+	// number of tasks, the work per task and the memory footprint of
+	// each task (the tuning knob of Figure 12).
+	BlockSize int
+
+	// ConvergenceTau is the decay constant of the fraction of points
+	// changing cluster per iteration; together with Threshold it
+	// determines the iteration count, which is independent of the
+	// block size.
+	ConvergenceTau float64
+	// Threshold is the moved-points fraction below which the
+	// algorithm terminates.
+	Threshold float64
+	// MaxIterations caps the iteration count.
+	MaxIterations int
+
+	// CyclesPerPoint is the pure compute cost per point of the
+	// distance calculation (Dims*Clusters distance accumulations and
+	// conditional minimum updates).
+	CyclesPerPoint int64
+	// Unconditional selects the optimized work function of Section V
+	// in which the cluster update is unconditional and the check is
+	// hoisted out of the inner loop, trading a slightly higher base
+	// cost for near-zero mispredictions.
+	Unconditional bool
+	// MispredPerPoint are the latent per-block branch misprediction
+	// classes (mispredictions per point) of the conditional variant;
+	// blocks whose points lie near cluster boundaries mispredict
+	// more. MispredWeights are the class probabilities.
+	MispredPerPoint []float64
+	// MispredWeights must sum to 1 and match MispredPerPoint.
+	MispredWeights []float64
+	// JitterFrac is the relative stddev of per-task compute noise.
+	JitterFrac float64
+	// Seed seeds block class assignment and jitter.
+	Seed int64
+}
+
+// DefaultKMeansConfig returns the paper-scale configuration:
+// 4096*10^4 points, 10 dimensions, 11 clusters, 10^4 points per block.
+func DefaultKMeansConfig() KMeansConfig {
+	return KMeansConfig{
+		Points:          4096 * 10000,
+		Dims:            10,
+		Clusters:        11,
+		BlockSize:       10000,
+		ConvergenceTau:  3.05,
+		Threshold:       1e-3,
+		MaxIterations:   40,
+		CyclesPerPoint:  660,
+		MispredPerPoint: []float64{1.8, 5.5, 8.8},
+		MispredWeights:  []float64{0.22, 0.33, 0.45},
+		JitterFrac:      0.033,
+		Seed:            11,
+	}
+}
+
+// ScaledKMeansConfig returns a configuration shrunk for tests and
+// benchmarks: `blocks` blocks of `blockSize` points.
+func ScaledKMeansConfig(blocks, blockSize int) KMeansConfig {
+	cfg := DefaultKMeansConfig()
+	cfg.BlockSize = blockSize
+	cfg.Points = blocks * blockSize
+	return cfg
+}
+
+// Iterations returns the number of iterations the convergence model
+// yields: the smallest i with 0.5*exp(-i/tau) < Threshold.
+func (cfg KMeansConfig) Iterations() int {
+	iters := int(math.Ceil(cfg.ConvergenceTau * math.Log(0.5/cfg.Threshold)))
+	if iters < 1 {
+		iters = 1
+	}
+	if cfg.MaxIterations > 0 && iters > cfg.MaxIterations {
+		iters = cfg.MaxIterations
+	}
+	return iters
+}
+
+// BuildKMeans constructs the k-means dependent-task program with the
+// iteration structure of the paper's Figure 11: per iteration, one
+// distance task per block, a reduction tree computing the new cluster
+// centers and detecting termination at its root, and a propagation
+// tree distributing the new centers to the next iteration's distance
+// tasks. Tasks of iteration i+1 are created by iteration i's update
+// task, reproducing the per-iteration task management overhead that
+// penalizes tiny blocks (Figure 13j).
+func BuildKMeans(cfg KMeansConfig) (*openstream.Program, error) {
+	if cfg.Points <= 0 || cfg.BlockSize <= 0 || cfg.Points%cfg.BlockSize != 0 {
+		return nil, fmt.Errorf("apps: invalid k-means geometry points=%d block=%d", cfg.Points, cfg.BlockSize)
+	}
+	if len(cfg.MispredPerPoint) == 0 || len(cfg.MispredPerPoint) != len(cfg.MispredWeights) {
+		return nil, fmt.Errorf("apps: misprediction classes and weights must match")
+	}
+	m := cfg.Points / cfg.BlockSize
+	iters := cfg.Iterations()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pointBlockBytes := int64(cfg.BlockSize) * int64(cfg.Dims) * elementBytes
+	centersBytes := int64(cfg.Clusters) * int64(cfg.Dims+1) * elementBytes
+
+	// Per-block misprediction class: a stable property of the data.
+	blockMPP := make([]float64, m)
+	for j := range blockMPP {
+		r := rng.Float64()
+		acc := 0.0
+		blockMPP[j] = cfg.MispredPerPoint[len(cfg.MispredPerPoint)-1]
+		for c, w := range cfg.MispredWeights {
+			acc += w
+			if r < acc {
+				blockMPP[j] = cfg.MispredPerPoint[c]
+				break
+			}
+		}
+		// Within-class spread.
+		blockMPP[j] *= 1 + rng.NormFloat64()*0.10
+		if blockMPP[j] < 0 {
+			blockMPP[j] = 0
+		}
+	}
+
+	jitter := func(base int64) int64 {
+		if cfg.JitterFrac <= 0 {
+			return base
+		}
+		f := 1 + rng.NormFloat64()*cfg.JitterFrac
+		if f < 0.5 {
+			f = 0.5
+		}
+		return int64(float64(base) * f)
+	}
+
+	b := openstream.NewBuilder()
+	initType := b.Type(KMeansInitType)
+	centersType := b.Type(KMeansCentersType)
+	distType := b.Type(KMeansDistanceType)
+	reduceType := b.Type(KMeansReduceType)
+	updateType := b.Type(KMeansUpdateType)
+	propType := b.Type(KMeansPropagateType)
+
+	// Point blocks: written once by init tasks, read every iteration.
+	points := make([]openstream.RegionRef, m)
+	for j := 0; j < m; j++ {
+		points[j] = b.NewRegion(pointBlockBytes)
+		b.Task(openstream.TaskSpec{
+			Type:    initType,
+			Compute: jitter(pointBlockBytes / 4),
+			Writes:  []openstream.Access{{Region: points[j], Bytes: pointBlockBytes}},
+			Creator: openstream.Root,
+		})
+	}
+	// Initial centers, read by every iteration-0 distance task.
+	centers0 := b.NewRegion(centersBytes)
+	b.Task(openstream.TaskSpec{
+		Type:    centersType,
+		Compute: 20000,
+		Writes:  []openstream.Access{{Region: centers0, Bytes: centersBytes}},
+		Creator: openstream.Root,
+	})
+
+	// Partial-result backings are reused across iterations (one
+	// version per iteration), as are the reduction and propagation
+	// tree buffers below: a real run-time allocates these once, so
+	// only the first iteration pays page faults for them.
+	partialBk := make([]openstream.BackingRef, m)
+	for j := range partialBk {
+		partialBk[j] = b.Backing(centersBytes)
+	}
+	bk := newBackingPool(b, centersBytes)
+
+	distCompute := int64(cfg.BlockSize) * cfg.CyclesPerPoint
+	if cfg.Unconditional {
+		// Unconditional updates execute more stores but keep the
+		// pipeline full (Section V).
+		distCompute = int64(float64(distCompute) * 1.13)
+	}
+	treeCompute := int64(cfg.Clusters) * int64(cfg.Dims+1) * 24
+
+	// centersIn[j] is the region holding the centers each distance
+	// task of the current iteration reads.
+	centersIn := make([]openstream.RegionRef, m)
+	for j := range centersIn {
+		centersIn[j] = centers0
+	}
+	creator := openstream.Root
+
+	for i := 0; i < iters; i++ {
+		// Distance tasks.
+		partials := make([]openstream.RegionRef, m)
+		for j := 0; j < m; j++ {
+			var misses int64
+			if cfg.Unconditional {
+				misses = int64(0.18 * float64(cfg.BlockSize))
+			} else {
+				misses = int64(blockMPP[j] * float64(cfg.BlockSize))
+			}
+			partials[j] = b.Version(partialBk[j])
+			b.Task(openstream.TaskSpec{
+				Type:         distType,
+				Compute:      jitter(distCompute),
+				BranchMisses: misses,
+				Reads: []openstream.Access{
+					{Region: points[j], Bytes: pointBlockBytes},
+					{Region: centersIn[j], Bytes: centersBytes},
+				},
+				Writes:  []openstream.Access{{Region: partials[j], Bytes: centersBytes}},
+				Creator: creator,
+			})
+		}
+
+		// Reduction tree over the partials; the root updates the
+		// centers and detects termination.
+		level := partials
+		depth := 0
+		for len(level) > 2 {
+			next := make([]openstream.RegionRef, 0, (len(level)+1)/2)
+			for j := 0; j+1 < len(level); j += 2 {
+				out := bk.version("r", depth, j)
+				b.Task(openstream.TaskSpec{
+					Type:    reduceType,
+					Compute: jitter(treeCompute),
+					Reads: []openstream.Access{
+						{Region: level[j], Bytes: centersBytes},
+						{Region: level[j+1], Bytes: centersBytes},
+					},
+					Writes:  []openstream.Access{{Region: out, Bytes: centersBytes}},
+					Creator: creator,
+				})
+				next = append(next, out)
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+			depth++
+		}
+		newCenters := bk.version("c", 0, 0)
+		updReads := make([]openstream.Access, len(level))
+		for j, r := range level {
+			updReads[j] = openstream.Access{Region: r, Bytes: centersBytes}
+		}
+		update := b.Task(openstream.TaskSpec{
+			Type:    updateType,
+			Compute: jitter(treeCompute * 2),
+			Reads:   updReads,
+			Writes:  []openstream.Access{{Region: newCenters, Bytes: centersBytes}},
+			Creator: creator,
+		})
+
+		if i == iters-1 {
+			break // converged: no propagation, no next iteration
+		}
+
+		// Propagation tree: distribute the new centers to m leaf
+		// copies, each read by one distance task of iteration i+1.
+		// All tasks of iteration i+1 are created by update(i).
+		leaves := buildPropagation(b, bk, propType, update, newCenters, centersBytes, m, jitter, treeCompute)
+		copy(centersIn, leaves)
+		creator = update
+	}
+	return b.Build()
+}
+
+// buildPropagation emits a binary fan-out tree of propagation tasks
+// rooted at the centers region, returning the m leaf regions. Buffers
+// come from the backing pool, so iterations reuse the same memory.
+func buildPropagation(b *openstream.Builder, bk *backingPool, propType openstream.TypeRef,
+	creator openstream.TaskRef, root openstream.RegionRef, bytes int64, m int,
+	jitter func(int64) int64, compute int64) []openstream.RegionRef {
+
+	if m == 1 {
+		return []openstream.RegionRef{root}
+	}
+	level := []openstream.RegionRef{root}
+	depth := 0
+	for len(level) < m {
+		next := make([]openstream.RegionRef, 0, 2*len(level))
+		for j, in := range level {
+			// Each propagation task copies its input to two
+			// regions. When m is not a power of two, surplus leaf
+			// regions are simply never read.
+			out1, out2 := bk.version("p", depth, 2*j), bk.version("p", depth, 2*j+1)
+			b.Task(openstream.TaskSpec{
+				Type:    propType,
+				Compute: jitter(compute),
+				Reads:   []openstream.Access{{Region: in, Bytes: bytes}},
+				Writes: []openstream.Access{
+					{Region: out1, Bytes: bytes},
+					{Region: out2, Bytes: bytes},
+				},
+				Creator: creator,
+			})
+			next = append(next, out1, out2)
+		}
+		level = next
+		depth++
+	}
+	return level[:m]
+}
+
+// backingPool hands out versions of named, lazily allocated backings,
+// so tree buffers are allocated once and reused across iterations.
+type backingPool struct {
+	b    *openstream.Builder
+	size int64
+	bks  map[string]openstream.BackingRef
+}
+
+func newBackingPool(b *openstream.Builder, size int64) *backingPool {
+	return &backingPool{b: b, size: size, bks: make(map[string]openstream.BackingRef)}
+}
+
+// version returns a fresh dataflow version of the backing identified
+// by (kind, depth, index), allocating the backing on first use.
+func (p *backingPool) version(kind string, depth, index int) openstream.RegionRef {
+	key := fmt.Sprintf("%s/%d/%d", kind, depth, index)
+	bk, ok := p.bks[key]
+	if !ok {
+		bk = p.b.Backing(p.size)
+		p.bks[key] = bk
+	}
+	return p.b.Version(bk)
+}

@@ -1,0 +1,97 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+// Monte Carlo task type names.
+const (
+	MonteCarloSampleType = "mc_sample"
+	MonteCarloReduceType = "mc_reduce"
+	MonteCarloParamsType = "mc_params"
+)
+
+// MonteCarloConfig parameterizes a simple embarrassingly parallel
+// workload: Tasks independent sampling tasks reading a shared
+// parameter block and writing partial estimates, reduced by a single
+// task. It is used by the quickstart example and as a well-understood
+// baseline in tests.
+type MonteCarloConfig struct {
+	// Tasks is the number of sampling tasks.
+	Tasks int
+	// SamplesPerTask scales the per-task compute cost.
+	SamplesPerTask int
+	// CyclesPerSample is the compute cost per sample.
+	CyclesPerSample int64
+	// JitterFrac is the relative stddev of per-task compute noise.
+	JitterFrac float64
+	// Seed seeds the jitter generator.
+	Seed int64
+}
+
+// DefaultMonteCarloConfig returns a laptop-scale configuration.
+func DefaultMonteCarloConfig() MonteCarloConfig {
+	return MonteCarloConfig{
+		Tasks:           256,
+		SamplesPerTask:  100000,
+		CyclesPerSample: 14,
+		JitterFrac:      0.15,
+		Seed:            3,
+	}
+}
+
+// BuildMonteCarlo constructs the Monte Carlo program.
+func BuildMonteCarlo(cfg MonteCarloConfig) (*openstream.Program, error) {
+	if cfg.Tasks < 1 {
+		return nil, fmt.Errorf("apps: monte carlo needs at least one task")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := openstream.NewBuilder()
+	paramsType := b.Type(MonteCarloParamsType)
+	sampleType := b.Type(MonteCarloSampleType)
+	reduceType := b.Type(MonteCarloReduceType)
+
+	const paramBytes = 4096
+	const partialBytes = 64
+	params := b.NewRegion(paramBytes)
+	b.Task(openstream.TaskSpec{
+		Type:    paramsType,
+		Compute: 10000,
+		Writes:  []openstream.Access{{Region: params, Bytes: paramBytes}},
+		Creator: openstream.Root,
+	})
+
+	base := int64(cfg.SamplesPerTask) * cfg.CyclesPerSample
+	reads := make([]openstream.Access, 0, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		out := b.NewRegion(partialBytes)
+		compute := base
+		if cfg.JitterFrac > 0 {
+			f := 1 + rng.NormFloat64()*cfg.JitterFrac
+			if f < 0.2 {
+				f = 0.2
+			}
+			compute = int64(float64(base) * f)
+		}
+		b.Task(openstream.TaskSpec{
+			Type:    sampleType,
+			Compute: compute,
+			Reads:   []openstream.Access{{Region: params, Bytes: paramBytes}},
+			Writes:  []openstream.Access{{Region: out, Bytes: partialBytes}},
+			Creator: openstream.Root,
+		})
+		reads = append(reads, openstream.Access{Region: out, Bytes: partialBytes})
+	}
+	result := b.NewRegion(partialBytes)
+	b.Task(openstream.TaskSpec{
+		Type:    reduceType,
+		Compute: int64(cfg.Tasks) * 200,
+		Reads:   reads,
+		Writes:  []openstream.Access{{Region: result, Bytes: partialBytes}},
+		Creator: openstream.Root,
+	})
+	return b.Build()
+}

@@ -1,0 +1,188 @@
+// Package apps builds the paper's workloads as dependent-task programs
+// for the OpenStream runtime simulator: seidel (a 2D stencil over a
+// blocked matrix, Section III), k-means (a data mining benchmark,
+// Sections III-C and V) and a small Monte Carlo workload used by the
+// quickstart example.
+//
+// Cost models are calibrated so the simulated executions exhibit the
+// paper's anomalies: long initialization tasks dominated by page
+// faults, wavefront-limited parallelism, block-size dependent idle
+// patterns, and branch-misprediction dependent task durations.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+// Seidel task type names, used to filter analyses by task type.
+const (
+	SeidelInitType  = "seidel_init"
+	SeidelBlockType = "seidel_block"
+)
+
+// SeidelConfig parameterizes the seidel stencil benchmark: an NxN
+// matrix of doubles processed in BlockSize x BlockSize blocks for a
+// number of Gauss-Seidel sweeps. The paper uses a 2^14 x 2^14 matrix
+// in 2^8 x 2^8 blocks on the SGI UV2000 (Section III-A).
+type SeidelConfig struct {
+	// N is the matrix dimension in elements; must be a multiple of
+	// BlockSize.
+	N int
+	// BlockSize is the block edge length in elements.
+	BlockSize int
+	// Iterations is the number of Gauss-Seidel sweeps.
+	Iterations int
+	// CyclesPerElement is the pure compute cost of updating one
+	// element (5-point stencil on doubles).
+	CyclesPerElement int64
+	// InitCyclesPerElement is the compute cost per element of the
+	// initialization tasks (streaming stores); their dominant cost,
+	// page faults, is added by the engine.
+	InitCyclesPerElement int64
+	// JitterFrac is the relative standard deviation of per-task
+	// compute noise.
+	JitterFrac float64
+	// Seed seeds the jitter generator.
+	Seed int64
+}
+
+// DefaultSeidelConfig returns the paper-scale configuration: 2^14x2^14
+// matrix, 2^8x2^8 blocks, 52 sweeps.
+func DefaultSeidelConfig() SeidelConfig {
+	return SeidelConfig{
+		N:                    1 << 14,
+		BlockSize:            1 << 8,
+		Iterations:           52,
+		CyclesPerElement:     15,
+		InitCyclesPerElement: 1,
+		JitterFrac:           0.03,
+		Seed:                 7,
+	}
+}
+
+// ScaledSeidelConfig returns a configuration shrunk for tests and
+// benchmarks: blocks x blocks blocks, iters sweeps, block edge 64.
+func ScaledSeidelConfig(blocks, iters int) SeidelConfig {
+	cfg := DefaultSeidelConfig()
+	cfg.BlockSize = 64
+	cfg.N = blocks * cfg.BlockSize
+	cfg.Iterations = iters
+	return cfg
+}
+
+const elementBytes = 8 // double precision
+
+// BuildSeidel constructs the seidel dependent-task program.
+//
+// Block (i,j) at sweep t reads its own previous version, the freshly
+// updated left and top neighbour halos of sweep t, and the right and
+// bottom halos of sweep t-1 — the classic Gauss-Seidel wavefront whose
+// task graph appears in the paper's Figure 6. Initialization tasks
+// write each block's backing first, triggering physical page
+// allocation (Section III-B).
+func BuildSeidel(cfg SeidelConfig) (*openstream.Program, error) {
+	if cfg.N <= 0 || cfg.BlockSize <= 0 || cfg.N%cfg.BlockSize != 0 {
+		return nil, fmt.Errorf("apps: invalid seidel geometry N=%d block=%d", cfg.N, cfg.BlockSize)
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("apps: seidel needs at least one iteration")
+	}
+	nb := cfg.N / cfg.BlockSize
+	blockBytes := int64(cfg.BlockSize) * int64(cfg.BlockSize) * elementBytes
+	haloBytes := int64(cfg.BlockSize) * elementBytes
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jitter := func(base int64) int64 {
+		if cfg.JitterFrac <= 0 {
+			return base
+		}
+		f := 1 + rng.NormFloat64()*cfg.JitterFrac
+		if f < 0.5 {
+			f = 0.5
+		}
+		return int64(float64(base) * f)
+	}
+
+	b := openstream.NewBuilder()
+	initType := b.Type(SeidelInitType)
+	blockType := b.Type(SeidelBlockType)
+
+	// versions[i][j] is the current region version of block (i,j).
+	versions := make([][]openstream.RegionRef, nb)
+	backings := make([][]openstream.BackingRef, nb)
+	for i := 0; i < nb; i++ {
+		versions[i] = make([]openstream.RegionRef, nb)
+		backings[i] = make([]openstream.BackingRef, nb)
+		for j := 0; j < nb; j++ {
+			backings[i][j] = b.Backing(blockBytes)
+		}
+	}
+
+	initCompute := int64(cfg.BlockSize) * int64(cfg.BlockSize) * cfg.InitCyclesPerElement
+	allInits := make([]openstream.RegionRef, 0, nb*nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			v0 := b.Version(backings[i][j])
+			versions[i][j] = v0
+			allInits = append(allInits, v0)
+			b.Task(openstream.TaskSpec{
+				Type:    initType,
+				Compute: jitter(initCompute),
+				Writes:  []openstream.Access{{Region: v0, Bytes: blockBytes}},
+				Creator: openstream.Root,
+			})
+		}
+	}
+
+	compute := int64(cfg.BlockSize) * int64(cfg.BlockSize) * cfg.CyclesPerElement
+	first := true
+	for t := 1; t <= cfg.Iterations; t++ {
+		// next[i][j] becomes the version written in sweep t. Within
+		// the sweep, (i,j) reads the *new* versions of its left and
+		// top neighbours, so update order (row-major) matters.
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				reads := []openstream.Access{
+					{Region: versions[i][j], Bytes: blockBytes}, // own previous version
+				}
+				if j > 0 { // left, sweep t (already updated this row)
+					reads = append(reads, openstream.Access{Region: versions[i][j-1], Bytes: haloBytes})
+				}
+				if i > 0 { // top, sweep t
+					reads = append(reads, openstream.Access{Region: versions[i-1][j], Bytes: haloBytes})
+				}
+				if j < nb-1 { // right, sweep t-1
+					reads = append(reads, openstream.Access{Region: versions[i][j+1], Bytes: haloBytes})
+				}
+				if i < nb-1 { // bottom, sweep t-1
+					reads = append(reads, openstream.Access{Region: versions[i+1][j], Bytes: haloBytes})
+				}
+				out := b.Version(backings[i][j])
+				spec := openstream.TaskSpec{
+					Type:    blockType,
+					Compute: jitter(compute),
+					Reads:   reads,
+					Writes:  []openstream.Access{{Region: out, Bytes: blockBytes}},
+					Creator: openstream.Root,
+				}
+				if first {
+					// The control program waits for initialization
+					// to complete before creating computation tasks
+					// (a taskwait): creation of the first compute
+					// task — and of everything after it — is gated
+					// on every init task's output. This is a control
+					// dependence: it shows on the timeline as the
+					// low-parallelism dip after initialization, but
+					// not in the reconstructed task graph.
+					spec.CreateAfter = allInits
+					first = false
+				}
+				b.Task(spec)
+				versions[i][j] = out
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,68 @@
+// Package atmtest provides shared helpers for tests and benchmarks:
+// simulated workload traces loaded into the in-memory representation.
+package atmtest
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/apps"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/topology"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// RunToTrace simulates a program and loads the resulting trace.
+func RunToTrace(tb testing.TB, p *openstream.Program, cfg openstream.Config) *core.Trace {
+	tb.Helper()
+	tr, _, err := RunToTraceErr(p, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// RunToTraceErr simulates a program and loads the resulting trace,
+// returning errors instead of failing a test (for use outside tests).
+func RunToTraceErr(p *openstream.Program, cfg openstream.Config) (*core.Trace, openstream.Result, error) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	res, err := openstream.Run(p, cfg, w)
+	if err != nil {
+		return nil, res, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, res, err
+	}
+	tr, err := core.FromReader(&buf)
+	return tr, res, err
+}
+
+// SeidelTrace simulates a scaled seidel run on a small NUMA machine.
+func SeidelTrace(tb testing.TB, blocks, iters int, sched openstream.SchedPolicy) *core.Trace {
+	tb.Helper()
+	p, err := apps.BuildSeidel(apps.ScaledSeidelConfig(blocks, iters))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := openstream.DefaultConfig(topology.Small(4, 4))
+	cfg.Sched = sched
+	cfg.Seed = 5
+	return RunToTrace(tb, p, cfg)
+}
+
+// KMeansTrace simulates a scaled k-means run.
+func KMeansTrace(tb testing.TB, blocksCount, blockSize, maxIters int, uncond bool) *core.Trace {
+	tb.Helper()
+	cfg := apps.ScaledKMeansConfig(blocksCount, blockSize)
+	cfg.MaxIterations = maxIters
+	cfg.Unconditional = uncond
+	p, err := apps.BuildKMeans(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rcfg := openstream.DefaultConfig(topology.Small(4, 4))
+	rcfg.Seed = 5
+	return RunToTrace(tb, p, rcfg)
+}

@@ -1,0 +1,465 @@
+// Package core provides Aftermath's in-memory trace representation:
+// per-CPU event arrays sorted by timestamp, task/type/region/counter
+// tables, and binary-search interval queries.
+//
+// The representation follows Section VI-B-c of the paper: each CPU
+// keeps one array per event family sorted by timestamp, so the slice
+// of events relevant to any time interval is found with a binary
+// search. Information not explicitly present in the trace (task
+// execution placement, the location of memory accesses) is derived
+// once at load time or on demand.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Interval is a half-open time interval [Start, End).
+type Interval struct {
+	Start trace.Time
+	End   trace.Time
+}
+
+// Duration returns End - Start.
+func (iv Interval) Duration() trace.Time { return iv.End - iv.Start }
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t trace.Time) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether the interval overlaps [s, e).
+func (iv Interval) Overlaps(s, e trace.Time) bool { return iv.Start < e && s < iv.End }
+
+// TaskInfo describes a task instance with its execution placement,
+// derived from task-execution state events at load time.
+type TaskInfo struct {
+	ID         trace.TaskID
+	Type       trace.TypeID
+	Created    trace.Time
+	CreatorCPU int32
+	// ExecCPU is the CPU that executed the task, or -1 if the trace
+	// contains no execution interval for it.
+	ExecCPU   int32
+	ExecStart trace.Time
+	ExecEnd   trace.Time
+}
+
+// Duration returns the task's execution duration, or 0 if it never
+// executed.
+func (t *TaskInfo) Duration() trace.Time {
+	if t.ExecCPU < 0 {
+		return 0
+	}
+	return t.ExecEnd - t.ExecStart
+}
+
+// CPUData holds one CPU's event arrays, each sorted by timestamp.
+type CPUData struct {
+	States   []trace.StateEvent
+	Discrete []trace.DiscreteEvent
+	Comm     []trace.CommEvent
+}
+
+// Counter holds one performance counter's description and per-CPU
+// sample arrays sorted by time.
+type Counter struct {
+	Desc   trace.CounterDesc
+	PerCPU [][]trace.CounterSample
+}
+
+// Trace is a fully loaded, indexed trace.
+type Trace struct {
+	// Topology is the machine topology; if the trace had no topology
+	// record, a flat single-node topology is synthesized.
+	Topology trace.Topology
+	// CPUs holds per-CPU event arrays, indexed by CPU id.
+	CPUs []CPUData
+	// Types lists the task types, ordered by ID.
+	Types []trace.TaskType
+	// Tasks lists all tasks ordered by ID.
+	Tasks []TaskInfo
+	// Counters lists the counters present in the trace.
+	Counters []*Counter
+	// Regions lists memory regions sorted by address.
+	Regions []trace.MemRegion
+	// Span is the traced time interval.
+	Span Interval
+
+	typeByID    map[trace.TypeID]int
+	taskByID    map[trace.TaskID]int
+	counterByID map[trace.CounterID]int
+}
+
+// NumCPUs returns the number of CPUs.
+func (tr *Trace) NumCPUs() int { return len(tr.CPUs) }
+
+// NumNodes returns the number of NUMA nodes.
+func (tr *Trace) NumNodes() int { return int(tr.Topology.NumNodes) }
+
+// NodeOfCPU returns the NUMA node of a CPU (0 if out of range).
+func (tr *Trace) NodeOfCPU(cpu int32) int32 {
+	if int(cpu) < len(tr.Topology.NodeOfCPU) {
+		return tr.Topology.NodeOfCPU[cpu]
+	}
+	return 0
+}
+
+// Distance returns the hop distance between two NUMA nodes.
+func (tr *Trace) Distance(a, b int32) int32 {
+	n := tr.Topology.NumNodes
+	if a < 0 || b < 0 || a >= n || b >= n {
+		return 0
+	}
+	return tr.Topology.Distance[a*n+b]
+}
+
+// TypeByID returns the task type with the given ID.
+func (tr *Trace) TypeByID(id trace.TypeID) (trace.TaskType, bool) {
+	i, ok := tr.typeByID[id]
+	if !ok {
+		return trace.TaskType{}, false
+	}
+	return tr.Types[i], true
+}
+
+// TypeName returns the name of a task type, or a placeholder derived
+// from the ID when the trace lacks the type record or a name.
+func (tr *Trace) TypeName(id trace.TypeID) string {
+	if t, ok := tr.TypeByID(id); ok && t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("type_%d", id)
+}
+
+// TaskByID returns the task with the given ID.
+func (tr *Trace) TaskByID(id trace.TaskID) (*TaskInfo, bool) {
+	i, ok := tr.taskByID[id]
+	if !ok {
+		return nil, false
+	}
+	return &tr.Tasks[i], true
+}
+
+// CounterByID returns the counter with the given ID.
+func (tr *Trace) CounterByID(id trace.CounterID) (*Counter, bool) {
+	i, ok := tr.counterByID[id]
+	if !ok {
+		return nil, false
+	}
+	return tr.Counters[i], true
+}
+
+// CounterByName returns the first counter with the given name.
+func (tr *Trace) CounterByName(name string) (*Counter, bool) {
+	for _, c := range tr.Counters {
+		if c.Desc.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// RegionAt returns the memory region containing addr. This is the
+// lookup the paper describes in Section VI-A: region placement is
+// stored once, and accesses are localized by address.
+func (tr *Trace) RegionAt(addr uint64) (trace.MemRegion, bool) {
+	i := sort.Search(len(tr.Regions), func(i int) bool {
+		return tr.Regions[i].Addr > addr
+	})
+	if i == 0 {
+		return trace.MemRegion{}, false
+	}
+	r := tr.Regions[i-1]
+	if r.Contains(addr) {
+		return r, true
+	}
+	return trace.MemRegion{}, false
+}
+
+// NodeOfAddr returns the NUMA node holding addr, or -1 if unknown.
+func (tr *Trace) NodeOfAddr(addr uint64) int32 {
+	if r, ok := tr.RegionAt(addr); ok {
+		return r.Node
+	}
+	return -1
+}
+
+// StatesIn returns the state events on cpu overlapping [t0, t1), found
+// by binary search (state intervals per CPU are disjoint and sorted).
+func (tr *Trace) StatesIn(cpu int32, t0, t1 trace.Time) []trace.StateEvent {
+	if int(cpu) >= len(tr.CPUs) {
+		return nil
+	}
+	states := tr.CPUs[cpu].States
+	lo := sort.Search(len(states), func(i int) bool { return states[i].End > t0 })
+	hi := sort.Search(len(states), func(i int) bool { return states[i].Start >= t1 })
+	if lo >= hi {
+		return nil
+	}
+	return states[lo:hi]
+}
+
+// DiscreteIn returns the discrete events on cpu with time in [t0, t1).
+func (tr *Trace) DiscreteIn(cpu int32, t0, t1 trace.Time) []trace.DiscreteEvent {
+	if int(cpu) >= len(tr.CPUs) {
+		return nil
+	}
+	evs := tr.CPUs[cpu].Discrete
+	lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t0 })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t1 })
+	return evs[lo:hi]
+}
+
+// CommIn returns the communication events on cpu with time in [t0, t1).
+func (tr *Trace) CommIn(cpu int32, t0, t1 trace.Time) []trace.CommEvent {
+	if int(cpu) >= len(tr.CPUs) {
+		return nil
+	}
+	evs := tr.CPUs[cpu].Comm
+	lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t0 })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t1 })
+	return evs[lo:hi]
+}
+
+// TaskComm returns the communication events belonging to a task's
+// execution (reads recorded at start, writes at completion).
+func (tr *Trace) TaskComm(t *TaskInfo) []trace.CommEvent {
+	if t.ExecCPU < 0 {
+		return nil
+	}
+	window := tr.CommIn(t.ExecCPU, t.ExecStart, t.ExecEnd+1)
+	var out []trace.CommEvent
+	for _, ev := range window {
+		if ev.Task == t.ID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Samples returns the sample array of a counter on a CPU.
+func (c *Counter) Samples(cpu int32) []trace.CounterSample {
+	if int(cpu) >= len(c.PerCPU) {
+		return nil
+	}
+	return c.PerCPU[cpu]
+}
+
+// SamplesIn returns the samples of a counter on cpu with time in
+// [t0, t1).
+func (c *Counter) SamplesIn(cpu int32, t0, t1 trace.Time) []trace.CounterSample {
+	s := c.Samples(cpu)
+	lo := sort.Search(len(s), func(i int) bool { return s[i].Time >= t0 })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].Time >= t1 })
+	return s[lo:hi]
+}
+
+// ValueAt returns the counter's value on cpu at time t: the value of
+// the latest sample at or before t. ok is false if no sample precedes t.
+func (c *Counter) ValueAt(cpu int32, t trace.Time) (int64, bool) {
+	s := c.Samples(cpu)
+	i := sort.Search(len(s), func(i int) bool { return s[i].Time > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s[i-1].Value, true
+}
+
+// Load reads and indexes a trace file.
+func Load(path string) (*Trace, error) {
+	rc, err := trace.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return FromReader(rc)
+}
+
+// FromReader reads and indexes a trace from a stream.
+func FromReader(r io.Reader) (*Trace, error) {
+	tr := &Trace{
+		typeByID:    make(map[trace.TypeID]int),
+		taskByID:    make(map[trace.TaskID]int),
+		counterByID: make(map[trace.CounterID]int),
+	}
+	var hasTopo bool
+	maxCPU := int32(-1)
+	cpu := func(id int32) *CPUData {
+		for int(id) >= len(tr.CPUs) {
+			tr.CPUs = append(tr.CPUs, CPUData{})
+		}
+		if id > maxCPU {
+			maxCPU = id
+		}
+		return &tr.CPUs[id]
+	}
+	counter := func(id trace.CounterID) *Counter {
+		if i, ok := tr.counterByID[id]; ok {
+			return tr.Counters[i]
+		}
+		c := &Counter{Desc: trace.CounterDesc{ID: id, Monotonic: true}}
+		tr.counterByID[id] = len(tr.Counters)
+		tr.Counters = append(tr.Counters, c)
+		return c
+	}
+
+	err := trace.Read(r, trace.Handler{
+		Topology: func(t trace.Topology) error {
+			tr.Topology = t
+			hasTopo = true
+			return nil
+		},
+		TaskType: func(t trace.TaskType) error {
+			if _, ok := tr.typeByID[t.ID]; !ok {
+				tr.typeByID[t.ID] = len(tr.Types)
+				tr.Types = append(tr.Types, t)
+			}
+			return nil
+		},
+		Task: func(t trace.Task) error {
+			if i, ok := tr.taskByID[t.ID]; ok {
+				ti := &tr.Tasks[i]
+				ti.Type, ti.Created, ti.CreatorCPU = t.Type, t.Created, t.CreatorCPU
+				return nil
+			}
+			tr.taskByID[t.ID] = len(tr.Tasks)
+			tr.Tasks = append(tr.Tasks, TaskInfo{
+				ID: t.ID, Type: t.Type, Created: t.Created,
+				CreatorCPU: t.CreatorCPU, ExecCPU: -1,
+			})
+			return nil
+		},
+		State: func(s trace.StateEvent) error {
+			cpu(s.CPU).States = append(cpu(s.CPU).States, s)
+			return nil
+		},
+		Discrete: func(d trace.DiscreteEvent) error {
+			cpu(d.CPU).Discrete = append(cpu(d.CPU).Discrete, d)
+			return nil
+		},
+		CounterDesc: func(d trace.CounterDesc) error {
+			counter(d.ID).Desc = d
+			return nil
+		},
+		Sample: func(s trace.CounterSample) error {
+			c := counter(s.Counter)
+			for int(s.CPU) >= len(c.PerCPU) {
+				c.PerCPU = append(c.PerCPU, nil)
+			}
+			c.PerCPU[s.CPU] = append(c.PerCPU[s.CPU], s)
+			if s.CPU > maxCPU {
+				maxCPU = s.CPU
+			}
+			return nil
+		},
+		Comm: func(c trace.CommEvent) error {
+			cpu(c.CPU).Comm = append(cpu(c.CPU).Comm, c)
+			return nil
+		},
+		Region: func(rg trace.MemRegion) error {
+			tr.Regions = append(tr.Regions, rg)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.index(hasTopo, maxCPU)
+	return tr, nil
+}
+
+// index finalizes the loaded trace: synthesizes a topology if absent,
+// repairs ordering if a producer violated it, sorts the region table,
+// derives task execution placement and computes the time span.
+func (tr *Trace) index(hasTopo bool, maxCPU int32) {
+	if !hasTopo {
+		n := int(maxCPU) + 1
+		if n < 1 {
+			n = 1
+		}
+		tr.Topology = trace.Topology{
+			Name:      "unknown",
+			NumNodes:  1,
+			NodeOfCPU: make([]int32, n),
+			Distance:  []int32{0},
+		}
+	}
+	for int(maxCPU) >= len(tr.CPUs) {
+		tr.CPUs = append(tr.CPUs, CPUData{})
+	}
+	// The format guarantees per-CPU order; tolerate producers that
+	// violated it by re-sorting (cheap when already sorted).
+	for i := range tr.CPUs {
+		c := &tr.CPUs[i]
+		if !sort.SliceIsSorted(c.States, func(a, b int) bool { return c.States[a].Start < c.States[b].Start }) {
+			sort.SliceStable(c.States, func(a, b int) bool { return c.States[a].Start < c.States[b].Start })
+		}
+		if !sort.SliceIsSorted(c.Discrete, func(a, b int) bool { return c.Discrete[a].Time < c.Discrete[b].Time }) {
+			sort.SliceStable(c.Discrete, func(a, b int) bool { return c.Discrete[a].Time < c.Discrete[b].Time })
+		}
+		if !sort.SliceIsSorted(c.Comm, func(a, b int) bool { return c.Comm[a].Time < c.Comm[b].Time }) {
+			sort.SliceStable(c.Comm, func(a, b int) bool { return c.Comm[a].Time < c.Comm[b].Time })
+		}
+	}
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			s := c.PerCPU[cpu]
+			if !sort.SliceIsSorted(s, func(a, b int) bool { return s[a].Time < s[b].Time }) {
+				sort.SliceStable(s, func(a, b int) bool { return s[a].Time < s[b].Time })
+			}
+		}
+	}
+	sort.Slice(tr.Regions, func(a, b int) bool { return tr.Regions[a].Addr < tr.Regions[b].Addr })
+
+	// Derive task placement from execution states; synthesize tasks
+	// for traces without task records (Section VI-A tolerance).
+	var start, end trace.Time
+	first := true
+	for i := range tr.CPUs {
+		for _, s := range tr.CPUs[i].States {
+			if first || s.Start < start {
+				start = s.Start
+			}
+			if first || s.End > end {
+				end = s.End
+			}
+			first = false
+			if s.State != trace.StateTaskExec || s.Task == trace.NoTask {
+				continue
+			}
+			idx, ok := tr.taskByID[s.Task]
+			if !ok {
+				idx = len(tr.Tasks)
+				tr.taskByID[s.Task] = idx
+				tr.Tasks = append(tr.Tasks, TaskInfo{ID: s.Task, ExecCPU: -1})
+			}
+			ti := &tr.Tasks[idx]
+			ti.ExecCPU = s.CPU
+			ti.ExecStart = s.Start
+			ti.ExecEnd = s.End
+		}
+	}
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			s := c.PerCPU[cpu]
+			if len(s) == 0 {
+				continue
+			}
+			if first || s[0].Time < start {
+				start = s[0].Time
+			}
+			if first || s[len(s)-1].Time > end {
+				end = s[len(s)-1].Time
+			}
+			first = false
+		}
+	}
+	tr.Span = Interval{Start: start, End: end}
+	sort.Slice(tr.Types, func(a, b int) bool { return tr.Types[a].ID < tr.Types[b].ID })
+	for i, t := range tr.Types {
+		tr.typeByID[t.ID] = i
+	}
+}

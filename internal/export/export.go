@@ -1,0 +1,122 @@
+// Package export writes per-task performance data to CSV for analysis
+// with external statistics tools — the workflow of paper Section V,
+// where Aftermath exports task durations and per-task counter
+// increases (with filters applied) for regression analysis in SciPy.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/metrics"
+)
+
+// TasksCSV writes one row per matching task: identity, placement,
+// duration, and for each given counter the per-task increase and rate.
+// The filter mechanism applies to the exported data exactly as to the
+// views (Section V: "Fine-grained control over the contents of the
+// file is given by the filter mechanisms").
+func TasksCSV(w io.Writer, tr *core.Trace, f *filter.TaskFilter, counters []*core.Counter) error {
+	cw := csv.NewWriter(w)
+	header := []string{"task", "type", "cpu", "node", "created", "exec_start", "exec_end", "duration"}
+	for _, c := range counters {
+		header = append(header, c.Desc.Name+"_delta", c.Desc.Name+"_rate")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	// Per-counter attribution, indexed by task pointer.
+	type attr struct{ delta, rate float64 }
+	attrs := make([]map[*core.TaskInfo]attr, len(counters))
+	for ci, c := range counters {
+		attrs[ci] = make(map[*core.TaskInfo]attr)
+		for _, d := range metrics.CounterDeltaPerTask(tr, c, f) {
+			attrs[ci][d.Task] = attr{float64(d.Delta), d.Rate}
+		}
+	}
+	for _, t := range filter.Tasks(tr, f) {
+		if t.ExecCPU < 0 {
+			continue
+		}
+		row := []string{
+			strconv.FormatUint(uint64(t.ID), 10),
+			tr.TypeName(t.Type),
+			strconv.Itoa(int(t.ExecCPU)),
+			strconv.Itoa(int(tr.NodeOfCPU(t.ExecCPU))),
+			strconv.FormatInt(t.Created, 10),
+			strconv.FormatInt(t.ExecStart, 10),
+			strconv.FormatInt(t.ExecEnd, 10),
+			strconv.FormatInt(t.Duration(), 10),
+		}
+		for ci := range counters {
+			a := attrs[ci][t]
+			row = append(row,
+				strconv.FormatFloat(a.delta, 'f', -1, 64),
+				strconv.FormatFloat(a.rate, 'g', 8, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesCSV writes one or more series sharing a time axis: a time
+// column followed by one column per series. Series of different
+// lengths leave trailing cells empty.
+func SeriesCSV(w io.Writer, series ...metrics.Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"time"}
+	maxLen := 0
+	for _, s := range series {
+		name := s.Name
+		if name == "" {
+			name = "value"
+		}
+		header = append(header, name)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(series)+1)
+		if len(series) > 0 && i < series[0].Len() {
+			row = append(row, strconv.FormatInt(series[0].Times[i], 10))
+		} else {
+			row = append(row, "")
+		}
+		for _, s := range series {
+			if i < s.Len() {
+				row = append(row, strconv.FormatFloat(s.Values[i], 'g', 8, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ProfileCSV writes a parallelism-by-depth profile (Figure 5).
+func ProfileCSV(w io.Writer, profile []int) error {
+	if _, err := fmt.Fprintln(w, "depth,tasks"); err != nil {
+		return err
+	}
+	for d, n := range profile {
+		if _, err := fmt.Fprintf(w, "%d,%d\n", d, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

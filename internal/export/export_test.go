@@ -1,0 +1,88 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/apps"
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+func TestTasksCSV(t *testing.T) {
+	tr := atmtest.KMeansTrace(t, 4, 500, 2, false)
+	c, ok := tr.CounterByName(trace.CounterBranchMisses)
+	if !ok {
+		t.Fatal("missing counter")
+	}
+	dist := filter.ByTypeNames(tr, apps.KMeansDistanceType)
+	var buf bytes.Buffer
+	if err := TasksCSV(&buf, tr, dist, []*core.Counter{c}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("no data rows")
+	}
+	header := rows[0]
+	wantCols := []string{"task", "type", "cpu", "node", "created", "exec_start", "exec_end", "duration",
+		"branch_mispredictions_delta", "branch_mispredictions_rate"}
+	if strings.Join(header, "|") != strings.Join(wantCols, "|") {
+		t.Errorf("header = %v", header)
+	}
+	for _, row := range rows[1:] {
+		if row[1] != apps.KMeansDistanceType {
+			t.Fatalf("filter leaked type %q", row[1])
+		}
+		d, err := strconv.ParseInt(row[7], 10, 64)
+		if err != nil || d <= 0 {
+			t.Fatalf("bad duration %q", row[7])
+		}
+	}
+	// Row count = matching task count.
+	if want := len(filter.Tasks(tr, dist)); len(rows)-1 != want {
+		t.Errorf("rows = %d, want %d", len(rows)-1, want)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	a := metrics.Series{Name: "idle", Times: []int64{0, 10, 20}, Values: []float64{1, 2, 3}}
+	b := metrics.Series{Name: "busy", Times: []int64{0, 10}, Values: []float64{7, 8}}
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0][0] != "time" || rows[0][1] != "idle" || rows[0][2] != "busy" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[3][2] != "" {
+		t.Errorf("short series should leave empty cell, got %q", rows[3][2])
+	}
+}
+
+func TestProfileCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ProfileCSV(&buf, []int{5, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := "depth,tasks\n0,5\n1,1\n2,3\n"
+	if buf.String() != want {
+		t.Errorf("got %q", buf.String())
+	}
+}

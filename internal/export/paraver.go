@@ -1,0 +1,61 @@
+package export
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Paraver writes the trace's worker states in the Paraver (.prv)
+// format. Earlier versions of OpenStream emitted Paraver traces
+// directly (paper Section VII); this exporter restores that interop so
+// traces can be cross-checked in Paraver.
+//
+// The emitted records are state records:
+//
+//	1:cpu:appl:task:thread:begin:end:state
+//
+// with one Paraver "thread" per worker and the Aftermath worker state
+// number plus one as the Paraver state value (Paraver reserves 0 for
+// idle-outside-trace). Times are in cycles.
+func Paraver(w io.Writer, tr *core.Trace) error {
+	ncpu := tr.NumCPUs()
+	// Header: #Paraver (dd/mm/yy at hh:mm):duration:nodes(cpus):appls
+	// A single node with all CPUs, one application with one task and
+	// ncpu threads, mirroring a shared-memory process.
+	_, err := fmt.Fprintf(w, "#Paraver (01/01/70 at 00:00):%d:1(%d):1:1(%d:1)\n",
+		tr.Span.Duration(), ncpu, ncpu)
+	if err != nil {
+		return err
+	}
+	for cpu := int32(0); int(cpu) < ncpu; cpu++ {
+		for _, ev := range tr.StatesIn(cpu, tr.Span.Start, tr.Span.End) {
+			// 1:cpu:appl:task:thread:begin:end:state
+			_, err := fmt.Fprintf(w, "1:%d:1:1:%d:%d:%d:%d\n",
+				cpu+1, cpu+1, ev.Start-tr.Span.Start, ev.End-tr.Span.Start, int(ev.State)+1)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ParaverPCF writes the Paraver configuration file naming the states,
+// so Paraver displays the same legend as Aftermath's state mode.
+func ParaverPCF(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "STATES"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "0\tOutside trace"); err != nil {
+		return err
+	}
+	for s := 0; s < trace.NumWorkerStates; s++ {
+		if _, err := fmt.Fprintf(w, "%d\t%s\n", s+1, trace.WorkerState(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

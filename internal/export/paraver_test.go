@@ -1,0 +1,80 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+func TestParaverExport(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 2, openstream.SchedRandom)
+	var buf bytes.Buffer
+	if err := Paraver(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty output")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "#Paraver") {
+		t.Fatalf("bad header: %q", header)
+	}
+	records := 0
+	var stateTotal int64
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), ":")
+		if len(fields) != 8 {
+			t.Fatalf("record has %d fields: %q", len(fields), sc.Text())
+		}
+		if fields[0] != "1" {
+			t.Fatalf("not a state record: %q", sc.Text())
+		}
+		begin, _ := strconv.ParseInt(fields[5], 10, 64)
+		end, _ := strconv.ParseInt(fields[6], 10, 64)
+		if end < begin || begin < 0 {
+			t.Fatalf("bad interval [%d,%d)", begin, end)
+		}
+		state, _ := strconv.Atoi(fields[7])
+		if state < 1 || state > trace.NumWorkerStates {
+			t.Fatalf("state %d out of range", state)
+		}
+		stateTotal += end - begin
+		records++
+	}
+	if records == 0 {
+		t.Fatal("no state records")
+	}
+	// Total state time matches the Aftermath view of the same trace.
+	var want int64
+	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+		for _, ev := range tr.StatesIn(cpu, tr.Span.Start, tr.Span.End) {
+			want += ev.Duration()
+		}
+	}
+	if stateTotal != want {
+		t.Errorf("exported %d state cycles, trace has %d", stateTotal, want)
+	}
+}
+
+func TestParaverPCF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ParaverPCF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "STATES") {
+		t.Error("missing STATES section")
+	}
+	for s := 0; s < trace.NumWorkerStates; s++ {
+		if !strings.Contains(out, trace.WorkerState(s).String()) {
+			t.Errorf("missing state name %s", trace.WorkerState(s))
+		}
+	}
+}

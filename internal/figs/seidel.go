@@ -1,0 +1,445 @@
+package figs
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/openstream/aftermath/internal/apps"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/export"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/regress"
+	"github.com/openstream/aftermath/internal/render"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/taskgraph"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Fig02 reproduces Figure 2: the seidel timeline in state mode, with
+// dark blue (task execution) dominating and two light blue idle bands,
+// one in the first quarter and one at the end.
+func (r *Runner) Fig02() Report {
+	rep := Report{ID: "fig02", Title: "Seidel: run-time states timeline"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	fb, _, err := render.Timeline(tr, render.TimelineConfig{
+		Width: 1200, Height: 8 * tr.NumCPUs() / 4, Mode: render.ModeState,
+	})
+	if err != nil {
+		return rep.fail(err)
+	}
+	if path := r.art(&rep, "fig02_seidel_states.png"); path != "" {
+		if err := fb.WritePNG(path); err != nil {
+			return rep.fail(err)
+		}
+	}
+
+	// Dark blue dominates: most worker time is task execution.
+	st := stats.StateTimes(tr, tr.Span.Start, tr.Span.End)
+	var total int64
+	for _, v := range st {
+		total += v
+	}
+	execFrac := float64(st[trace.StateTaskExec]) / float64(total)
+	rep.row("time in task execution (dominant state)", "majority", pct(execFrac), execFrac > 0.5)
+
+	// Two idle bands: substantial idleness in the first half and at
+	// the very end, low idleness in the plateau between them.
+	idle := metrics.WorkersInState(tr, trace.StateIdle, 100)
+	ncpu := float64(tr.NumCPUs())
+	maxIn := func(lo, hi int) float64 {
+		m := 0.0
+		for i := lo; i < hi && i < idle.Len(); i++ {
+			if idle.Values[i] > m {
+				m = idle.Values[i]
+			}
+		}
+		return m
+	}
+	band1 := maxIn(0, 50) / ncpu
+	band2 := maxIn(90, 100) / ncpu
+	plateau := maxIn(60, 85) / ncpu
+	rep.row("idle band in first half", "present", pct(band1), band1 > 0.25)
+	rep.row("idle band at end", "present", pct(band2), band2 > 0.25)
+	rep.row("plateau mostly busy", "dark blue", pct(plateau)+" idle", plateau < band1)
+	return rep
+}
+
+// Fig03 reproduces Figure 3: the derived counter for the number of
+// idle workers, whose peaks exceed half the number of cores.
+func (r *Runner) Fig03() Report {
+	rep := Report{ID: "fig03", Title: "Seidel: number of idle workers"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	idle := metrics.WorkersInState(tr, trace.StateIdle, 200)
+	_, peak := idle.MinMax()
+	ncpu := float64(tr.NumCPUs())
+	rep.row("peak idle workers", "> half the cores",
+		fmt.Sprintf("%.0f of %.0f", peak, ncpu), peak > ncpu/2)
+
+	if path := r.art(&rep, "fig03_idle_workers.csv"); path != "" {
+		if err := writeArtifact(path, func(f *os.File) error {
+			return export.SeriesCSV(f, idle)
+		}); err != nil {
+			return rep.fail(err)
+		}
+	}
+	if path := r.art(&rep, "fig03_idle_workers.png"); path != "" {
+		fb, err := render.PlotSeries(render.PlotConfig{Width: 900, Height: 260,
+			Title: "NUMBER OF IDLE WORKERS"}, idle)
+		if err != nil {
+			return rep.fail(err)
+		}
+		if err := fb.WritePNG(path); err != nil {
+			return rep.fail(err)
+		}
+	}
+	return rep
+}
+
+// Fig05 reproduces Figure 5: available parallelism as a function of
+// task graph depth, with the four phases of Section III-A — thousands
+// of ready init tasks at depth 0, a sudden drop to a single task, a
+// wavefront ramp to the maximum, then decline.
+func (r *Runner) Fig05() Report {
+	rep := Report{ID: "fig05", Title: "Seidel: available parallelism by depth"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	g := taskgraph.Reconstruct(tr)
+	par := g.ParallelismByDepth()
+	if len(par) < 4 {
+		return rep.fail(fmt.Errorf("profile too short: %d levels", len(par)))
+	}
+	nb := r.SeidelCfg.N / r.SeidelCfg.BlockSize
+	rep.row("phase 1: parallelism at depth 0", "> 5000 (2^14 matrix)",
+		fmt.Sprintf("%d", par[0]), par[0] == nb*nb)
+	rep.row("phase 2: drop to a single task", "1", fmt.Sprintf("%d", par[1]), par[1] == 1)
+
+	peak, peakDepth := 0, 0
+	for d := 1; d < len(par); d++ {
+		if par[d] > peak {
+			peak, peakDepth = par[d], d
+		}
+	}
+	rep.row("phase 3: wavefront maximum", "~2400 near depth 120",
+		fmt.Sprintf("%d at depth %d", peak, peakDepth),
+		peak > nb && peakDepth > 2 && peakDepth < len(par)-1)
+	rep.row("phase 4: declining tail", "parallelism falls",
+		fmt.Sprintf("%d at final depth %d", par[len(par)-1], len(par)-1),
+		par[len(par)-1] < peak)
+	wantLevels := 2*(nb-1) + 2*r.SeidelCfg.Iterations
+	rep.row("maximum depth", "~230 (paper axis)",
+		fmt.Sprintf("%d", len(par)-1), len(par) == wantLevels)
+
+	if path := r.art(&rep, "fig05_parallelism.csv"); path != "" {
+		if err := writeArtifact(path, func(f *os.File) error {
+			return export.ProfileCSV(f, par)
+		}); err != nil {
+			return rep.fail(err)
+		}
+	}
+	if path := r.art(&rep, "fig05_parallelism.png"); path != "" {
+		s := metrics.Series{Name: "available_parallelism"}
+		for d, n := range par {
+			s.Times = append(s.Times, int64(d))
+			s.Values = append(s.Values, float64(n))
+		}
+		fb, err := render.PlotSeries(render.PlotConfig{Width: 900, Height: 280,
+			Title: "AVAILABLE PARALLELISM"}, s)
+		if err != nil {
+			return rep.fail(err)
+		}
+		if err := fb.WritePNG(path); err != nil {
+			return rep.fail(err)
+		}
+	}
+	return rep
+}
+
+// Fig06 reproduces Figures 4 and 6: DOT export of a task graph
+// excerpt for visualization with Graphviz.
+func (r *Runner) Fig06() Report {
+	rep := Report{ID: "fig06", Title: "Seidel: task graph excerpt (DOT)"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	g := taskgraph.Reconstruct(tr)
+	rep.row("dependence edges recovered", "full graph",
+		fmt.Sprintf("%d edges / %d tasks", g.NumEdges(), len(tr.Tasks)), g.NumEdges() > len(tr.Tasks)/2)
+	if path := r.art(&rep, "fig06_taskgraph.dot"); path != "" {
+		if err := writeArtifact(path, func(f *os.File) error {
+			return g.WriteDOT(f, taskgraph.DOTOptions{MaxTasks: 120, Label: "seidel"})
+		}); err != nil {
+			return rep.fail(err)
+		}
+	}
+	return rep
+}
+
+// Fig07 reproduces Figure 7: the heatmap timeline with ten shades over
+// [0, 50Mcycles]; initialization tasks render close to or beyond the
+// maximum while computation tasks stay light.
+func (r *Runner) Fig07() Report {
+	rep := Report{ID: "fig07", Title: "Seidel: timeline in heatmap mode"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	heatMax := int64(50e6)
+	if r.SeidelCfg.BlockSize < 256 {
+		heatMax = 0 // auto-scale at reduced size
+	}
+	fb, _, err := render.Timeline(tr, render.TimelineConfig{
+		Width: 1200, Height: 2 * tr.NumCPUs(), Mode: render.ModeHeat,
+		HeatMin: 0, HeatMax: heatMax, Shades: 10,
+	})
+	if err != nil {
+		return rep.fail(err)
+	}
+	if path := r.art(&rep, "fig07_heatmap.png"); path != "" {
+		if err := fb.WritePNG(path); err != nil {
+			return rep.fail(err)
+		}
+	}
+	initDur := regress.Mean(filter.Durations(tr, filter.ByTypeNames(tr, apps.SeidelInitType)))
+	blockDur := regress.Mean(filter.Durations(tr, filter.ByTypeNames(tr, apps.SeidelBlockType)))
+	rep.row("init tasks vs compute tasks", "init near 50Mcycle maximum, compute light",
+		fmt.Sprintf("init %s, compute %s", mcycles(initDur), mcycles(blockDur)),
+		initDur > 3*blockDur)
+	return rep
+}
+
+// Fig08 reproduces Figure 8: the average task duration derived
+// counter, peaking during initialization with a plateau afterwards.
+func (r *Runner) Fig08() Report {
+	rep := Report{ID: "fig08", Title: "Seidel: average task duration"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	s := metrics.AverageTaskDuration(tr, 100, nil)
+	peak := 0.0
+	for _, v := range s.Values[:20] {
+		if v > peak {
+			peak = v
+		}
+	}
+	plateau := regress.Mean(s.Values[40:90])
+	rep.row("peak coincides with init phase", "peak near 50Mcycles, plateau far below",
+		fmt.Sprintf("peak %s, plateau %s", mcycles(peak), mcycles(plateau)),
+		peak > 3*plateau && plateau > 0)
+	// The average never reaches zero (paper: "the number of
+	// executing tasks never reaches zero for any interval").
+	mn, _ := s.MinMax()
+	rep.row("duration never drops to zero", "> 0", mcycles(mn), mn > 0)
+
+	if path := r.art(&rep, "fig08_avg_duration.csv"); path != "" {
+		if err := writeArtifact(path, func(f *os.File) error {
+			return export.SeriesCSV(f, s)
+		}); err != nil {
+			return rep.fail(err)
+		}
+	}
+	if path := r.art(&rep, "fig08_avg_duration.png"); path != "" {
+		fb, err := render.PlotSeries(render.PlotConfig{Width: 900, Height: 260,
+			Title: "AVERAGE TASK DURATION"}, s)
+		if err != nil {
+			return rep.fail(err)
+		}
+		if err := fb.WritePNG(path); err != nil {
+			return rep.fail(err)
+		}
+	}
+	return rep
+}
+
+// Fig09 reproduces Figure 9: the typemap, showing the first phase
+// dominated by initialization tasks and the plateau by computation
+// tasks.
+func (r *Runner) Fig09() Report {
+	rep := Report{ID: "fig09", Title: "Seidel: timeline in typemap mode"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	fb, _, err := render.Timeline(tr, render.TimelineConfig{
+		Width: 1200, Height: 2 * tr.NumCPUs(), Mode: render.ModeType,
+	})
+	if err != nil {
+		return rep.fail(err)
+	}
+	if path := r.art(&rep, "fig09_typemap.png"); path != "" {
+		if err := fb.WritePNG(path); err != nil {
+			return rep.fail(err)
+		}
+	}
+	// Quantify the phases: execution time by type in the first phase
+	// versus the plateau.
+	initEnd := typePhaseEnd(tr, apps.SeidelInitType)
+	initFrac := typeExecFraction(tr, apps.SeidelInitType, tr.Span.Start, initEnd)
+	span := tr.Span.Duration()
+	blockFrac := typeExecFraction(tr, apps.SeidelBlockType,
+		tr.Span.Start+span/2, tr.Span.Start+span*9/10)
+	rep.row("first phase dominated by init tasks", "distinct init color band",
+		pct(initFrac)+" of exec time", initFrac > 0.6)
+	rep.row("plateau dominated by compute tasks", "compute color",
+		pct(blockFrac)+" of exec time", blockFrac > 0.9)
+	return rep
+}
+
+// Fig10 reproduces Figure 10: the discrete derivatives of the
+// aggregated system time and resident set size, which increase almost
+// exclusively during initialization — the cross-layer anomaly of
+// Section III-B (physical page allocation).
+func (r *Runner) Fig10() Report {
+	rep := Report{ID: "fig10", Title: "Seidel: OS time and resident size derivatives"}
+	tr, _, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	sys, ok := tr.CounterByName(trace.CounterOSSystemTime)
+	if !ok {
+		return rep.fail(fmt.Errorf("missing %s counter", trace.CounterOSSystemTime))
+	}
+	res, ok := tr.CounterByName(trace.CounterResidentKB)
+	if !ok {
+		return rep.fail(fmt.Errorf("missing %s counter", trace.CounterResidentKB))
+	}
+	const n = 100
+	sysAgg := metrics.AggregateCounter(tr, sys, n)
+	resAgg := metrics.AggregateCounter(tr, res, n)
+	dSys := metrics.Derivative(sysAgg)
+	dRes := metrics.Derivative(resAgg)
+
+	initEnd := typePhaseEnd(tr, apps.SeidelInitType)
+	sysInInit := increaseShare(sysAgg, initEnd)
+	resInInit := increaseShare(resAgg, initEnd)
+	initFrac := float64(initEnd-tr.Span.Start) / float64(tr.Span.Duration())
+	rep.row("system time increase during init", "almost exclusive",
+		pct(sysInInit)+" within first "+pct(initFrac), sysInInit > 0.85)
+	rep.row("resident size increase during init", "almost exclusive",
+		pct(resInInit)+" within first "+pct(initFrac), resInInit > 0.85)
+
+	if path := r.art(&rep, "fig10_rusage.csv"); path != "" {
+		if err := writeArtifact(path, func(f *os.File) error {
+			return export.SeriesCSV(f, dSys, dRes)
+		}); err != nil {
+			return rep.fail(err)
+		}
+	}
+	if path := r.art(&rep, "fig10_rusage.png"); path != "" {
+		fb, err := render.PlotSeries(render.PlotConfig{Width: 900, Height: 260,
+			Title: "D(SYSTEM TIME), D(RESIDENT SIZE)"}, dSys, dRes)
+		if err != nil {
+			return rep.fail(err)
+		}
+		if err := fb.WritePNG(path); err != nil {
+			return rep.fail(err)
+		}
+	}
+	return rep
+}
+
+// Fig14 reproduces Figure 14: NUMA read/write maps and NUMA heatmaps
+// for the non-optimized and optimized run-times, and the ~3x speedup
+// (7.91 vs 2.59 Gcycles in the paper).
+func (r *Runner) Fig14() Report {
+	rep := Report{ID: "fig14", Title: "Seidel: locality of memory accesses"}
+	trRand, trNUMA, resRand, resNUMA, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	for _, v := range []struct {
+		tr   *core.Trace
+		name string
+		mode render.Mode
+	}{
+		{trRand, "fig14a_read_random.png", render.ModeNUMARead},
+		{trNUMA, "fig14b_read_numa.png", render.ModeNUMARead},
+		{trRand, "fig14c_write_random.png", render.ModeNUMAWrite},
+		{trNUMA, "fig14d_write_numa.png", render.ModeNUMAWrite},
+		{trRand, "fig14e_heat_random.png", render.ModeNUMAHeat},
+		{trNUMA, "fig14f_heat_numa.png", render.ModeNUMAHeat},
+	} {
+		if path := r.art(&rep, v.name); path != "" {
+			fb, _, err := render.Timeline(v.tr, render.TimelineConfig{
+				Width: 1000, Height: 2 * v.tr.NumCPUs(), Mode: v.mode,
+			})
+			if err != nil {
+				return rep.fail(err)
+			}
+			if err := fb.WritePNG(path); err != nil {
+				return rep.fail(err)
+			}
+		}
+	}
+	locRand := stats.LocalityFraction(trRand, stats.Reads, trRand.Span.Start, trRand.Span.End+1)
+	locNUMA := stats.LocalityFraction(trNUMA, stats.Reads, trNUMA.Span.Start, trNUMA.Span.End+1)
+	locBound := 0.6
+	if r.Relaxed {
+		locBound = 0.45
+	}
+	rep.row("read locality, non-optimized", "no pattern (poor locality)", pct(locRand), locRand < 0.45)
+	rep.row("read locality, optimized", "band pattern (node-local)", pct(locNUMA), locNUMA > locBound)
+	speedup := float64(resRand.Makespan) / float64(resNUMA.Makespan)
+	rep.row("makespan non-optimized", "7.91 Gcycles",
+		fmt.Sprintf("%.2f Gcycles", float64(resRand.Makespan)/1e9), true)
+	rep.row("makespan optimized", "2.59 Gcycles",
+		fmt.Sprintf("%.2f Gcycles", float64(resNUMA.Makespan)/1e9), true)
+	speedupOK := within(speedup, 2.0, 4.0)
+	if r.Relaxed {
+		speedupOK = speedup > 1.15
+	}
+	rep.row("speedup", "~3x", fmt.Sprintf("%.2fx", speedup), speedupOK)
+	return rep
+}
+
+// Fig15 reproduces Figure 15: the communication incidence matrix,
+// uniformly red for the non-optimized execution and sharply diagonal
+// for the optimized one.
+func (r *Runner) Fig15() Report {
+	rep := Report{ID: "fig15", Title: "Seidel: communication incidence matrix"}
+	trRand, trNUMA, _, _, err := r.SeidelTraces()
+	if err != nil {
+		return rep.fail(err)
+	}
+	mRand := stats.CommMatrixOf(trRand, stats.ReadsAndWrites, trRand.Span.Start, trRand.Span.End+1)
+	mNUMA := stats.CommMatrixOf(trNUMA, stats.ReadsAndWrites, trNUMA.Span.Start, trNUMA.Span.End+1)
+	for _, v := range []struct {
+		m    *stats.CommMatrix
+		name string
+	}{{mRand, "fig15a_matrix_random.png"}, {mNUMA, "fig15b_matrix_numa.png"}} {
+		if path := r.art(&rep, v.name); path != "" {
+			if err := render.RenderMatrix(v.m, 16).WritePNG(path); err != nil {
+				return rep.fail(err)
+			}
+		}
+	}
+	fRand, fNUMA := mRand.LocalFraction(), mNUMA.LocalFraction()
+	diagBound, contrastMul := 0.6, 2.0
+	if r.Relaxed {
+		diagBound, contrastMul = 0.45, 1.5
+	}
+	rep.row("matrix diagonal share, non-optimized", "uniform (each node talks to all)",
+		pct(fRand), fRand < 0.45)
+	rep.row("matrix diagonal share, optimized", "sharp diagonal (near-optimal locality)",
+		pct(fNUMA), fNUMA > diagBound)
+	rep.row("contrast", "instantly distinguishable",
+		fmt.Sprintf("%.1fx more local", fNUMA/maxF(fRand, 1e-9)), fNUMA > contrastMul*fRand)
+	return rep
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

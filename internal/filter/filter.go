@@ -1,0 +1,150 @@
+// Package filter implements Aftermath's task filters (paper Section
+// II-A, interface group 3): the timeline and all statistical views can
+// be restricted to tasks of specific types, tasks whose execution
+// duration lies in a range, tasks executing on specific CPUs, or tasks
+// that read from or write to specific NUMA nodes.
+//
+// Filters compose by conjunction: a task matches when it satisfies
+// every configured criterion. The zero value matches every task.
+package filter
+
+import (
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// TaskFilter selects tasks. Nil set fields and zero bounds are
+// inactive criteria.
+type TaskFilter struct {
+	// Types restricts to tasks of these types.
+	Types map[trace.TypeID]bool
+	// MinDuration and MaxDuration bound the execution duration in
+	// cycles; MaxDuration 0 means unbounded above.
+	MinDuration trace.Time
+	MaxDuration trace.Time
+	// CPUs restricts to tasks executed on these CPUs.
+	CPUs map[int32]bool
+	// ReadNodes restricts to tasks that read data homed on at least
+	// one of these NUMA nodes.
+	ReadNodes map[int32]bool
+	// WriteNodes restricts to tasks that write data homed on at
+	// least one of these NUMA nodes.
+	WriteNodes map[int32]bool
+	// Window restricts to tasks whose execution overlaps the
+	// interval.
+	Window *core.Interval
+}
+
+// ByTypeNames returns a filter matching tasks whose type name is one
+// of names.
+func ByTypeNames(tr *core.Trace, names ...string) *TaskFilter {
+	types := make(map[trace.TypeID]bool, len(names))
+	for _, n := range names {
+		for _, tt := range tr.Types {
+			if tt.Name == n {
+				types[tt.ID] = true
+			}
+		}
+	}
+	return &TaskFilter{Types: types}
+}
+
+// WithDuration returns a copy of f bounded to [min, max] duration.
+func (f *TaskFilter) WithDuration(min, max trace.Time) *TaskFilter {
+	g := f.clone()
+	g.MinDuration, g.MaxDuration = min, max
+	return g
+}
+
+// WithWindow returns a copy of f restricted to executions overlapping
+// [start, end).
+func (f *TaskFilter) WithWindow(start, end trace.Time) *TaskFilter {
+	g := f.clone()
+	g.Window = &core.Interval{Start: start, End: end}
+	return g
+}
+
+func (f *TaskFilter) clone() *TaskFilter {
+	if f == nil {
+		return &TaskFilter{}
+	}
+	g := *f
+	return &g
+}
+
+// Match reports whether the task satisfies every active criterion.
+// A nil filter matches everything.
+func (f *TaskFilter) Match(tr *core.Trace, t *core.TaskInfo) bool {
+	if f == nil {
+		return true
+	}
+	if f.Types != nil && !f.Types[t.Type] {
+		return false
+	}
+	if t.ExecCPU < 0 {
+		// Tasks without execution intervals can only match the
+		// criteria that do not need one.
+		return f.MinDuration == 0 && f.MaxDuration == 0 && f.CPUs == nil &&
+			f.ReadNodes == nil && f.WriteNodes == nil && f.Window == nil
+	}
+	d := t.Duration()
+	if f.MinDuration > 0 && d < f.MinDuration {
+		return false
+	}
+	if f.MaxDuration > 0 && d > f.MaxDuration {
+		return false
+	}
+	if f.CPUs != nil && !f.CPUs[t.ExecCPU] {
+		return false
+	}
+	if f.Window != nil && !f.Window.Overlaps(t.ExecStart, t.ExecEnd) {
+		return false
+	}
+	if f.ReadNodes != nil || f.WriteNodes != nil {
+		readOK := f.ReadNodes == nil
+		writeOK := f.WriteNodes == nil
+		for _, ev := range tr.TaskComm(t) {
+			switch ev.Kind {
+			case trace.CommRead:
+				if !readOK && f.ReadNodes[tr.NodeOfAddr(ev.Addr)] {
+					readOK = true
+				}
+			case trace.CommWrite:
+				if !writeOK && f.WriteNodes[tr.NodeOfAddr(ev.Addr)] {
+					writeOK = true
+				}
+			}
+			if readOK && writeOK {
+				break
+			}
+		}
+		if !readOK || !writeOK {
+			return false
+		}
+	}
+	return true
+}
+
+// Tasks returns pointers to all tasks in tr matching f, in task order.
+func Tasks(tr *core.Trace, f *TaskFilter) []*core.TaskInfo {
+	var out []*core.TaskInfo
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if f.Match(tr, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Durations returns the execution durations of all matching tasks.
+func Durations(tr *core.Trace, f *TaskFilter) []float64 {
+	var out []float64
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if t.ExecCPU >= 0 && f.Match(tr, t) {
+			out = append(out, float64(t.Duration()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package hw models the hardware behaviour the paper's analyses depend
+// on: NUMA memory access latency, cache line transfers, branch
+// misprediction penalties, page fault costs, and the clock frequency
+// that converts cycles to wall-clock seconds.
+//
+// The model is intentionally analytic rather than cycle-accurate: the
+// paper's anomalies (locality, contention, misprediction stalls,
+// allocation storms) are first-order effects of these parameters, and
+// the analysis layer only ever sees their consequences through the
+// trace.
+package hw
+
+// Model holds the hardware parameters of a simulated machine.
+type Model struct {
+	// FreqGHz is the core clock frequency; cycles / (FreqGHz*1e9) =
+	// seconds.
+	FreqGHz float64
+
+	// CacheLineBytes is the transfer granularity for memory traffic.
+	CacheLineBytes int64
+
+	// LocalLineCycles is the amortized cost, in cycles, of bringing
+	// one cache line from the local NUMA node under streaming access.
+	LocalLineCycles int64
+
+	// HopLineCycles is the additional cost per NUMA hop for one line.
+	HopLineCycles int64
+
+	// RemoteContention scales remote access cost with interconnect
+	// load: the effective per-line remote cost is multiplied by
+	// (1 + RemoteContention * load) where load in [0,1] is the
+	// fraction of workers currently streaming remote data.
+	RemoteContention float64
+
+	// BranchMissPenaltyCycles is the pipeline stall per mispredicted
+	// branch.
+	BranchMissPenaltyCycles int64
+
+	// PageBytes is the OS page size.
+	PageBytes int64
+
+	// PageFaultCycles is the base cost of a minor page fault
+	// (allocation + zeroing), charged as system time.
+	PageFaultCycles int64
+
+	// PageFaultContention scales page fault cost with the number of
+	// workers concurrently faulting: effective cost is multiplied by
+	// (1 + PageFaultContention * (faulters-1)). This models zone
+	// lock and mm_sem contention, the cross-layer anomaly behind the
+	// slow initialization of Section III-B.
+	PageFaultContention float64
+}
+
+// Default returns parameters loosely calibrated to the paper's test
+// systems (Xeon E5-4640 class cores, ~2 GHz, NUMAlink/HyperTransport
+// interconnects).
+func Default() Model {
+	return Model{
+		FreqGHz:                 2.1,
+		CacheLineBytes:          64,
+		LocalLineCycles:         22,
+		HopLineCycles:           40,
+		RemoteContention:        1.9,
+		BranchMissPenaltyCycles: 45,
+		PageBytes:               4096,
+		PageFaultCycles:         9000,
+		PageFaultContention:     0.16,
+	}
+}
+
+// Lines returns the number of cache lines covering n bytes.
+func (m Model) Lines(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + m.CacheLineBytes - 1) / m.CacheLineBytes
+}
+
+// Pages returns the number of pages covering n bytes.
+func (m Model) Pages(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + m.PageBytes - 1) / m.PageBytes
+}
+
+// LineCost returns the cost in cycles of transferring one line over
+// dist NUMA hops under the given remote load fraction (0..1). Local
+// accesses (dist 0) are unaffected by remote load.
+func (m Model) LineCost(dist int, remoteLoad float64) int64 {
+	if dist <= 0 {
+		return m.LocalLineCycles
+	}
+	base := float64(m.LocalLineCycles + int64(dist)*m.HopLineCycles)
+	return int64(base * (1 + m.RemoteContention*clamp01(remoteLoad)))
+}
+
+// MemCost returns the cost in cycles of streaming bytes over dist NUMA
+// hops under the given remote load fraction.
+func (m Model) MemCost(bytes int64, dist int, remoteLoad float64) int64 {
+	return m.Lines(bytes) * m.LineCost(dist, remoteLoad)
+}
+
+// FaultCost returns the cost in cycles of faulting `pages` pages while
+// `faulters` workers (including this one) are concurrently faulting.
+func (m Model) FaultCost(pages int64, faulters int) int64 {
+	if pages <= 0 {
+		return 0
+	}
+	if faulters < 1 {
+		faulters = 1
+	}
+	mult := 1 + m.PageFaultContention*float64(faulters-1)
+	return int64(float64(pages*m.PageFaultCycles) * mult)
+}
+
+// BranchMissCost returns the stall cycles for n mispredictions.
+func (m Model) BranchMissCost(n int64) int64 {
+	return n * m.BranchMissPenaltyCycles
+}
+
+// CyclesToSeconds converts cycles to wall-clock seconds.
+func (m Model) CyclesToSeconds(c int64) float64 {
+	return float64(c) / (m.FreqGHz * 1e9)
+}
+
+// CyclesToMicroseconds converts cycles to microseconds.
+func (m Model) CyclesToMicroseconds(c int64) float64 {
+	return float64(c) / (m.FreqGHz * 1e3)
+}
+
+// SecondsToCycles converts seconds to cycles.
+func (m Model) SecondsToCycles(s float64) int64 {
+	return int64(s * m.FreqGHz * 1e9)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinesAndPages(t *testing.T) {
+	m := Default()
+	for _, tc := range []struct {
+		bytes, lines, pages int64
+	}{
+		{0, 0, 0},
+		{-5, 0, 0},
+		{1, 1, 1},
+		{64, 1, 1},
+		{65, 2, 1},
+		{4096, 64, 1},
+		{4097, 65, 2},
+		{1 << 20, 16384, 256},
+	} {
+		if got := m.Lines(tc.bytes); got != tc.lines {
+			t.Errorf("Lines(%d) = %d, want %d", tc.bytes, got, tc.lines)
+		}
+		if got := m.Pages(tc.bytes); got != tc.pages {
+			t.Errorf("Pages(%d) = %d, want %d", tc.bytes, got, tc.pages)
+		}
+	}
+}
+
+func TestLineCostMonotoneInDistance(t *testing.T) {
+	m := Default()
+	prev := int64(-1)
+	for dist := 0; dist <= 4; dist++ {
+		c := m.LineCost(dist, 0)
+		if c <= prev {
+			t.Errorf("LineCost(dist=%d) = %d not increasing (prev %d)", dist, c, prev)
+		}
+		prev = c
+	}
+	if m.LineCost(0, 0) != m.LocalLineCycles {
+		t.Errorf("local line cost = %d, want %d", m.LineCost(0, 0), m.LocalLineCycles)
+	}
+}
+
+func TestContentionAffectsOnlyRemote(t *testing.T) {
+	m := Default()
+	if m.LineCost(0, 1.0) != m.LineCost(0, 0) {
+		t.Error("local cost must not depend on remote load")
+	}
+	if m.LineCost(2, 1.0) <= m.LineCost(2, 0) {
+		t.Error("remote cost must grow with load")
+	}
+	// Load is clamped to [0,1].
+	if m.LineCost(2, 5.0) != m.LineCost(2, 1.0) {
+		t.Error("load must clamp at 1")
+	}
+	if m.LineCost(2, -1) != m.LineCost(2, 0) {
+		t.Error("load must clamp at 0")
+	}
+}
+
+func TestFaultCostContention(t *testing.T) {
+	m := Default()
+	solo := m.FaultCost(100, 1)
+	if solo != 100*m.PageFaultCycles {
+		t.Errorf("solo fault cost = %d, want %d", solo, 100*m.PageFaultCycles)
+	}
+	crowd := m.FaultCost(100, 192)
+	if crowd <= solo {
+		t.Error("fault cost must grow with concurrent faulters")
+	}
+	if m.FaultCost(0, 10) != 0 {
+		t.Error("zero pages must cost zero")
+	}
+	if m.FaultCost(100, 0) != solo {
+		t.Error("faulters < 1 should clamp to 1")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	m := Default()
+	s := m.CyclesToSeconds(m.SecondsToCycles(2.5))
+	if s < 2.4999 || s > 2.5001 {
+		t.Errorf("seconds round trip = %v, want 2.5", s)
+	}
+	us := m.CyclesToMicroseconds(int64(m.FreqGHz * 1e3))
+	if us < 0.999 || us > 1.001 {
+		t.Errorf("1000*freq cycles = %v us, want 1", us)
+	}
+}
+
+// Property: memory cost is monotone in bytes and distance.
+func TestMemCostMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(kb uint16, dist uint8) bool {
+		b := int64(kb) * 1024
+		d := int(dist % 4)
+		c1 := m.MemCost(b, d, 0)
+		c2 := m.MemCost(b+1024, d, 0)
+		c3 := m.MemCost(b, d+1, 0)
+		if b > 0 && c2 <= c1 {
+			return false
+		}
+		if b > 0 && c3 <= c1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchMissCost(t *testing.T) {
+	m := Default()
+	if got := m.BranchMissCost(10); got != 10*m.BranchMissPenaltyCycles {
+		t.Errorf("BranchMissCost(10) = %d", got)
+	}
+}

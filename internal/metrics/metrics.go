@@ -1,0 +1,241 @@
+// Package metrics implements Aftermath's derived counters (paper
+// Section II-A, interface group 5, and Section III): metrics computed
+// on-line from high-level events or from combinations of existing
+// counters, overlaid on the timeline.
+//
+// Interval metrics follow the paper's algorithm (Section III-A): the
+// execution is divided into a user-defined number of intervals; per
+// interval and worker the relevant quantity is computed, then
+// aggregated across workers and normalized by the interval duration.
+package metrics
+
+import (
+	"errors"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Series is a derived metric sampled over time. For interval metrics,
+// Times[i] is the start of interval i and Values[i] the metric over
+// [Times[i], Times[i+1]) (the final point of boundary series is the
+// span end).
+type Series struct {
+	Name   string
+	Times  []trace.Time
+	Values []float64
+}
+
+// Len returns the number of points.
+func (s Series) Len() int { return len(s.Times) }
+
+// MinMax returns the extrema of the series values.
+func (s Series) MinMax() (min, max float64) {
+	if len(s.Values) == 0 {
+		return 0, 0
+	}
+	min, max = s.Values[0], s.Values[0]
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// boundaries returns n+1 interval boundaries covering the trace span.
+func boundaries(tr *core.Trace, n int) []trace.Time {
+	if n < 1 {
+		n = 1
+	}
+	ts := make([]trace.Time, n+1)
+	span := tr.Span.Duration()
+	for i := 0; i <= n; i++ {
+		ts[i] = tr.Span.Start + span*int64(i)/int64(n)
+	}
+	return ts
+}
+
+// WorkersInState computes the average number of workers simultaneously
+// in the given state for each of n intervals — the derived counter of
+// Section III-A used for Figure 3 (number of idle workers): per
+// interval, the time each worker spent in the state is summed over all
+// workers and divided by the interval duration.
+func WorkersInState(tr *core.Trace, state trace.WorkerState, n int) Series {
+	bs := boundaries(tr, n)
+	s := Series{
+		Name:   "workers_in_" + state.String(),
+		Times:  bs[:len(bs)-1],
+		Values: make([]float64, len(bs)-1),
+	}
+	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+		for i := 0; i < len(bs)-1; i++ {
+			t0, t1 := bs[i], bs[i+1]
+			if t1 <= t0 {
+				continue
+			}
+			var in trace.Time
+			for _, ev := range tr.StatesIn(cpu, t0, t1) {
+				if ev.State != state {
+					continue
+				}
+				in += clip(ev.Start, ev.End, t0, t1)
+			}
+			s.Values[i] += float64(in) / float64(t1-t0)
+		}
+	}
+	return s
+}
+
+// AverageTaskDuration computes, per interval, the mean execution
+// duration of the (filtered) tasks running during the interval — the
+// derived counter of Figure 8.
+func AverageTaskDuration(tr *core.Trace, n int, f *filter.TaskFilter) Series {
+	bs := boundaries(tr, n)
+	s := Series{Name: "avg_task_duration", Times: bs[:len(bs)-1], Values: make([]float64, len(bs)-1)}
+	counts := make([]int64, len(bs)-1)
+	sums := make([]float64, len(bs)-1)
+	span := tr.Span.Duration()
+	if span <= 0 {
+		return s
+	}
+	nIv := int64(len(counts))
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if t.ExecCPU < 0 || !f.Match(tr, t) {
+			continue
+		}
+		lo := (t.ExecStart - tr.Span.Start) * nIv / span
+		hi := (t.ExecEnd - 1 - tr.Span.Start) * nIv / span
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= nIv {
+			hi = nIv - 1
+		}
+		for iv := lo; iv <= hi; iv++ {
+			counts[iv]++
+			sums[iv] += float64(t.Duration())
+		}
+	}
+	for i := range s.Values {
+		if counts[i] > 0 {
+			s.Values[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return s
+}
+
+// AggregateCounter sums a counter's value across all CPUs at n+1
+// boundary points — the aggregating derived counter used to turn
+// per-worker getrusage statistics into global ones (Section III-B).
+func AggregateCounter(tr *core.Trace, c *core.Counter, n int) Series {
+	bs := boundaries(tr, n)
+	s := Series{Name: "sum_" + c.Desc.Name, Times: bs, Values: make([]float64, len(bs))}
+	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+		for i, t := range bs {
+			if v, ok := c.ValueAt(cpu, t); ok {
+				s.Values[i] += float64(v)
+			}
+		}
+	}
+	return s
+}
+
+// Derivative computes the discrete derivative (difference quotient) of
+// a cumulative series — used in Figures 10 and 18 for the increase of
+// system time, resident size and the branch misprediction rate.
+func Derivative(s Series) Series {
+	if s.Len() < 2 {
+		return Series{Name: "d_" + s.Name}
+	}
+	d := Series{
+		Name:   "d_" + s.Name,
+		Times:  make([]trace.Time, s.Len()-1),
+		Values: make([]float64, s.Len()-1),
+	}
+	for i := 0; i+1 < s.Len(); i++ {
+		d.Times[i] = s.Times[i]
+		dt := float64(s.Times[i+1] - s.Times[i])
+		if dt > 0 {
+			d.Values[i] = (s.Values[i+1] - s.Values[i]) / dt
+		}
+	}
+	return d
+}
+
+// Ratio divides two series pointwise; the series must share times.
+func Ratio(a, b Series) (Series, error) {
+	if a.Len() != b.Len() {
+		return Series{}, errors.New("metrics: series length mismatch")
+	}
+	out := Series{
+		Name:   a.Name + "_per_" + b.Name,
+		Times:  a.Times,
+		Values: make([]float64, a.Len()),
+	}
+	for i := range a.Values {
+		if a.Times[i] != b.Times[i] {
+			return Series{}, errors.New("metrics: series time mismatch")
+		}
+		if b.Values[i] != 0 {
+			out.Values[i] = a.Values[i] / b.Values[i]
+		}
+	}
+	return out, nil
+}
+
+// TaskDelta is the increase of a monotonic counter over one task's
+// execution, with the rate normalized by the task duration.
+type TaskDelta struct {
+	Task *core.TaskInfo
+	// Delta is the counter increase between the samples taken
+	// immediately before and after the task's execution.
+	Delta int64
+	// Rate is Delta per cycle of task duration.
+	Rate float64
+}
+
+// CounterDeltaPerTask attributes a monotonic counter to tasks: for
+// each matching task, the increase of the counter on the task's CPU
+// over the execution interval (Section V: "Aftermath is able to
+// determine the increase of a monotonically increasing counter for
+// each task").
+func CounterDeltaPerTask(tr *core.Trace, c *core.Counter, f *filter.TaskFilter) []TaskDelta {
+	var out []TaskDelta
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if t.ExecCPU < 0 || !f.Match(tr, t) {
+			continue
+		}
+		before, ok1 := c.ValueAt(t.ExecCPU, t.ExecStart)
+		after, ok2 := c.ValueAt(t.ExecCPU, t.ExecEnd)
+		if !ok1 || !ok2 {
+			continue
+		}
+		d := TaskDelta{Task: t, Delta: after - before}
+		if dur := t.Duration(); dur > 0 {
+			d.Rate = float64(d.Delta) / float64(dur)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// clip returns the overlap length of [s,e) with [t0,t1).
+func clip(s, e, t0, t1 trace.Time) trace.Time {
+	if s < t0 {
+		s = t0
+	}
+	if e > t1 {
+		e = t1
+	}
+	if e <= s {
+		return 0
+	}
+	return e - s
+}

@@ -1,0 +1,193 @@
+// Package mmtree implements the n-ary min/max search tree Aftermath
+// builds over each performance counter's samples (Section VI-B-c of
+// the paper): for any time interval, the minimum and maximum counter
+// value is found without scanning all samples, which makes rendering a
+// counter at any zoom level proportional to the output resolution
+// rather than the sample count.
+//
+// The default arity of 100 keeps the tree's memory overhead below 5%
+// of the sample data, as in the paper.
+package mmtree
+
+import "sort"
+
+// DefaultArity is the paper's tree arity.
+const DefaultArity = 100
+
+// Tree is an immutable n-ary min/max tree over (time, value) samples
+// sorted by time.
+type Tree struct {
+	arity  int
+	times  []int64
+	values []int64
+	// mins[l][i] / maxs[l][i] cover arity^(l+1) consecutive samples.
+	mins [][]int64
+	maxs [][]int64
+}
+
+// Build constructs a tree over samples sorted by non-decreasing time.
+// times and values must have equal length. Arity values below 2 fall
+// back to DefaultArity. The input slices are retained, not copied.
+func Build(times, values []int64, arity int) *Tree {
+	if len(times) != len(values) {
+		panic("mmtree: times and values length mismatch")
+	}
+	if arity < 2 {
+		arity = DefaultArity
+	}
+	t := &Tree{arity: arity, times: times, values: values}
+	level := values
+	for len(level) > 1 {
+		n := (len(level) + arity - 1) / arity
+		mins := make([]int64, n)
+		maxs := make([]int64, n)
+		for i := 0; i < n; i++ {
+			lo := i * arity
+			hi := lo + arity
+			if hi > len(level) {
+				hi = len(level)
+			}
+			mn, mx := level[lo], level[lo]
+			if len(t.mins) > 0 {
+				// Upper levels aggregate (min,max) pairs.
+				mn, mx = t.mins[len(t.mins)-1][lo], t.maxs[len(t.maxs)-1][lo]
+				for j := lo + 1; j < hi; j++ {
+					if v := t.mins[len(t.mins)-1][j]; v < mn {
+						mn = v
+					}
+					if v := t.maxs[len(t.maxs)-1][j]; v > mx {
+						mx = v
+					}
+				}
+			} else {
+				for j := lo + 1; j < hi; j++ {
+					if level[j] < mn {
+						mn = level[j]
+					}
+					if level[j] > mx {
+						mx = level[j]
+					}
+				}
+			}
+			mins[i], maxs[i] = mn, mx
+		}
+		t.mins = append(t.mins, mins)
+		t.maxs = append(t.maxs, maxs)
+		level = mins
+	}
+	return t
+}
+
+// Len returns the number of samples.
+func (t *Tree) Len() int { return len(t.times) }
+
+// Time returns the timestamp of sample i.
+func (t *Tree) Time(i int) int64 { return t.times[i] }
+
+// Value returns the value of sample i.
+func (t *Tree) Value(i int) int64 { return t.values[i] }
+
+// Arity returns the tree's arity.
+func (t *Tree) Arity() int { return t.arity }
+
+// OverheadBytes returns the memory consumed by the tree's internal
+// nodes (the paper keeps this below 5% of the sample data with arity
+// 100).
+func (t *Tree) OverheadBytes() int64 {
+	var n int64
+	for l := range t.mins {
+		n += int64(len(t.mins[l]) + len(t.maxs[l]))
+	}
+	return n * 8
+}
+
+// DataBytes returns the memory consumed by the samples themselves.
+func (t *Tree) DataBytes() int64 {
+	return int64(len(t.times)+len(t.values)) * 8
+}
+
+// MinMax returns the minimum and maximum sample value with time in
+// [t0, t1). ok is false when the interval contains no sample.
+func (t *Tree) MinMax(t0, t1 int64) (min, max int64, ok bool) {
+	lo := sort.Search(len(t.times), func(i int) bool { return t.times[i] >= t0 })
+	hi := sort.Search(len(t.times), func(i int) bool { return t.times[i] >= t1 })
+	return t.MinMaxIndex(lo, hi)
+}
+
+// MinMaxIndex returns the minimum and maximum over samples with index
+// in [lo, hi).
+func (t *Tree) MinMaxIndex(lo, hi int) (min, max int64, ok bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.values) {
+		hi = len(t.values)
+	}
+	if lo >= hi {
+		return 0, 0, false
+	}
+	min, max = t.values[lo], t.values[lo]
+	take := func(mn, mx int64) {
+		if mn < min {
+			min = mn
+		}
+		if mx > max {
+			max = mx
+		}
+	}
+	l, r := lo, hi-1 // inclusive node indexes at the current level
+	level := -1      // -1 = leaf values, >=0 = t.mins[level]
+	for l <= r {
+		// Consume unaligned head and tail nodes at this level, then
+		// ascend: the remaining aligned span is covered by parents.
+		for l <= r && l%t.arity != 0 {
+			take(t.node(level, l))
+			l++
+		}
+		for l <= r && (r+1)%t.arity != 0 {
+			take(t.node(level, r))
+			r--
+		}
+		if l > r {
+			break
+		}
+		l /= t.arity
+		r /= t.arity
+		level++
+		if level >= len(t.mins) {
+			// Single root block: consume directly.
+			for i := l; i <= r; i++ {
+				take(t.node(level-1, i))
+			}
+			break
+		}
+	}
+	return min, max, true
+}
+
+func (t *Tree) node(level, i int) (int64, int64) {
+	if level < 0 {
+		return t.values[i], t.values[i]
+	}
+	return t.mins[level][i], t.maxs[level][i]
+}
+
+// NaiveMinMax scans all samples in [t0, t1); it exists as the baseline
+// for the ablation benchmarks of the rendering optimizations.
+func (t *Tree) NaiveMinMax(t0, t1 int64) (min, max int64, ok bool) {
+	lo := sort.Search(len(t.times), func(i int) bool { return t.times[i] >= t0 })
+	hi := sort.Search(len(t.times), func(i int) bool { return t.times[i] >= t1 })
+	if lo >= hi {
+		return 0, 0, false
+	}
+	min, max = t.values[lo], t.values[lo]
+	for i := lo + 1; i < hi; i++ {
+		if t.values[i] < min {
+			min = t.values[i]
+		}
+		if t.values[i] > max {
+			max = t.values[i]
+		}
+	}
+	return min, max, true
+}

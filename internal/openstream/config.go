@@ -1,0 +1,173 @@
+package openstream
+
+import (
+	"fmt"
+
+	"github.com/openstream/aftermath/internal/hw"
+	"github.com/openstream/aftermath/internal/topology"
+)
+
+// SchedPolicy selects the run-time's scheduling strategy.
+type SchedPolicy int
+
+const (
+	// SchedRandom is the non-optimized configuration of Section IV:
+	// ready tasks are enqueued on the worker that made them ready,
+	// idle workers steal from uniformly random victims, and no NUMA
+	// information is used.
+	SchedRandom SchedPolicy = iota
+	// SchedNUMA is the optimized configuration: ready tasks are
+	// enqueued on the NUMA node holding most of their input data,
+	// and idle workers steal from the nearest non-empty deque.
+	SchedNUMA
+)
+
+// String returns the policy name.
+func (s SchedPolicy) String() string {
+	switch s {
+	case SchedRandom:
+		return "random"
+	case SchedNUMA:
+		return "numa-aware"
+	}
+	return "unknown"
+}
+
+// Overheads holds the run-time system's fixed costs in cycles.
+type Overheads struct {
+	// TaskCreate is the cost of creating one task (frame allocation
+	// and dependence registration) on the creating worker.
+	TaskCreate int64
+	// StealAttempt is the cost of probing one victim deque.
+	StealAttempt int64
+	// StealHop is the additional steal cost per NUMA hop between
+	// thief and victim.
+	StealHop int64
+	// ResolvePerReader is the dependence resolution cost per
+	// consumer notified when a task completes.
+	ResolvePerReader int64
+	// BroadcastPerReader is the cost per consumer of broadcasting an
+	// output read by more than BroadcastFanout consumers.
+	BroadcastPerReader int64
+	// BroadcastFanout is the consumer count threshold above which
+	// output propagation is accounted as a broadcast.
+	BroadcastFanout int
+	// WakeLatency is the delay between a task being enqueued and a
+	// parked worker waking to look for it.
+	WakeLatency int64
+}
+
+// DefaultOverheads returns overheads representative of a lean
+// user-space run-time on a 2 GHz class machine.
+func DefaultOverheads() Overheads {
+	return Overheads{
+		TaskCreate:         2600,
+		StealAttempt:       450,
+		StealHop:           350,
+		ResolvePerReader:   180,
+		BroadcastPerReader: 250,
+		BroadcastFanout:    4,
+		WakeLatency:        600,
+	}
+}
+
+// Tracing selects which record families the run-time writes. The
+// paper's incremental trace design (Section VI-A) lets producers omit
+// families to cut overhead and trace size.
+type Tracing struct {
+	// States enables worker state intervals.
+	States bool
+	// Comm enables memory access and steal communication events.
+	Comm bool
+	// Counters enables hardware counter sampling around task
+	// execution (branch mispredictions, cache misses).
+	Counters bool
+	// Rusage enables OS statistics counters (system time, resident
+	// set size), which the paper collects in a separate trace
+	// because concurrent getrusage calls are expensive.
+	Rusage bool
+	// Discrete enables discrete events (creation, steals, wakeups).
+	Discrete bool
+}
+
+// TraceAll enables every record family.
+func TraceAll() Tracing {
+	return Tracing{States: true, Comm: true, Counters: true, Rusage: true, Discrete: true}
+}
+
+// TraceStates enables only state intervals (the minimal useful trace).
+func TraceStates() Tracing {
+	return Tracing{States: true}
+}
+
+// Config parameterizes one simulated execution.
+type Config struct {
+	// Machine is the NUMA machine to execute on.
+	Machine *topology.Machine
+	// HW is the hardware cost model.
+	HW hw.Model
+	// Sched selects the scheduling policy.
+	Sched SchedPolicy
+	// Seed seeds the deterministic RNG (steal victim selection,
+	// probe failures).
+	Seed int64
+	// Overhead holds the run-time's fixed costs.
+	Overhead Overheads
+	// Tracing selects emitted record families (ignored when Run is
+	// given a nil writer).
+	Tracing Tracing
+}
+
+// DefaultConfig returns a configuration for the given machine with the
+// default hardware model, random scheduling and full tracing.
+func DefaultConfig(m *topology.Machine) Config {
+	return Config{
+		Machine:  m,
+		HW:       hw.Default(),
+		Sched:    SchedRandom,
+		Seed:     1,
+		Overhead: DefaultOverheads(),
+		Tracing:  TraceAll(),
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Machine == nil {
+		return fmt.Errorf("openstream: config has no machine")
+	}
+	if c.Machine.NumCPUs() < 1 {
+		return fmt.Errorf("openstream: machine has no CPUs")
+	}
+	return nil
+}
+
+// Counter IDs used in emitted traces.
+const (
+	CounterIDBranchMisses = 1
+	CounterIDCacheMisses  = 2
+	CounterIDSystemTime   = 3
+	CounterIDResidentKB   = 4
+)
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Makespan is the completion time of the last activity, in
+	// cycles.
+	Makespan int64
+	// TasksExecuted counts executed tasks.
+	TasksExecuted int
+	// Steals counts successful steals.
+	Steals int64
+	// StealAttempts counts victim probes, including failures.
+	StealAttempts int64
+	// PagesFaulted counts pages physically allocated.
+	PagesFaulted int64
+	// SystemTimeCycles is the total time charged to the OS across
+	// workers.
+	SystemTimeCycles int64
+	// StateCycles sums the time spent in each worker state over all
+	// workers (indexed by trace.WorkerState).
+	StateCycles []int64
+	// Seconds is the makespan converted through the hardware model.
+	Seconds float64
+}

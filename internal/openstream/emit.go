@@ -1,0 +1,168 @@
+package openstream
+
+import (
+	"github.com/openstream/aftermath/internal/hw"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// emitter writes trace records according to the Tracing configuration,
+// capturing the first write error (the engine checks it once at the
+// end rather than threading errors through every event handler).
+type emitter struct {
+	w        *trace.Writer
+	cfg      *Config
+	p        *Program
+	firstErr error
+}
+
+func newEmitter(w *trace.Writer, cfg *Config, p *Program) *emitter {
+	return &emitter{w: w, cfg: cfg, p: p}
+}
+
+func (em *emitter) err() error { return em.firstErr }
+
+func (em *emitter) capture(err error) {
+	if err != nil && em.firstErr == nil {
+		em.firstErr = err
+	}
+}
+
+// preamble writes topology, task types and counter descriptions.
+func (em *emitter) preamble() error {
+	if em.w == nil {
+		return nil
+	}
+	m := em.cfg.Machine
+	topo := trace.Topology{
+		Name:     m.Name(),
+		NumNodes: int32(m.NumNodes()),
+	}
+	topo.NodeOfCPU = make([]int32, m.NumCPUs())
+	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+		topo.NodeOfCPU[cpu] = int32(m.NodeOfCPU(cpu))
+	}
+	topo.Distance = make([]int32, m.NumNodes()*m.NumNodes())
+	for a := 0; a < m.NumNodes(); a++ {
+		for b := 0; b < m.NumNodes(); b++ {
+			topo.Distance[a*m.NumNodes()+b] = int32(m.Distance(a, b))
+		}
+	}
+	if err := em.w.WriteTopology(topo); err != nil {
+		return err
+	}
+	for i, td := range em.p.types {
+		err := em.w.WriteTaskType(trace.TaskType{
+			ID: trace.TypeID(i), Addr: td.addr, Name: td.name,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if em.cfg.Tracing.Counters {
+		for _, cd := range []trace.CounterDesc{
+			{ID: CounterIDBranchMisses, Name: trace.CounterBranchMisses, Monotonic: true},
+			{ID: CounterIDCacheMisses, Name: trace.CounterCacheMisses, Monotonic: true},
+		} {
+			if err := em.w.WriteCounterDesc(cd); err != nil {
+				return err
+			}
+		}
+	}
+	if em.cfg.Tracing.Rusage {
+		for _, cd := range []trace.CounterDesc{
+			{ID: CounterIDSystemTime, Name: trace.CounterOSSystemTime, Monotonic: true},
+			{ID: CounterIDResidentKB, Name: trace.CounterResidentKB, Monotonic: true},
+		} {
+			if err := em.w.WriteCounterDesc(cd); err != nil {
+				return err
+			}
+		}
+	}
+	// Zero samples at time 0 give every counter a baseline.
+	ncpu := m.NumCPUs()
+	for cpu := 0; cpu < ncpu; cpu++ {
+		if em.cfg.Tracing.Counters {
+			em.sample(int32(cpu), CounterIDBranchMisses, 0, 0)
+			em.sample(int32(cpu), CounterIDCacheMisses, 0, 0)
+		}
+		if em.cfg.Tracing.Rusage {
+			em.sample(int32(cpu), CounterIDSystemTime, 0, 0)
+			em.sample(int32(cpu), CounterIDResidentKB, 0, 0)
+		}
+	}
+	return em.firstErr
+}
+
+func (em *emitter) state(s trace.StateEvent) {
+	if em.w == nil || !em.cfg.Tracing.States {
+		return
+	}
+	em.capture(em.w.WriteState(s))
+}
+
+func (em *emitter) discrete(d trace.DiscreteEvent) {
+	if em.w == nil || !em.cfg.Tracing.Discrete {
+		return
+	}
+	em.capture(em.w.WriteDiscrete(d))
+}
+
+func (em *emitter) comm(c trace.CommEvent) {
+	if em.w == nil || !em.cfg.Tracing.Comm {
+		return
+	}
+	em.capture(em.w.WriteComm(c))
+}
+
+func (em *emitter) region(r trace.MemRegion) {
+	if em.w == nil {
+		return
+	}
+	em.capture(em.w.WriteRegion(r))
+}
+
+func (em *emitter) task(t trace.Task) {
+	if em.w == nil {
+		return
+	}
+	em.capture(em.w.WriteTask(t))
+}
+
+func (em *emitter) sample(cpu int32, counter trace.CounterID, t int64, v int64) {
+	if em.w == nil {
+		return
+	}
+	em.capture(em.w.WriteSample(trace.CounterSample{CPU: cpu, Counter: counter, Time: t, Value: v}))
+}
+
+// hwSamples emits the hardware counters of a worker at time t, as the
+// runtime samples them immediately before and after task execution.
+func (em *emitter) hwSamples(w *worker, t int64) {
+	if em.w == nil || !em.cfg.Tracing.Counters {
+		return
+	}
+	em.sample(w.id, CounterIDBranchMisses, t, w.branchMisses)
+	em.sample(w.id, CounterIDCacheMisses, t, w.cacheMisses)
+}
+
+// rusageSamples emits the OS statistics counters of a worker at time t.
+func (em *emitter) rusageSamples(w *worker, t int64, m *hw.Model) {
+	if em.w == nil || !em.cfg.Tracing.Rusage {
+		return
+	}
+	em.sample(w.id, CounterIDSystemTime, t, int64(m.CyclesToMicroseconds(w.sysTimeCycles)))
+	em.sample(w.id, CounterIDResidentKB, t, w.residentKB)
+}
+
+// finalSamples closes every counter series at the makespan so derived
+// counters cover the whole execution.
+func (em *emitter) finalSamples(workers []worker, t int64) {
+	if em.w == nil {
+		return
+	}
+	for i := range workers {
+		w := &workers[i]
+		em.hwSamples(w, t)
+		em.rusageSamples(w, t, &em.cfg.HW)
+	}
+}

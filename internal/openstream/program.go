@@ -1,0 +1,343 @@
+// Package openstream simulates an OpenStream-like run-time system for
+// dependent task graphs on a NUMA machine, and emits Aftermath traces.
+//
+// The model follows the paper's setting: applications expose dataflow
+// dependences between dynamically created tasks through reads and
+// writes of memory regions; the run-time schedules ready tasks over
+// per-worker deques with work stealing, places memory on NUMA nodes,
+// and interacts with the operating system through page faults
+// (Sections III-V).
+//
+// Memory is modelled at two levels, mirroring the paper's trace design
+// (Section VI-A): a backing is a physically allocated address range
+// whose NUMA placement is recorded once; a region is a dataflow version
+// of a backing, written by exactly one task and read by its dependents.
+// Traces record accesses by backing address; dependences are recovered
+// by the analysis layer from the access order, exactly as Aftermath
+// reconstructs task graphs from read and write accesses (Section III-A).
+package openstream
+
+import (
+	"fmt"
+)
+
+// TypeRef identifies a task type within a Program.
+type TypeRef int32
+
+// TaskRef identifies a task within a Program.
+type TaskRef int32
+
+// Root is the pseudo-task representing the program's control thread
+// (the OpenStream main function). Tasks created by Root are created
+// sequentially by worker 0 at program start.
+const Root TaskRef = -1
+
+// BackingRef identifies an allocated memory range within a Program.
+type BackingRef int32
+
+// RegionRef identifies a dataflow version of a backing.
+type RegionRef int32
+
+// Access describes a task's access to a region: Bytes bytes read from
+// (or written to) the region's backing. Bytes may be smaller than the
+// backing (e.g. reading only a halo border of a neighbouring block).
+type Access struct {
+	Region RegionRef
+	Bytes  int64
+}
+
+// TaskSpec describes one task.
+type TaskSpec struct {
+	// Type is the task's work function.
+	Type TypeRef
+	// Compute is the pure computation cost in cycles, excluding
+	// memory traffic, page faults and branch misprediction stalls,
+	// which the engine adds from the hardware model.
+	Compute int64
+	// BranchMisses is the number of mispredicted branches the task
+	// executes; each costs hw.Model.BranchMissPenaltyCycles.
+	BranchMisses int64
+	// Reads are the task's input accesses. The task becomes ready
+	// when the writer of every read region has completed.
+	Reads []Access
+	// Writes are the task's output accesses. Each region may be
+	// written by exactly one task.
+	Writes []Access
+	// Creator is the task that creates this one (Root for tasks
+	// created by the control thread). A task is created — and can
+	// become ready — only after its creator's execution completes.
+	Creator TaskRef
+	// CreateAfter optionally gates this task's creation on the
+	// resolution of regions: the creator suspends its (sequential)
+	// creation sequence until every listed region has been written.
+	// This models control dependences such as a taskwait between
+	// initialization and computation in the control program; unlike
+	// Reads, it leaves no data-dependence trace, so reconstructed
+	// task graphs do not see it (paper Figures 2 vs 5).
+	CreateAfter []RegionRef
+}
+
+type typeDef struct {
+	name string
+	addr uint64
+}
+
+type backingDef struct {
+	size int64
+}
+
+// regionDef is one dataflow version of a backing. Versions carry
+// distinct addresses, modelling OpenStream's renaming: each version
+// lives in its own buffer, while NUMA placement and page faults are
+// properties of the physically allocated backing.
+type regionDef struct {
+	backing BackingRef
+	writer  TaskRef // filled during Build; -1 when unwritten
+	addr    uint64
+}
+
+// Program is an immutable dependent-task program, built with a Builder
+// and executed by Run.
+type Program struct {
+	types    []typeDef
+	backings []backingDef
+	regions  []regionDef
+	tasks    []TaskSpec
+	// children[t] lists tasks created by task t, in creation order.
+	children [][]TaskRef
+	// rootChildren lists tasks created by the control thread.
+	rootChildren []TaskRef
+	// readers[r] lists tasks reading region r.
+	readers [][]TaskRef
+	// gated[r] lists tasks whose creation is gated on region r.
+	gated [][]TaskRef
+}
+
+// NumTasks returns the number of tasks in the program.
+func (p *Program) NumTasks() int { return len(p.tasks) }
+
+// NumRegions returns the number of dataflow regions.
+func (p *Program) NumRegions() int { return len(p.regions) }
+
+// NumBackings returns the number of allocated memory ranges.
+func (p *Program) NumBackings() int { return len(p.backings) }
+
+// TypeName returns the name of a task type.
+func (p *Program) TypeName(t TypeRef) string { return p.types[t].name }
+
+// Task returns the spec of a task.
+func (p *Program) Task(t TaskRef) TaskSpec { return p.tasks[t] }
+
+// Builder incrementally constructs a Program.
+type Builder struct {
+	p          Program
+	typeByName map[string]TypeRef
+	nextAddr   uint64
+	err        error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		typeByName: make(map[string]TypeRef),
+		nextAddr:   backingAddrBase,
+	}
+}
+
+// taskTypeAddrBase is where simulated work functions live; each type
+// gets a distinct, symbol-table-friendly address.
+const taskTypeAddrBase = 0x401000
+
+// backingAddrBase is the start of the simulated data address space.
+const backingAddrBase = 0x7f0000000000
+
+// Type interns a task type by name and returns its reference. Repeated
+// calls with the same name return the same reference.
+func (b *Builder) Type(name string) TypeRef {
+	if t, ok := b.typeByName[name]; ok {
+		return t
+	}
+	t := TypeRef(len(b.p.types))
+	b.p.types = append(b.p.types, typeDef{
+		name: name,
+		addr: taskTypeAddrBase + uint64(t)*0x40,
+	})
+	b.typeByName[name] = t
+	return t
+}
+
+// Backing allocates a memory range of the given size. Its NUMA
+// placement is decided by the run-time when it is first written
+// (first-touch).
+func (b *Builder) Backing(size int64) BackingRef {
+	if size <= 0 {
+		b.fail(fmt.Errorf("openstream: backing size %d must be positive", size))
+		size = 1
+	}
+	ref := BackingRef(len(b.p.backings))
+	b.p.backings = append(b.p.backings, backingDef{size: size})
+	return ref
+}
+
+// Version creates a new dataflow version of a backing. Each version
+// must be written by exactly one task; readers of the version depend
+// on that task. Versions get distinct, page-aligned addresses.
+func (b *Builder) Version(bk BackingRef) RegionRef {
+	if int(bk) < 0 || int(bk) >= len(b.p.backings) {
+		b.fail(fmt.Errorf("openstream: invalid backing %d", bk))
+		bk = 0
+	}
+	const page = 4096
+	r := RegionRef(len(b.p.regions))
+	addr := b.nextAddr
+	b.nextAddr += uint64((b.p.backings[bk].size + page - 1) / page * page)
+	b.p.regions = append(b.p.regions, regionDef{backing: bk, writer: -1, addr: addr})
+	return r
+}
+
+// NewRegion allocates a fresh backing and returns its first version —
+// a convenience for single-version data.
+func (b *Builder) NewRegion(size int64) RegionRef {
+	return b.Version(b.Backing(size))
+}
+
+// Task adds a task to the program and returns its reference.
+func (b *Builder) Task(spec TaskSpec) TaskRef {
+	t := TaskRef(len(b.p.tasks))
+	if int(spec.Type) < 0 || int(spec.Type) >= len(b.p.types) {
+		b.fail(fmt.Errorf("openstream: task %d has invalid type %d", t, spec.Type))
+		return t
+	}
+	for _, a := range append(append([]Access{}, spec.Reads...), spec.Writes...) {
+		if int(a.Region) < 0 || int(a.Region) >= len(b.p.regions) {
+			b.fail(fmt.Errorf("openstream: task %d accesses invalid region %d", t, a.Region))
+			return t
+		}
+		if a.Bytes <= 0 {
+			b.fail(fmt.Errorf("openstream: task %d has non-positive access size %d", t, a.Bytes))
+			return t
+		}
+	}
+	for _, w := range spec.Writes {
+		reg := &b.p.regions[w.Region]
+		if reg.writer != -1 {
+			b.fail(fmt.Errorf("openstream: region %d written by both task %d and task %d",
+				w.Region, reg.writer, t))
+			return t
+		}
+		reg.writer = t
+	}
+	if spec.Creator != Root && (spec.Creator < 0 || int(spec.Creator) >= len(b.p.tasks)) {
+		b.fail(fmt.Errorf("openstream: task %d has invalid creator %d (creators must precede their children)",
+			t, spec.Creator))
+		return t
+	}
+	b.p.tasks = append(b.p.tasks, spec)
+	return t
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates the program and freezes it. After Build the Builder
+// must not be reused.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &b.p
+	p.children = make([][]TaskRef, len(p.tasks))
+	p.readers = make([][]TaskRef, len(p.regions))
+	for i := range p.tasks {
+		t := TaskRef(i)
+		spec := &p.tasks[i]
+		if spec.Creator == Root {
+			p.rootChildren = append(p.rootChildren, t)
+		} else {
+			p.children[spec.Creator] = append(p.children[spec.Creator], t)
+		}
+		for _, a := range spec.Reads {
+			if p.regions[a.Region].writer == -1 {
+				return nil, fmt.Errorf("openstream: task %d reads region %d which no task writes",
+					t, a.Region)
+			}
+			p.readers[a.Region] = append(p.readers[a.Region], t)
+		}
+		for _, rg := range spec.CreateAfter {
+			if int(rg) < 0 || int(rg) >= len(p.regions) {
+				return nil, fmt.Errorf("openstream: task %d gated on invalid region %d", t, rg)
+			}
+			if p.regions[rg].writer == -1 {
+				return nil, fmt.Errorf("openstream: task %d gated on region %d which no task writes",
+					t, rg)
+			}
+			if p.gated == nil {
+				p.gated = make([][]TaskRef, len(p.regions))
+			}
+			p.gated[rg] = append(p.gated[rg], t)
+		}
+	}
+	// Reject self-dependences; deeper cycles are impossible to
+	// express because creators and writers must precede their
+	// dependents is NOT enforced by construction for reads, so run a
+	// cheap cycle check via Kahn's algorithm over dependence edges.
+	if err := p.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// checkAcyclic verifies the dependence graph (region writer -> reader
+// edges plus creator -> child edges) has no cycles.
+func (p *Program) checkAcyclic() error {
+	n := len(p.tasks)
+	indeg := make([]int32, n)
+	for i := range p.tasks {
+		spec := &p.tasks[i]
+		indeg[i] += int32(len(spec.Reads)) + int32(len(spec.CreateAfter))
+		if spec.Creator != Root {
+			indeg[i]++
+		}
+	}
+	queue := make([]TaskRef, 0, n)
+	for i := range indeg {
+		if indeg[i] == 0 {
+			queue = append(queue, TaskRef(i))
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		for _, c := range p.children[t] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+		for _, w := range p.tasks[t].Writes {
+			for _, r := range p.readers[w.Region] {
+				indeg[r]--
+				if indeg[r] == 0 {
+					queue = append(queue, r)
+				}
+			}
+			if p.gated != nil {
+				for _, g := range p.gated[w.Region] {
+					indeg[g]--
+					if indeg[g] == 0 {
+						queue = append(queue, g)
+					}
+				}
+			}
+		}
+	}
+	if visited != n {
+		return fmt.Errorf("openstream: dependence graph has a cycle (%d of %d tasks reachable)", visited, n)
+	}
+	return nil
+}

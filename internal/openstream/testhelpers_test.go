@@ -1,0 +1,28 @@
+package openstream
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// runAndLoad simulates with tracing into memory and loads the trace.
+func runAndLoad(t *testing.T, p *Program, cfg Config) (*core.Trace, Result, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	res, err := Run(p, cfg, w)
+	if err != nil {
+		return nil, res, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, res, err
+	}
+	tr, err := core.FromReader(&buf)
+	return tr, res, err
+}
+
+// uint64ID converts a TaskRef to its trace task ID.
+func uint64ID(t TaskRef) trace.TaskID { return traceTaskID(t) }

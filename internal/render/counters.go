@@ -1,0 +1,227 @@
+package render
+
+import (
+	"image/color"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/mmtree"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// CounterIndex lazily builds and caches one min/max tree per
+// (counter, cpu) pair — the index structure of Section VI-B-c.
+type CounterIndex struct {
+	arity int
+	trees map[counterCPU]*mmtree.Tree
+}
+
+type counterCPU struct {
+	counter trace.CounterID
+	cpu     int32
+	rate    bool
+}
+
+// NewCounterIndex returns an index with the given tree arity
+// (mmtree.DefaultArity when <2).
+func NewCounterIndex(arity int) *CounterIndex {
+	return &CounterIndex{arity: arity, trees: make(map[counterCPU]*mmtree.Tree)}
+}
+
+// RateScale is the fixed-point scale for rate trees: rates are stored
+// as events per kilocycle times RateScale.
+const RateScale = 1 << 16
+
+// Tree returns the min/max tree over the counter's raw values on cpu.
+func (ci *CounterIndex) Tree(c *core.Counter, cpu int32) *mmtree.Tree {
+	key := counterCPU{c.Desc.ID, cpu, false}
+	if t, ok := ci.trees[key]; ok {
+		return t
+	}
+	samples := c.Samples(cpu)
+	times := make([]int64, len(samples))
+	values := make([]int64, len(samples))
+	for i, s := range samples {
+		times[i], values[i] = s.Time, s.Value
+	}
+	t := mmtree.Build(times, values, ci.arity)
+	ci.trees[key] = t
+	return t
+}
+
+// RateTree returns the min/max tree over the counter's discrete
+// derivative on cpu, in fixed-point events per kilocycle: the constant
+// interpolation per task of Figure 18 (counters are sampled
+// immediately before and after each task execution, so the rate is
+// constant over each execution).
+func (ci *CounterIndex) RateTree(c *core.Counter, cpu int32) *mmtree.Tree {
+	key := counterCPU{c.Desc.ID, cpu, true}
+	if t, ok := ci.trees[key]; ok {
+		return t
+	}
+	samples := c.Samples(cpu)
+	n := 0
+	if len(samples) > 1 {
+		n = len(samples) - 1
+	}
+	times := make([]int64, n)
+	values := make([]int64, n)
+	for i := 0; i < n; i++ {
+		dt := samples[i+1].Time - samples[i].Time
+		times[i] = samples[i].Time
+		if dt > 0 {
+			dv := samples[i+1].Value - samples[i].Value
+			values[i] = dv * 1000 * RateScale / dt
+		}
+	}
+	t := mmtree.Build(times, values, ci.arity)
+	ci.trees[key] = t
+	return t
+}
+
+// OverlayConfig parameterizes a per-CPU counter overlay on a timeline.
+type OverlayConfig struct {
+	// Counter is the counter to draw.
+	Counter *core.Counter
+	// Rate selects the discrete derivative instead of the raw value.
+	Rate bool
+	// Color is the curve color.
+	Color color.RGBA
+	// VMin and VMax bound the vertical scale; both zero auto-scales
+	// to the visible minimum and maximum, as the paper does for the
+	// misprediction rate in Figure 18.
+	VMin, VMax float64
+	// Naive disables the min/max tree optimization and draws a line
+	// per adjacent sample pair (Figure 21a) — the ablation baseline.
+	Naive bool
+}
+
+// OverlayCounter draws a counter curve into each CPU row of a timeline
+// framebuffer previously rendered with cfg. For every horizontal
+// pixel, the vertical extent between the interval's minimum and
+// maximum is drawn as a single line (Figure 21b-d).
+func OverlayCounter(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, ov OverlayConfig, ci *CounterIndex) Stats {
+	var st Stats
+	start, end := cfg.Start, cfg.End
+	if start == 0 && end == 0 {
+		start, end = tr.Span.Start, tr.Span.End
+	}
+	cpus := cfg.CPUs
+	if cpus == nil {
+		cpus = make([]int32, tr.NumCPUs())
+		for i := range cpus {
+			cpus[i] = int32(i)
+		}
+	}
+	gutter := 0
+	if cfg.Labels {
+		gutter = TextWidth("CPU 000 ")
+	}
+	plotW := fb.W() - gutter
+	rowH := fb.H() / len(cpus)
+	if rowH < 1 {
+		rowH = 1
+	}
+	span := end - start
+
+	vmin, vmax := ov.VMin, ov.VMax
+	if vmin == 0 && vmax == 0 {
+		// Auto-scale over the visible range of all selected CPUs.
+		first := true
+		for _, cpu := range cpus {
+			t := ci.tree(ov, cpu)
+			mn, mx, ok := t.MinMax(start, end)
+			if !ok {
+				continue
+			}
+			if first || float64(mn) < vmin {
+				vmin = float64(mn)
+			}
+			if first || float64(mx) > vmax {
+				vmax = float64(mx)
+			}
+			first = false
+		}
+		if vmax <= vmin {
+			vmax = vmin + 1
+		}
+	}
+
+	for row, cpu := range cpus {
+		y := row * rowH
+		tree := ci.tree(ov, cpu)
+		if ov.Naive {
+			st.Rects += overlayNaive(fb, tree, gutter, y, plotW, rowH, start, end, vmin, vmax, ov.Color)
+			continue
+		}
+		for x := 0; x < plotW; x++ {
+			t0 := start + span*int64(x)/int64(plotW)
+			t1 := start + span*int64(x+1)/int64(plotW)
+			if t1 <= t0 {
+				t1 = t0 + 1
+			}
+			st.PixelColumns++
+			mn, mx, ok := tree.MinMax(t0, t1)
+			if !ok {
+				continue
+			}
+			y0 := valueToY(float64(mx), vmin, vmax, y, rowH)
+			y1 := valueToY(float64(mn), vmin, vmax, y, rowH)
+			fb.VLine(gutter+x, y0, y1, ov.Color)
+			st.Rects++
+		}
+	}
+	return st
+}
+
+func (ci *CounterIndex) tree(ov OverlayConfig, cpu int32) *mmtree.Tree {
+	if ov.Rate {
+		return ci.RateTree(ov.Counter, cpu)
+	}
+	return ci.Tree(ov.Counter, cpu)
+}
+
+// overlayNaive draws one line per adjacent sample pair — the
+// unoptimized rendering of Figure 21a. Returns the draw call count.
+func overlayNaive(fb *Framebuffer, tree *mmtree.Tree, gutter, y, plotW, rowH int, start, end int64, vmin, vmax float64, c color.RGBA) int {
+	ops := 0
+	span := end - start
+	var prevX, prevY int
+	have := false
+	for i := 0; i < tree.Len(); i++ {
+		t, v, _ := sampleAt(tree, i)
+		if t < start || t >= end {
+			continue
+		}
+		x := gutter + int((t-start)*int64(plotW)/span)
+		yy := valueToY(float64(v), vmin, vmax, y, rowH)
+		if have {
+			fb.Line(prevX, prevY, x, yy, c)
+			ops++
+		}
+		prevX, prevY, have = x, yy, true
+	}
+	return ops
+}
+
+// sampleAt exposes the i-th (time, value) pair of a tree.
+func sampleAt(t *mmtree.Tree, i int) (int64, int64, bool) {
+	mn, _, ok := t.MinMaxIndex(i, i+1)
+	if !ok {
+		return 0, 0, false
+	}
+	return t.Time(i), mn, true
+}
+
+func valueToY(v, vmin, vmax float64, rowTop, rowH int) int {
+	if vmax <= vmin {
+		return rowTop + rowH - 1
+	}
+	f := (v - vmin) / (vmax - vmin)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return rowTop + rowH - 1 - int(f*float64(rowH-1))
+}

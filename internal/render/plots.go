@@ -1,0 +1,213 @@
+package render
+
+import (
+	"fmt"
+	"image/color"
+
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/regress"
+	"github.com/openstream/aftermath/internal/stats"
+)
+
+// PlotConfig parameterizes standalone series plots (the derived
+// counter views of Figures 3, 8 and 10).
+type PlotConfig struct {
+	Width, Height int
+	Title         string
+	// YMin and YMax bound the vertical axis; both zero auto-scales.
+	YMin, YMax float64
+}
+
+const plotMargin = 12
+
+// PlotSeries renders one or more series as line plots sharing the
+// time axis. Colors cycle through the categorical palette.
+func PlotSeries(cfg PlotConfig, series ...metrics.Series) (*Framebuffer, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("render: invalid plot dimensions")
+	}
+	fb := NewFramebuffer(cfg.Width, cfg.Height)
+	fb.Clear(color.RGBA{0xff, 0xff, 0xff, 0xff})
+	x0, y0 := plotMargin*2, plotMargin
+	x1, y1 := cfg.Width-plotMargin, cfg.Height-plotMargin*2
+	fb.HLine(x0, x1, y1, AxisColor)
+	fb.VLine(x0, y0, y1, AxisColor)
+	if cfg.Title != "" {
+		fb.DrawText(x0, 2, cfg.Title, color.RGBA{0x20, 0x20, 0x20, 0xff})
+	}
+
+	var tMin, tMax int64
+	yMin, yMax := cfg.YMin, cfg.YMax
+	auto := yMin == 0 && yMax == 0
+	first := true
+	for _, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		if first || s.Times[0] < tMin {
+			tMin = s.Times[0]
+		}
+		if first || s.Times[s.Len()-1] > tMax {
+			tMax = s.Times[s.Len()-1]
+		}
+		if auto {
+			mn, mx := s.MinMax()
+			if first || mn < yMin {
+				yMin = mn
+			}
+			if first || mx > yMax {
+				yMax = mx
+			}
+		}
+		first = false
+	}
+	if first {
+		return fb, nil // nothing to plot
+	}
+	if tMax <= tMin {
+		tMax = tMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+
+	for si, s := range series {
+		c := CategoryColor(si*3 + 2)
+		var px, py int
+		have := false
+		for i := 0; i < s.Len(); i++ {
+			x := x0 + int(int64(x1-x0)*(s.Times[i]-tMin)/(tMax-tMin))
+			fy := (s.Values[i] - yMin) / (yMax - yMin)
+			y := y1 - int(fy*float64(y1-y0))
+			if have {
+				fb.Line(px, py, x, y, c)
+			}
+			px, py, have = x, y, true
+		}
+	}
+	// Axis extremes.
+	fb.DrawText(2, y1-GlyphHeight/2, fmtFloat(yMin), AxisColor)
+	fb.DrawText(2, y0, fmtFloat(yMax), AxisColor)
+	fb.DrawText(x0, y1+4, "0%", AxisColor)
+	fb.DrawText(x1-TextWidth("100%"), y1+4, "100%", AxisColor)
+	return fb, nil
+}
+
+// PlotScatter renders a scatter plot with an optional least-squares
+// fit line — the duration-vs-misprediction-rate view of Figure 19.
+func PlotScatter(cfg PlotConfig, xs, ys []float64, fit *regress.Fit) (*Framebuffer, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("render: invalid plot dimensions")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("render: scatter length mismatch")
+	}
+	fb := NewFramebuffer(cfg.Width, cfg.Height)
+	fb.Clear(color.RGBA{0xff, 0xff, 0xff, 0xff})
+	x0, y0 := plotMargin*2, plotMargin
+	x1, y1 := cfg.Width-plotMargin, cfg.Height-plotMargin*2
+	fb.HLine(x0, x1, y1, AxisColor)
+	fb.VLine(x0, y0, y1, AxisColor)
+	if cfg.Title != "" {
+		fb.DrawText(x0, 2, cfg.Title, color.RGBA{0x20, 0x20, 0x20, 0xff})
+	}
+	if len(xs) == 0 {
+		return fb, nil
+	}
+	xMin, xMax := xs[0], xs[0]
+	yMin, yMax := ys[0], ys[0]
+	for i := range xs {
+		if xs[i] < xMin {
+			xMin = xs[i]
+		}
+		if xs[i] > xMax {
+			xMax = xs[i]
+		}
+		if ys[i] < yMin {
+			yMin = ys[i]
+		}
+		if ys[i] > yMax {
+			yMax = ys[i]
+		}
+	}
+	if cfg.YMin != 0 || cfg.YMax != 0 {
+		yMin, yMax = cfg.YMin, cfg.YMax
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	toPx := func(x, y float64) (int, int) {
+		return x0 + int((x-xMin)/(xMax-xMin)*float64(x1-x0)),
+			y1 - int((y-yMin)/(yMax-yMin)*float64(y1-y0))
+	}
+	dot := color.RGBA{0x20, 0x45, 0x90, 0xff}
+	for i := range xs {
+		px, py := toPx(xs[i], ys[i])
+		fb.FillRect(px-1, py-1, 2, 2, dot)
+	}
+	if fit != nil {
+		lc := color.RGBA{0xcc, 0x30, 0x30, 0xff}
+		px0, py0 := toPx(xMin, fit.Predict(xMin))
+		px1, py1 := toPx(xMax, fit.Predict(xMax))
+		fb.Line(px0, py0, px1, py1, lc)
+		fb.DrawText(x1-TextWidth("R2=0.000"), y0, fmt.Sprintf("R2=%.3f", fit.R2), lc)
+	}
+	fb.DrawText(2, y0, fmtFloat(yMax), AxisColor)
+	fb.DrawText(2, y1-GlyphHeight/2, fmtFloat(yMin), AxisColor)
+	return fb, nil
+}
+
+// RenderMatrix renders a communication incidence matrix (Figure 15):
+// one cell per (accessor node, home node) pair shaded by its share of
+// the traffic, with node indexes on the axes.
+func RenderMatrix(m *stats.CommMatrix, cellPx int) *Framebuffer {
+	if cellPx < 2 {
+		cellPx = 2
+	}
+	gutter := TextWidth("00 ")
+	w := gutter + m.N*cellPx + plotMargin
+	h := gutter + m.N*cellPx + plotMargin
+	fb := NewFramebuffer(w, h)
+	fb.Clear(color.RGBA{0xff, 0xff, 0xff, 0xff})
+	max := m.MaxCell()
+	for a := 0; a < m.N; a++ {
+		for hn := 0; hn < m.N; hn++ {
+			frac := 0.0
+			if max > 0 {
+				frac = float64(m.At(a, hn)) / float64(max)
+			}
+			fb.FillRect(gutter+hn*cellPx, gutter+a*cellPx, cellPx-1, cellPx-1, MatrixShade(frac))
+		}
+	}
+	step := 1
+	for step*cellPx < GlyphHeight+2 {
+		step++
+	}
+	dark := color.RGBA{0x20, 0x20, 0x20, 0xff}
+	for i := 0; i < m.N; i += step {
+		label := fmt.Sprintf("%d", i)
+		fb.DrawText(gutter+i*cellPx, gutter-GlyphHeight-1, label, dark)
+		fb.DrawText(0, gutter+i*cellPx+(cellPx-GlyphHeight)/2, label, dark)
+	}
+	return fb
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e9 || v <= -1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6 || v <= -1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3 || v <= -1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case v < 0.01 && v > -0.01:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

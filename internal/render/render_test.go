@@ -1,0 +1,388 @@
+package render
+
+import (
+	"bytes"
+	"image/color"
+	"strings"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/apps"
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/regress"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+func TestFramebufferBasics(t *testing.T) {
+	fb := NewFramebuffer(10, 10)
+	red := color.RGBA{0xff, 0, 0, 0xff}
+	fb.FillRect(2, 3, 4, 5, red)
+	if fb.At(2, 3) != red || fb.At(5, 7) != red {
+		t.Error("fill rect missed interior")
+	}
+	if fb.At(1, 3) == red || fb.At(6, 3) == red {
+		t.Error("fill rect leaked")
+	}
+	// Clipping.
+	fb.FillRect(-5, -5, 100, 100, red)
+	if fb.At(0, 0) != red || fb.At(9, 9) != red {
+		t.Error("clipped fill missed corners")
+	}
+	fb.FillRect(20, 20, 5, 5, red) // fully off-screen: no panic
+	fb.Line(-5, -5, 15, 15, red)   // clipped line: no panic
+	if fb.At(5, 5) != red {
+		t.Error("diagonal line missed")
+	}
+}
+
+func TestPPMAndPNGOutput(t *testing.T) {
+	fb := NewFramebuffer(4, 3)
+	var ppm bytes.Buffer
+	if err := fb.WritePPM(&ppm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ppm.String(), "P6\n4 3\n255\n") {
+		t.Errorf("PPM header wrong: %.20q", ppm.String())
+	}
+	if want := len("P6\n4 3\n255\n") + 4*3*3; ppm.Len() != want {
+		t.Errorf("PPM size = %d, want %d", ppm.Len(), want)
+	}
+	var png bytes.Buffer
+	if err := fb.EncodePNG(&png); err != nil {
+		t.Fatal(err)
+	}
+	if png.Len() == 0 || !bytes.HasPrefix(png.Bytes(), []byte("\x89PNG")) {
+		t.Error("PNG signature missing")
+	}
+}
+
+func TestDrawText(t *testing.T) {
+	fb := NewFramebuffer(100, 20)
+	fb.DrawText(0, 0, "CPU 42", TextColor)
+	found := false
+	for y := 0; y < 8 && !found; y++ {
+		for x := 0; x < 40 && !found; x++ {
+			if fb.At(x, y) == TextColor {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("text drew nothing")
+	}
+	if TextWidth("abc") != 3*GlyphWidth {
+		t.Error("text width wrong")
+	}
+}
+
+func TestPalettes(t *testing.T) {
+	if HeatShade(0, 10) != (color.RGBA{255, 255, 255, 255}) {
+		t.Errorf("heat 0 = %v, want white", HeatShade(0, 10))
+	}
+	dark := HeatShade(1, 10)
+	if dark.R >= 200 || dark.G != 0 || dark.B != 0 {
+		t.Errorf("heat 1 = %v, want dark red", dark)
+	}
+	// Quantization: nearby fractions share a shade.
+	if HeatShade(0.52, 2) != HeatShade(0.9, 2) {
+		t.Error("2-shade heatmap must merge upper half")
+	}
+	// NUMA heat: local is blue-ish, remote pink-ish.
+	local, remote := NUMAHeatShade(0), NUMAHeatShade(1)
+	if local.B <= local.R {
+		t.Errorf("local shade %v not blue", local)
+	}
+	if remote.R <= remote.B {
+		t.Errorf("remote shade %v not pink", remote)
+	}
+	// Category colors are distinct for small indexes.
+	seen := map[color.RGBA]bool{}
+	for i := 0; i < 16; i++ {
+		c := CategoryColor(i)
+		if seen[c] {
+			t.Fatalf("category color %d duplicates an earlier one", i)
+		}
+		seen[c] = true
+	}
+	// Out-of-range clamps.
+	_ = HeatShade(-1, 10)
+	_ = HeatShade(2, 0)
+	_ = NUMAHeatShade(-1)
+	_ = NUMAHeatShade(2)
+	_ = CategoryColor(-3)
+}
+
+func TestTimelineModes(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	for mode := ModeState; mode <= ModeNUMAHeat; mode++ {
+		fb, st, err := Timeline(tr, TimelineConfig{Width: 200, Height: 64, Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if fb.W() != 200 || fb.H() != 64 {
+			t.Fatalf("%v: wrong dimensions", mode)
+		}
+		if st.PixelColumns == 0 || st.Rects == 0 {
+			t.Errorf("%v: no work done (%+v)", mode, st)
+		}
+		// Aggregation: rectangles must be fewer than pixel columns.
+		if st.Rects >= st.PixelColumns {
+			t.Errorf("%v: aggregation ineffective: %d rects for %d columns", mode, st.Rects, st.PixelColumns)
+		}
+		// Some non-background pixels must exist.
+		nonBg := 0
+		for y := 0; y < fb.H(); y++ {
+			for x := 0; x < fb.W(); x++ {
+				if fb.At(x, y) != Background {
+					nonBg++
+				}
+			}
+		}
+		if nonBg == 0 {
+			t.Errorf("%v: rendered nothing", mode)
+		}
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 3, 2, openstream.SchedRandom)
+	if _, _, err := Timeline(tr, TimelineConfig{Width: 0, Height: 10}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, _, err := Timeline(tr, TimelineConfig{Width: 10, Height: 10, Start: 100, End: 50}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, _, err := Timeline(tr, TimelineConfig{Width: 10, Height: 10, CPUs: []int32{}}); err == nil {
+		t.Error("empty CPU set accepted")
+	}
+	if _, err := ParseMode("state"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode parsed")
+	}
+}
+
+// The optimized state renderer must produce the same image as the
+// naive one when fully zoomed in (one event per pixel), and must use
+// far fewer drawing operations zoomed out.
+func TestOptimizedMatchesNaiveWhenZoomed(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 2, openstream.SchedRandom)
+	// Zoom into a narrow window so every pixel covers at most one
+	// state event.
+	mid := tr.Span.Start + tr.Span.Duration()/2
+	cfg := TimelineConfig{
+		Width: 400, Height: 32,
+		Start: mid, End: mid + 400, // 1 cycle per pixel
+		Mode: ModeState,
+	}
+	opt, _, err := Timeline(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _, err := NaiveTimelineState(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for y := 0; y < opt.H(); y++ {
+		for x := 0; x < opt.W(); x++ {
+			if opt.At(x, y) != naive.At(x, y) {
+				diff++
+			}
+		}
+	}
+	// Row-gap pixels may differ; tolerate a small fraction.
+	if frac := float64(diff) / float64(opt.W()*opt.H()); frac > 0.02 {
+		t.Errorf("optimized and naive differ on %.1f%% of pixels", 100*frac)
+	}
+}
+
+func TestAggregationReducesOps(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 6, 4, openstream.SchedRandom)
+	cfg := TimelineConfig{Width: 300, Height: 64, Mode: ModeState}
+	_, stOpt, err := Timeline(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stNaive, err := NaiveTimelineState(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOpt.Rects*2 >= stNaive.Rects {
+		t.Errorf("optimized %d rects not well below naive %d", stOpt.Rects, stNaive.Rects)
+	}
+}
+
+func TestHeatmapFilter(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedRandom)
+	blocks := filter.ByTypeNames(tr, apps.SeidelBlockType)
+	full, _, err := Timeline(tr, TimelineConfig{Width: 200, Height: 32, Mode: ModeHeat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, _, err := Timeline(tr, TimelineConfig{Width: 200, Height: 32, Mode: ModeHeat, Filter: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := func(fb *Framebuffer) int {
+		n := 0
+		for y := 0; y < fb.H(); y++ {
+			for x := 0; x < fb.W(); x++ {
+				if fb.At(x, y) == Background {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if bg(filtered) <= bg(full) {
+		t.Error("filtering must expose more background")
+	}
+}
+
+func TestCounterOverlay(t *testing.T) {
+	tr := atmtest.KMeansTrace(t, 8, 1000, 3, false)
+	c, ok := tr.CounterByName(trace.CounterBranchMisses)
+	if !ok {
+		t.Fatal("missing counter")
+	}
+	cfg := TimelineConfig{Width: 300, Height: 80, Mode: ModeHeat}
+	fb, _, err := Timeline(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := NewCounterIndex(0)
+	olc := color.RGBA{0x00, 0xff, 0x00, 0xff}
+	st := OverlayCounter(fb, tr, cfg, OverlayConfig{Counter: c, Rate: true, Color: olc}, ci)
+	if st.Rects == 0 {
+		t.Fatal("overlay drew nothing")
+	}
+	found := false
+	for y := 0; y < fb.H() && !found; y++ {
+		for x := 0; x < fb.W() && !found; x++ {
+			if fb.At(x, y) == olc {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("overlay color absent from framebuffer")
+	}
+	// Naive overlay draws too, with its own accounting.
+	fb2, _, _ := Timeline(tr, cfg)
+	st2 := OverlayCounter(fb2, tr, cfg, OverlayConfig{Counter: c, Rate: true, Color: olc, Naive: true}, ci)
+	if st2.Rects == 0 {
+		t.Error("naive overlay drew nothing")
+	}
+}
+
+func TestRateTreeValues(t *testing.T) {
+	tr := atmtest.KMeansTrace(t, 4, 500, 2, false)
+	c, ok := tr.CounterByName(trace.CounterBranchMisses)
+	if !ok {
+		t.Fatal("missing counter")
+	}
+	ci := NewCounterIndex(0)
+	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+		tree := ci.RateTree(c, cpu)
+		if tree.Len() == 0 {
+			continue
+		}
+		mn, mx, ok := tree.MinMaxIndex(0, tree.Len())
+		if !ok {
+			continue
+		}
+		if mn < 0 {
+			t.Errorf("cpu %d: negative misprediction rate %d", cpu, mn)
+		}
+		if mx == 0 {
+			continue
+		}
+		// Rates are per kilocycle, fixed point; sanity bound: below
+		// 1000 mispredictions per kilocycle.
+		if float64(mx)/RateScale > 1000 {
+			t.Errorf("cpu %d: absurd rate %f", cpu, float64(mx)/RateScale)
+		}
+	}
+	// The index caches trees.
+	if ci.RateTree(c, 0) != ci.RateTree(c, 0) {
+		t.Error("rate tree not cached")
+	}
+	if ci.Tree(c, 0) != ci.Tree(c, 0) {
+		t.Error("tree not cached")
+	}
+}
+
+func TestPlotSeries(t *testing.T) {
+	s := metrics.Series{
+		Name:   "test",
+		Times:  []int64{0, 10, 20, 30},
+		Values: []float64{0, 5, 2, 8},
+	}
+	fb, err := PlotSeries(PlotConfig{Width: 200, Height: 100, Title: "IDLE"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.W() != 200 {
+		t.Error("wrong size")
+	}
+	if _, err := PlotSeries(PlotConfig{}, s); err == nil {
+		t.Error("zero dimensions accepted")
+	}
+	// Empty series: axes only, no crash.
+	if _, err := PlotSeries(PlotConfig{Width: 100, Height: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotScatter(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	fit, err := regress.Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := PlotScatter(PlotConfig{Width: 200, Height: 150, Title: "FIG19"}, xs, ys, &fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.H() != 150 {
+		t.Error("wrong size")
+	}
+	if _, err := PlotScatter(PlotConfig{Width: 100, Height: 100}, xs, ys[:2], nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRenderMatrix(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	m := stats.CommMatrixOf(tr, stats.ReadsAndWrites, tr.Span.Start, tr.Span.End+1)
+	fb := RenderMatrix(m, 12)
+	if fb.W() < m.N*12 {
+		t.Error("matrix framebuffer too small")
+	}
+}
+
+func TestASCIITimeline(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 2, openstream.SchedRandom)
+	out := ASCIITimeline(tr, 60, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("rows = %d, want 8", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 60 {
+			t.Fatalf("row width = %d, want 60", len(l))
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no task execution rendered")
+	}
+	if StateChar(trace.StateIdle) != '.' || StateChar(trace.WorkerState(99)) != '?' {
+		t.Error("state chars wrong")
+	}
+}

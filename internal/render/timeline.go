@@ -1,0 +1,449 @@
+package render
+
+import (
+	"fmt"
+	"image/color"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Mode selects one of the five timeline modes of Section II-B.
+type Mode int
+
+const (
+	// ModeState shows which state each worker traverses over time.
+	ModeState Mode = iota
+	// ModeHeat encodes relative task duration in shades of red.
+	ModeHeat
+	// ModeType colors tasks by task type (the "typemap").
+	ModeType
+	// ModeNUMARead colors tasks by the NUMA node holding most of the
+	// data they read.
+	ModeNUMARead
+	// ModeNUMAWrite colors tasks by the NUMA node holding most of
+	// the data they write.
+	ModeNUMAWrite
+	// ModeNUMAHeat shades each interval from blue (local accesses)
+	// to pink (remote accesses).
+	ModeNUMAHeat
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeState:
+		return "state"
+	case ModeHeat:
+		return "heatmap"
+	case ModeType:
+		return "typemap"
+	case ModeNUMARead:
+		return "numa-read"
+	case ModeNUMAWrite:
+		return "numa-write"
+	case ModeNUMAHeat:
+		return "numa-heat"
+	}
+	return "unknown"
+}
+
+// ParseMode parses a mode name as used by the CLI and HTTP viewer.
+func ParseMode(s string) (Mode, error) {
+	for m := ModeState; m <= ModeNUMAHeat; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("render: unknown timeline mode %q", s)
+}
+
+// TimelineConfig parameterizes a timeline rendering.
+type TimelineConfig struct {
+	// Width and Height are the output dimensions in pixels.
+	Width, Height int
+	// Start and End select the visible interval; both zero means the
+	// full trace span. Zooming and scrolling are performed by
+	// re-rendering with a different interval.
+	Start, End trace.Time
+	// CPUs selects the visible CPUs in order; nil means all.
+	CPUs []int32
+	// Mode selects the timeline mode.
+	Mode Mode
+	// HeatMin and HeatMax bound the heatmap duration scale in
+	// cycles; both zero derives the scale from the visible tasks
+	// (Section II-B: "relative either to a user-defined interval or
+	// to the shortest and longest task execution currently
+	// displayed").
+	HeatMin, HeatMax trace.Time
+	// Shades quantizes the heatmap (default 10, as in Figure 7).
+	Shades int
+	// Filter restricts the tasks shown in heatmap, typemap and NUMA
+	// modes; filtered-out tasks expose the background.
+	Filter *filter.TaskFilter
+	// Labels enables CPU row labels.
+	Labels bool
+}
+
+// Stats reports rendering work, exposing the effect of the Section
+// VI-B optimizations.
+type Stats struct {
+	// PixelColumns is the number of (cpu row, pixel) cells evaluated.
+	PixelColumns int
+	// Rects is the number of rectangle fill calls issued; rectangle
+	// aggregation makes this much smaller than PixelColumns.
+	Rects int
+}
+
+// Timeline renders the timeline and returns the framebuffer with
+// rendering statistics.
+func Timeline(tr *core.Trace, cfg TimelineConfig) (*Framebuffer, Stats, error) {
+	var st Stats
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, st, fmt.Errorf("render: invalid dimensions %dx%d", cfg.Width, cfg.Height)
+	}
+	start, end := cfg.Start, cfg.End
+	if start == 0 && end == 0 {
+		start, end = tr.Span.Start, tr.Span.End
+	}
+	if end <= start {
+		return nil, st, fmt.Errorf("render: empty interval [%d,%d)", start, end)
+	}
+	cpus := cfg.CPUs
+	if cpus == nil {
+		cpus = make([]int32, tr.NumCPUs())
+		for i := range cpus {
+			cpus[i] = int32(i)
+		}
+	}
+	if len(cpus) == 0 {
+		return nil, st, fmt.Errorf("render: no CPUs selected")
+	}
+	shades := cfg.Shades
+	if shades <= 0 {
+		shades = 10
+	}
+
+	fb := NewFramebuffer(cfg.Width, cfg.Height)
+	gutter := 0
+	if cfg.Labels {
+		gutter = TextWidth("CPU 000 ")
+	}
+	plotW := cfg.Width - gutter
+	if plotW < 1 {
+		return nil, st, fmt.Errorf("render: width %d too small for labels", cfg.Width)
+	}
+	rowH := fb.H() / len(cpus)
+	if rowH < 1 {
+		rowH = 1
+	}
+
+	heatMin, heatMax := cfg.HeatMin, cfg.HeatMax
+	if cfg.Mode == ModeHeat && heatMin == 0 && heatMax == 0 {
+		heatMin, heatMax = visibleDurationRange(tr, cfg.Filter, start, end)
+	}
+
+	px := newPixelizer(tr, cfg.Filter, start, end, plotW)
+	span := end - start
+
+	for row, cpu := range cpus {
+		y := row * rowH
+		if y >= fb.H() {
+			break
+		}
+		if cfg.Labels {
+			if rowH >= GlyphHeight || row%(GlyphHeight/maxInt(rowH, 1)+1) == 0 {
+				fb.DrawText(0, y+(rowH-GlyphHeight)/2+1, fmt.Sprintf("CPU %d", cpu), TextColor)
+			}
+		}
+		drawH := rowH
+		if rowH >= 3 {
+			drawH = rowH - 1 // leave a grid line between rows
+		}
+		// Walk the pixels, aggregating runs of identical color into
+		// single rectangle fills (optimization b of Section VI-B).
+		runStart := -1
+		var runColor color.RGBA
+		flush := func(xEnd int) {
+			if runStart >= 0 {
+				fb.FillRect(gutter+runStart, y, xEnd-runStart, drawH, runColor)
+				st.Rects++
+				runStart = -1
+			}
+		}
+		for x := 0; x < plotW; x++ {
+			t0 := start + span*int64(x)/int64(plotW)
+			t1 := start + span*int64(x+1)/int64(plotW)
+			if t1 <= t0 {
+				t1 = t0 + 1
+			}
+			st.PixelColumns++
+			c, ok := px.pixelColor(cfg.Mode, cpu, t0, t1, heatMin, heatMax, shades)
+			if !ok {
+				flush(x)
+				continue
+			}
+			if runStart < 0 {
+				runStart = x
+				runColor = c
+			} else if c != runColor {
+				flush(x)
+				runStart = x
+				runColor = c
+			}
+		}
+		flush(plotW)
+	}
+	return fb, st, nil
+}
+
+// pixelizer computes per-pixel colors with caches shared across the
+// whole rendering.
+type pixelizer struct {
+	tr     *core.Trace
+	filter *filter.TaskFilter
+	// nodeCache memoizes DominantNode lookups per task and kind.
+	nodeCache map[nodeKey]int32
+	typeIdx   map[trace.TypeID]int
+}
+
+type nodeKey struct {
+	task  trace.TaskID
+	kinds stats.CommKinds
+}
+
+func newPixelizer(tr *core.Trace, f *filter.TaskFilter, start, end trace.Time, w int) *pixelizer {
+	ti := make(map[trace.TypeID]int, len(tr.Types))
+	for i, t := range tr.Types {
+		ti[t.ID] = i
+	}
+	return &pixelizer{tr: tr, filter: f, nodeCache: make(map[nodeKey]int32), typeIdx: ti}
+}
+
+// pixelColor implements optimization (a) of Section VI-B: each pixel
+// is colored once, from the predominant state (or task) covered by its
+// interval.
+func (p *pixelizer) pixelColor(mode Mode, cpu int32, t0, t1 trace.Time, heatMin, heatMax trace.Time, shades int) (color.RGBA, bool) {
+	switch mode {
+	case ModeState:
+		ev, ok := dominantState(p.tr, cpu, t0, t1)
+		if !ok {
+			return color.RGBA{}, false
+		}
+		return StateColor(ev.State), true
+	case ModeNUMAHeat:
+		return p.numaHeat(cpu, t0, t1)
+	default:
+		ev, ok := p.dominantExec(cpu, t0, t1)
+		if !ok {
+			return color.RGBA{}, false
+		}
+		switch mode {
+		case ModeHeat:
+			d := ev.Duration()
+			var frac float64
+			if heatMax > heatMin {
+				frac = float64(d-heatMin) / float64(heatMax-heatMin)
+			}
+			return HeatShade(frac, shades), true
+		case ModeType:
+			return CategoryColor(p.typeIdx[taskType(p.tr, ev.Task)]), true
+		case ModeNUMARead, ModeNUMAWrite:
+			kinds := stats.Reads
+			if mode == ModeNUMAWrite {
+				kinds = stats.Writes
+			}
+			node, ok := p.taskNode(ev.Task, kinds)
+			if !ok {
+				return color.RGBA{}, false
+			}
+			return CategoryColor(int(node)), true
+		}
+	}
+	return color.RGBA{}, false
+}
+
+// dominantState returns the state covering the largest part of
+// [t0, t1) on cpu.
+func dominantState(tr *core.Trace, cpu int32, t0, t1 trace.Time) (trace.StateEvent, bool) {
+	var best trace.StateEvent
+	var bestCover trace.Time
+	for _, ev := range tr.StatesIn(cpu, t0, t1) {
+		s, e := ev.Start, ev.End
+		if s < t0 {
+			s = t0
+		}
+		if e > t1 {
+			e = t1
+		}
+		if cover := e - s; cover > bestCover {
+			bestCover = cover
+			best = ev
+		}
+	}
+	return best, bestCover > 0
+}
+
+// dominantExec returns the task-execution state covering the largest
+// part of [t0, t1) on cpu, honoring the task filter.
+func (p *pixelizer) dominantExec(cpu int32, t0, t1 trace.Time) (trace.StateEvent, bool) {
+	var best trace.StateEvent
+	var bestCover trace.Time
+	for _, ev := range p.tr.StatesIn(cpu, t0, t1) {
+		if ev.State != trace.StateTaskExec {
+			continue
+		}
+		if p.filter != nil {
+			if task, ok := p.tr.TaskByID(ev.Task); !ok || !p.filter.Match(p.tr, task) {
+				continue
+			}
+		}
+		s, e := ev.Start, ev.End
+		if s < t0 {
+			s = t0
+		}
+		if e > t1 {
+			e = t1
+		}
+		if cover := e - s; cover > bestCover {
+			bestCover = cover
+			best = ev
+		}
+	}
+	return best, bestCover > 0
+}
+
+func (p *pixelizer) taskNode(id trace.TaskID, kinds stats.CommKinds) (int32, bool) {
+	key := nodeKey{id, kinds}
+	if n, ok := p.nodeCache[key]; ok {
+		return n, n >= 0
+	}
+	task, ok := p.tr.TaskByID(id)
+	if !ok {
+		p.nodeCache[key] = -1
+		return -1, false
+	}
+	n := stats.DominantNode(p.tr, task, kinds)
+	p.nodeCache[key] = n
+	return n, n >= 0
+}
+
+// numaHeat returns the remote-access shade for the accesses in
+// [t0, t1) on cpu.
+func (p *pixelizer) numaHeat(cpu int32, t0, t1 trace.Time) (color.RGBA, bool) {
+	myNode := p.tr.NodeOfCPU(cpu)
+	var local, remote int64
+	for _, ev := range p.tr.CommIn(cpu, t0, t1) {
+		if ev.Kind != trace.CommRead && ev.Kind != trace.CommWrite {
+			continue
+		}
+		home := p.tr.NodeOfAddr(ev.Addr)
+		if home < 0 {
+			continue
+		}
+		if home == myNode {
+			local += int64(ev.Size)
+		} else {
+			remote += int64(ev.Size)
+		}
+	}
+	total := local + remote
+	if total == 0 {
+		// No accesses recorded in this pixel: show the executing
+		// task's interval as fully local only if a task runs here.
+		if _, ok := p.dominantExec(cpu, t0, t1); !ok {
+			return color.RGBA{}, false
+		}
+		return NUMAHeatShade(0), true
+	}
+	return NUMAHeatShade(float64(remote) / float64(total)), true
+}
+
+func taskType(tr *core.Trace, id trace.TaskID) trace.TypeID {
+	if t, ok := tr.TaskByID(id); ok {
+		return t.Type
+	}
+	return 0
+}
+
+// visibleDurationRange returns the min and max duration of filtered
+// tasks overlapping [start, end).
+func visibleDurationRange(tr *core.Trace, f *filter.TaskFilter, start, end trace.Time) (trace.Time, trace.Time) {
+	var min, max trace.Time
+	first := true
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if t.ExecCPU < 0 || t.ExecEnd <= start || t.ExecStart >= end {
+			continue
+		}
+		if !f.Match(tr, t) {
+			continue
+		}
+		d := t.Duration()
+		if first || d < min {
+			min = d
+		}
+		if first || d > max {
+			max = d
+		}
+		first = false
+	}
+	return min, max
+}
+
+// NaiveTimelineState renders the state mode without the per-pixel
+// dominance and aggregation optimizations: every state event becomes
+// its own rectangle, sequentially overdrawn — the baseline of the
+// Section VI-B ablation.
+func NaiveTimelineState(tr *core.Trace, cfg TimelineConfig) (*Framebuffer, Stats, error) {
+	var st Stats
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, st, fmt.Errorf("render: invalid dimensions %dx%d", cfg.Width, cfg.Height)
+	}
+	start, end := cfg.Start, cfg.End
+	if start == 0 && end == 0 {
+		start, end = tr.Span.Start, tr.Span.End
+	}
+	if end <= start {
+		return nil, st, fmt.Errorf("render: empty interval")
+	}
+	cpus := cfg.CPUs
+	if cpus == nil {
+		cpus = make([]int32, tr.NumCPUs())
+		for i := range cpus {
+			cpus[i] = int32(i)
+		}
+	}
+	fb := NewFramebuffer(cfg.Width, cfg.Height)
+	rowH := fb.H() / len(cpus)
+	if rowH < 1 {
+		rowH = 1
+	}
+	drawH := rowH
+	if rowH >= 3 {
+		drawH = rowH - 1
+	}
+	span := end - start
+	for row, cpu := range cpus {
+		y := row * rowH
+		for _, ev := range tr.StatesIn(cpu, start, end) {
+			x0 := int((ev.Start - start) * int64(cfg.Width) / span)
+			x1 := int((ev.End - start) * int64(cfg.Width) / span)
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			fb.FillRect(x0, y, x1-x0, drawH, StateColor(ev.State))
+			st.Rects++
+		}
+	}
+	return fb, st, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+// Package stats implements Aftermath's statistical views (paper
+// Section II-A, interface group 2): task duration histograms, average
+// parallelism, per-state time aggregation, and the NUMA communication
+// incidence matrix of Figure 15.
+package stats
+
+import (
+	"math"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Histogram is a fixed-range histogram over float64 values.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+	// Under and Over count values outside [Min, Max].
+	Under, Over int
+}
+
+// NewHistogram bins values into `bins` equal-width bins over
+// [min, max]. If min == max, the range is derived from the data.
+func NewHistogram(values []float64, bins int, min, max float64) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if min == max {
+		for i, v := range values {
+			if i == 0 || v < min {
+				min = v
+			}
+			if i == 0 || v > max {
+				max = v
+			}
+		}
+		if min == max {
+			max = min + 1
+		}
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	width := (max - min) / float64(bins)
+	for _, v := range values {
+		switch {
+		case v < min:
+			h.Under++
+		case v > max:
+			h.Over++
+		default:
+			f := (v - min) / width
+			i := int(f)
+			if math.IsNaN(f) || i < 0 {
+				i = 0
+			}
+			if i >= bins {
+				i = bins - 1
+			}
+			h.Counts[i]++
+		}
+		h.Total++
+	}
+	return h
+}
+
+// Fraction returns the fraction of all values in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + w*(float64(i)+0.5)
+}
+
+// Peaks returns the indexes of local maxima with count above minCount.
+func (h *Histogram) Peaks(minCount int) []int {
+	var peaks []int
+	for i, c := range h.Counts {
+		if c < minCount {
+			continue
+		}
+		left := 0
+		if i > 0 {
+			left = h.Counts[i-1]
+		}
+		right := 0
+		if i+1 < len(h.Counts) {
+			right = h.Counts[i+1]
+		}
+		if c >= left && c > right || c > left && c >= right {
+			peaks = append(peaks, i)
+		}
+	}
+	return peaks
+}
+
+// DurationHistogram bins the execution durations of matching tasks —
+// the task duration histogram view (Figure 16).
+func DurationHistogram(tr *core.Trace, f *filter.TaskFilter, bins int) *Histogram {
+	return NewHistogram(filter.Durations(tr, f), bins, 0, 0)
+}
+
+// AverageParallelism returns the mean number of simultaneously
+// executing tasks over [t0, t1) — the "average parallelism" text field
+// of the statistics group.
+func AverageParallelism(tr *core.Trace, t0, t1 trace.Time) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	var busy trace.Time
+	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+		for _, ev := range tr.StatesIn(cpu, t0, t1) {
+			if ev.State != trace.StateTaskExec {
+				continue
+			}
+			s, e := ev.Start, ev.End
+			if s < t0 {
+				s = t0
+			}
+			if e > t1 {
+				e = t1
+			}
+			if e > s {
+				busy += e - s
+			}
+		}
+	}
+	return float64(busy) / float64(t1-t0)
+}
+
+// StateTimes aggregates the time spent in each worker state across all
+// CPUs over [t0, t1).
+func StateTimes(tr *core.Trace, t0, t1 trace.Time) []trace.Time {
+	out := make([]trace.Time, trace.NumWorkerStates)
+	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+		for _, ev := range tr.StatesIn(cpu, t0, t1) {
+			s, e := ev.Start, ev.End
+			if s < t0 {
+				s = t0
+			}
+			if e > t1 {
+				e = t1
+			}
+			if e > s && int(ev.State) < len(out) {
+				out[ev.State] += e - s
+			}
+		}
+	}
+	return out
+}
+
+// CommMatrix is the NUMA communication incidence matrix (Figure 15):
+// Bytes[accessor*N+home] accumulates the bytes moved between the
+// accessing worker's node and the node holding the data.
+type CommMatrix struct {
+	N     int
+	Bytes []int64
+}
+
+// At returns the bytes between accessor node a and home node h.
+func (m *CommMatrix) At(a, h int) int64 { return m.Bytes[a*m.N+h] }
+
+// Total returns all accounted bytes.
+func (m *CommMatrix) Total() int64 {
+	var s int64
+	for _, b := range m.Bytes {
+		s += b
+	}
+	return s
+}
+
+// LocalFraction returns the fraction of bytes on the diagonal — the
+// instantly readable signature of good locality in Figure 15b.
+func (m *CommMatrix) LocalFraction() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	var d int64
+	for i := 0; i < m.N; i++ {
+		d += m.At(i, i)
+	}
+	return float64(d) / float64(t)
+}
+
+// MaxCell returns the largest cell value.
+func (m *CommMatrix) MaxCell() int64 {
+	var mx int64
+	for _, b := range m.Bytes {
+		if b > mx {
+			mx = b
+		}
+	}
+	return mx
+}
+
+// CommKinds selects which access kinds enter a locality statistic.
+type CommKinds int
+
+const (
+	// Reads selects read accesses.
+	Reads CommKinds = 1 << iota
+	// Writes selects write accesses.
+	Writes
+	// ReadsAndWrites selects both.
+	ReadsAndWrites = Reads | Writes
+)
+
+func (k CommKinds) matches(ck trace.CommKind) bool {
+	switch ck {
+	case trace.CommRead:
+		return k&Reads != 0
+	case trace.CommWrite:
+		return k&Writes != 0
+	}
+	return false
+}
+
+// CommMatrixOf accumulates the communication matrix over [t0, t1).
+// The home node of each access is derived by looking up the address in
+// the region table (Section VI-A); accesses to unknown regions are
+// skipped.
+func CommMatrixOf(tr *core.Trace, kinds CommKinds, t0, t1 trace.Time) *CommMatrix {
+	n := tr.NumNodes()
+	m := &CommMatrix{N: n, Bytes: make([]int64, n*n)}
+	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+		accessor := tr.NodeOfCPU(cpu)
+		for _, ev := range tr.CommIn(cpu, t0, t1) {
+			if !kinds.matches(ev.Kind) {
+				continue
+			}
+			home := tr.NodeOfAddr(ev.Addr)
+			if home < 0 || int(home) >= n || int(accessor) >= n {
+				continue
+			}
+			m.Bytes[int(accessor)*n+int(home)] += int64(ev.Size)
+		}
+	}
+	return m
+}
+
+// LocalityFraction returns the fraction of accessed bytes homed on the
+// accessing worker's own node over [t0, t1).
+func LocalityFraction(tr *core.Trace, kinds CommKinds, t0, t1 trace.Time) float64 {
+	return CommMatrixOf(tr, kinds, t0, t1).LocalFraction()
+}
+
+// TaskNodeBytes returns the bytes a task reads (or writes) per home
+// NUMA node — the quantity behind the NUMA timeline modes, where every
+// task is colored by the node holding the largest fraction of the data
+// it reads (Section IV).
+func TaskNodeBytes(tr *core.Trace, t *core.TaskInfo, kinds CommKinds) map[int32]int64 {
+	out := make(map[int32]int64)
+	for _, ev := range tr.TaskComm(t) {
+		if !kinds.matches(ev.Kind) {
+			continue
+		}
+		if home := tr.NodeOfAddr(ev.Addr); home >= 0 {
+			out[home] += int64(ev.Size)
+		}
+	}
+	return out
+}
+
+// DominantNode returns the node holding most of the task's accessed
+// bytes, or -1 when nothing is known.
+func DominantNode(tr *core.Trace, t *core.TaskInfo, kinds CommKinds) int32 {
+	best, bestBytes := int32(-1), int64(0)
+	for node, b := range TaskNodeBytes(tr, t, kinds) {
+		if b > bestBytes || (b == bestBytes && node < best) || best < 0 {
+			best, bestBytes = node, b
+		}
+	}
+	return best
+}

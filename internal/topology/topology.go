@@ -1,0 +1,237 @@
+// Package topology models the hardware topology of NUMA machines:
+// processing units (CPUs), NUMA nodes, and the interconnect distance
+// between nodes.
+//
+// Aftermath relates trace information to the machine topology
+// (communication matrices, NUMA locality maps), and the runtime
+// simulator uses the topology to model placement, stealing distance
+// and memory access cost. Both consume the same Machine description.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Machine describes a shared-memory NUMA machine as a set of CPUs
+// distributed over NUMA nodes connected by an interconnect.
+//
+// A Machine is immutable after construction; all methods are safe for
+// concurrent use.
+type Machine struct {
+	name     string
+	numCPUs  int
+	numNodes int
+	// nodeOf[cpu] is the NUMA node the CPU belongs to.
+	nodeOf []int
+	// cpusOf[node] lists the CPUs of a node in ascending order.
+	cpusOf [][]int
+	// dist[a*numNodes+b] is the hop distance between nodes a and b.
+	// dist[a][a] == 0; direct neighbours have distance 1.
+	dist []int
+}
+
+// Config parameterizes New. CPUs are assigned to nodes in contiguous
+// blocks: node i owns CPUs [i*CPUsPerNode, (i+1)*CPUsPerNode).
+type Config struct {
+	// Name identifies the machine model (e.g. "SGI UV2000").
+	Name string
+	// Nodes is the number of NUMA nodes. Must be >= 1.
+	Nodes int
+	// CPUsPerNode is the number of CPUs on each node. Must be >= 1.
+	CPUsPerNode int
+	// Distance returns the hop distance between two distinct nodes.
+	// It must be symmetric and positive for a != b. If nil, a
+	// two-level model is used: 1 hop within a 4-node group, 2 hops
+	// across groups.
+	Distance func(a, b int) int
+}
+
+// New constructs a Machine from a Config.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("topology: invalid node count %d", cfg.Nodes)
+	}
+	if cfg.CPUsPerNode < 1 {
+		return nil, fmt.Errorf("topology: invalid CPUs per node %d", cfg.CPUsPerNode)
+	}
+	dist := cfg.Distance
+	if dist == nil {
+		dist = groupDistance(4)
+	}
+	m := &Machine{
+		name:     cfg.Name,
+		numNodes: cfg.Nodes,
+		numCPUs:  cfg.Nodes * cfg.CPUsPerNode,
+	}
+	m.nodeOf = make([]int, m.numCPUs)
+	m.cpusOf = make([][]int, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		cpus := make([]int, cfg.CPUsPerNode)
+		for i := range cpus {
+			cpu := n*cfg.CPUsPerNode + i
+			cpus[i] = cpu
+			m.nodeOf[cpu] = n
+		}
+		m.cpusOf[n] = cpus
+	}
+	m.dist = make([]int, cfg.Nodes*cfg.Nodes)
+	for a := 0; a < cfg.Nodes; a++ {
+		for b := 0; b < cfg.Nodes; b++ {
+			switch {
+			case a == b:
+				m.dist[a*cfg.Nodes+b] = 0
+			default:
+				d := dist(a, b)
+				if d < 1 {
+					return nil, fmt.Errorf("topology: distance(%d,%d)=%d must be >= 1", a, b, d)
+				}
+				m.dist[a*cfg.Nodes+b] = d
+			}
+		}
+	}
+	// Validate symmetry.
+	for a := 0; a < cfg.Nodes; a++ {
+		for b := a + 1; b < cfg.Nodes; b++ {
+			if m.dist[a*cfg.Nodes+b] != m.dist[b*cfg.Nodes+a] {
+				return nil, fmt.Errorf("topology: asymmetric distance between nodes %d and %d", a, b)
+			}
+		}
+	}
+	return m, nil
+}
+
+// groupDistance returns a distance function where nodes within the
+// same group of groupSize are 1 hop apart and others 2 hops.
+func groupDistance(groupSize int) func(a, b int) int {
+	return func(a, b int) int {
+		if a/groupSize == b/groupSize {
+			return 1
+		}
+		return 2
+	}
+}
+
+// Name returns the machine model name.
+func (m *Machine) Name() string { return m.name }
+
+// NumCPUs returns the total number of CPUs.
+func (m *Machine) NumCPUs() int { return m.numCPUs }
+
+// NumNodes returns the number of NUMA nodes.
+func (m *Machine) NumNodes() int { return m.numNodes }
+
+// NodeOfCPU returns the NUMA node that owns the given CPU.
+func (m *Machine) NodeOfCPU(cpu int) int {
+	return m.nodeOf[cpu]
+}
+
+// CPUsOfNode returns the CPUs of the given node in ascending order.
+// The returned slice must not be modified.
+func (m *Machine) CPUsOfNode(node int) []int {
+	return m.cpusOf[node]
+}
+
+// Distance returns the hop distance between two NUMA nodes.
+func (m *Machine) Distance(a, b int) int {
+	return m.dist[a*m.numNodes+b]
+}
+
+// CPUDistance returns the hop distance between the nodes of two CPUs.
+func (m *Machine) CPUDistance(a, b int) int {
+	return m.Distance(m.nodeOf[a], m.nodeOf[b])
+}
+
+// MaxDistance returns the largest hop distance between any two nodes.
+func (m *Machine) MaxDistance() int {
+	max := 0
+	for _, d := range m.dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NodesByDistance returns all nodes ordered by increasing distance
+// from the given node (the node itself first). Ties are broken by
+// node index to keep the order deterministic.
+func (m *Machine) NodesByDistance(node int) []int {
+	nodes := make([]int, m.numNodes)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		di, dj := m.Distance(node, nodes[i]), m.Distance(node, nodes[j])
+		if di != dj {
+			return di < dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes
+}
+
+// UV2000 returns a model of the SGI UV2000 test system from the
+// paper: Xeon E5-4640 processors, 192 cores over 24 NUMA nodes
+// connected through a NUMAlink 6 interconnect (Section III).
+func UV2000() *Machine {
+	m, err := New(Config{
+		Name:        "SGI UV2000",
+		Nodes:       24,
+		CPUsPerNode: 8,
+		// NUMAlink 6 connects blades of two nodes; model one hop
+		// inside a blade, two hops within a chassis of 8 nodes,
+		// three hops across chassis.
+		Distance: func(a, b int) int {
+			switch {
+			case a/2 == b/2:
+				return 1
+			case a/8 == b/8:
+				return 2
+			default:
+				return 3
+			}
+		},
+	})
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return m
+}
+
+// Opteron6282SE returns a model of the quad-socket AMD Opteron
+// 6282 SE test system from the paper: 64 cores over 8 NUMA nodes
+// connected with HyperTransport 3.0 links (Section III).
+func Opteron6282SE() *Machine {
+	m, err := New(Config{
+		Name:        "AMD Opteron 6282 SE",
+		Nodes:       8,
+		CPUsPerNode: 8,
+		// Two dies per socket: 1 hop within a socket, 2 across.
+		Distance: func(a, b int) int {
+			if a/2 == b/2 {
+				return 1
+			}
+			return 2
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Small returns a small uniform machine for tests and examples:
+// nodes NUMA nodes with cpusPerNode CPUs each and uniform distance 1.
+func Small(nodes, cpusPerNode int) *Machine {
+	m, err := New(Config{
+		Name:        fmt.Sprintf("small-%dx%d", nodes, cpusPerNode),
+		Nodes:       nodes,
+		CPUsPerNode: cpusPerNode,
+		Distance:    func(a, b int) int { return 1 },
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0, CPUsPerNode: 1}); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+	if _, err := New(Config{Nodes: 1, CPUsPerNode: 0}); err == nil {
+		t.Error("expected error for zero CPUs per node")
+	}
+	if _, err := New(Config{Nodes: 2, CPUsPerNode: 1, Distance: func(a, b int) int { return 0 }}); err == nil {
+		t.Error("expected error for zero distance")
+	}
+	if _, err := New(Config{Nodes: 2, CPUsPerNode: 1, Distance: func(a, b int) int { return a + b + 1 }}); err != nil {
+		// symmetric for 2 nodes: dist(0,1)=2, dist(1,0)=2
+		t.Errorf("unexpected error: %v", err)
+	}
+	asym := func(a, b int) int {
+		if a < b {
+			return 1
+		}
+		return 2
+	}
+	if _, err := New(Config{Nodes: 2, CPUsPerNode: 1, Distance: asym}); err == nil {
+		t.Error("expected error for asymmetric distance")
+	}
+}
+
+func TestCPUNodeAssignment(t *testing.T) {
+	m, err := New(Config{Name: "t", Nodes: 3, CPUsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumCPUs(); got != 12 {
+		t.Fatalf("NumCPUs = %d, want 12", got)
+	}
+	if got := m.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	for cpu := 0; cpu < 12; cpu++ {
+		want := cpu / 4
+		if got := m.NodeOfCPU(cpu); got != want {
+			t.Errorf("NodeOfCPU(%d) = %d, want %d", cpu, got, want)
+		}
+	}
+	for node := 0; node < 3; node++ {
+		cpus := m.CPUsOfNode(node)
+		if len(cpus) != 4 {
+			t.Fatalf("node %d has %d CPUs, want 4", node, len(cpus))
+		}
+		for _, cpu := range cpus {
+			if m.NodeOfCPU(cpu) != node {
+				t.Errorf("CPU %d listed on node %d but NodeOfCPU says %d", cpu, node, m.NodeOfCPU(cpu))
+			}
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	uv := UV2000()
+	if uv.NumCPUs() != 192 || uv.NumNodes() != 24 {
+		t.Errorf("UV2000: got %d CPUs / %d nodes, want 192/24", uv.NumCPUs(), uv.NumNodes())
+	}
+	op := Opteron6282SE()
+	if op.NumCPUs() != 64 || op.NumNodes() != 8 {
+		t.Errorf("Opteron6282SE: got %d CPUs / %d nodes, want 64/8", op.NumCPUs(), op.NumNodes())
+	}
+	for _, m := range []*Machine{uv, op, Small(2, 2)} {
+		for a := 0; a < m.NumNodes(); a++ {
+			if m.Distance(a, a) != 0 {
+				t.Errorf("%s: Distance(%d,%d) = %d, want 0", m.Name(), a, a, m.Distance(a, a))
+			}
+			for b := 0; b < m.NumNodes(); b++ {
+				if a != b && m.Distance(a, b) < 1 {
+					t.Errorf("%s: Distance(%d,%d) = %d, want >= 1", m.Name(), a, b, m.Distance(a, b))
+				}
+				if m.Distance(a, b) != m.Distance(b, a) {
+					t.Errorf("%s: asymmetric distance %d<->%d", m.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNodesByDistance(t *testing.T) {
+	m := UV2000()
+	for n := 0; n < m.NumNodes(); n++ {
+		order := m.NodesByDistance(n)
+		if len(order) != m.NumNodes() {
+			t.Fatalf("NodesByDistance(%d) returned %d nodes", n, len(order))
+		}
+		if order[0] != n {
+			t.Errorf("NodesByDistance(%d)[0] = %d, want self", n, order[0])
+		}
+		for i := 1; i < len(order); i++ {
+			if m.Distance(n, order[i-1]) > m.Distance(n, order[i]) {
+				t.Errorf("NodesByDistance(%d) not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestMaxDistance(t *testing.T) {
+	if got := UV2000().MaxDistance(); got != 3 {
+		t.Errorf("UV2000 MaxDistance = %d, want 3", got)
+	}
+	if got := Small(4, 1).MaxDistance(); got != 1 {
+		t.Errorf("Small MaxDistance = %d, want 1", got)
+	}
+}
+
+// Property: for any valid machine shape, every CPU belongs to exactly
+// one node and CPUsOfNode partitions the CPU set.
+func TestCPUPartitionProperty(t *testing.T) {
+	f := func(nodes, cpusPer uint8) bool {
+		n := int(nodes%16) + 1
+		c := int(cpusPer%8) + 1
+		m, err := New(Config{Nodes: n, CPUsPerNode: c})
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for node := 0; node < n; node++ {
+			for _, cpu := range m.CPUsOfNode(node) {
+				if seen[cpu] {
+					return false
+				}
+				seen[cpu] = true
+				if m.NodeOfCPU(cpu) != node {
+					return false
+				}
+			}
+		}
+		return len(seen) == m.NumCPUs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUDistance(t *testing.T) {
+	m := Opteron6282SE()
+	// CPUs on same node: distance 0.
+	if d := m.CPUDistance(0, 1); d != 0 {
+		t.Errorf("CPUDistance same node = %d, want 0", d)
+	}
+	// CPUs on paired dies (nodes 0 and 1): 1 hop.
+	if d := m.CPUDistance(0, 8); d != 1 {
+		t.Errorf("CPUDistance paired nodes = %d, want 1", d)
+	}
+	// CPUs across sockets: 2 hops.
+	if d := m.CPUDistance(0, 63); d != 2 {
+		t.Errorf("CPUDistance cross socket = %d, want 2", d)
+	}
+}

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Handler receives decoded records during Read. Nil callbacks skip the
+// corresponding record kind, supporting partial consumers and traces
+// with omitted record kinds (Section VI-A). Unknown receives records
+// whose kind tag the reader does not understand; if nil they are
+// silently skipped (forward compatibility).
+type Handler struct {
+	Topology    func(Topology) error
+	TaskType    func(TaskType) error
+	Task        func(Task) error
+	State       func(StateEvent) error
+	Discrete    func(DiscreteEvent) error
+	CounterDesc func(CounterDesc) error
+	Sample      func(CounterSample) error
+	Comm        func(CommEvent) error
+	Region      func(MemRegion) error
+	Unknown     func(kind uint64, payload []byte) error
+}
+
+// ErrBadMagic reports that the stream is not an Aftermath trace.
+var ErrBadMagic = errors.New("trace: bad magic (not an Aftermath trace)")
+
+// ErrTruncated reports a stream that ends inside a record.
+var ErrTruncated = errors.New("trace: truncated record")
+
+// dec decodes a record payload.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = ErrTruncated
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.err = ErrTruncated
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.err = ErrTruncated
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.err = ErrTruncated
+		return false
+	}
+	v := d.b[d.off] != 0
+	d.off++
+	return v
+}
+
+// Read decodes all records from r, invoking the handler's callbacks.
+// It stops at the first error returned by a callback or at end of
+// stream.
+func Read(r io.Reader, h Handler) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		if err == io.EOF {
+			return ErrBadMagic
+		}
+		return err
+	}
+	if m != magic {
+		return ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version > formatVersion {
+		return fmt.Errorf("trace: unsupported format version %d (max %d)", version, formatVersion)
+	}
+
+	var payload []byte
+	for {
+		kind, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: reading record kind: %w", err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return ErrTruncated
+		}
+		if uint64(cap(payload)) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return ErrTruncated
+		}
+		if err := dispatch(kind, payload, h); err != nil {
+			return err
+		}
+	}
+}
+
+func dispatch(kind uint64, payload []byte, h Handler) error {
+	d := &dec{b: payload}
+	switch kind {
+	case recTopology:
+		if h.Topology == nil {
+			return nil
+		}
+		var t Topology
+		t.Name = d.str()
+		t.NumNodes = int32(d.uvarint())
+		numCPUs := d.uvarint()
+		t.NodeOfCPU = make([]int32, numCPUs)
+		for i := range t.NodeOfCPU {
+			t.NodeOfCPU[i] = int32(d.uvarint())
+		}
+		t.Distance = make([]int32, int(t.NumNodes)*int(t.NumNodes))
+		for i := range t.Distance {
+			t.Distance[i] = int32(d.uvarint())
+		}
+		if d.err != nil {
+			return d.err
+		}
+		return h.Topology(t)
+	case recTaskType:
+		if h.TaskType == nil {
+			return nil
+		}
+		var tt TaskType
+		tt.ID = TypeID(d.uvarint())
+		tt.Addr = d.uvarint()
+		tt.Name = d.str()
+		if d.err != nil {
+			return d.err
+		}
+		return h.TaskType(tt)
+	case recTask:
+		if h.Task == nil {
+			return nil
+		}
+		var t Task
+		t.ID = TaskID(d.uvarint())
+		t.Type = TypeID(d.uvarint())
+		t.Created = d.varint()
+		t.CreatorCPU = int32(d.varint())
+		if d.err != nil {
+			return d.err
+		}
+		return h.Task(t)
+	case recState:
+		if h.State == nil {
+			return nil
+		}
+		var s StateEvent
+		s.CPU = int32(d.varint())
+		s.State = WorkerState(d.uvarint())
+		s.Start = d.varint()
+		s.End = s.Start + int64(d.uvarint())
+		s.Task = TaskID(d.uvarint())
+		if d.err != nil {
+			return d.err
+		}
+		return h.State(s)
+	case recDiscrete:
+		if h.Discrete == nil {
+			return nil
+		}
+		var ev DiscreteEvent
+		ev.CPU = int32(d.varint())
+		ev.Kind = EventKind(d.uvarint())
+		ev.Time = d.varint()
+		ev.Arg = d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		return h.Discrete(ev)
+	case recCounterDesc:
+		if h.CounterDesc == nil {
+			return nil
+		}
+		var c CounterDesc
+		c.ID = CounterID(d.uvarint())
+		c.Monotonic = d.bool()
+		c.Name = d.str()
+		if d.err != nil {
+			return d.err
+		}
+		return h.CounterDesc(c)
+	case recCounterSample:
+		if h.Sample == nil {
+			return nil
+		}
+		var s CounterSample
+		s.CPU = int32(d.varint())
+		s.Counter = CounterID(d.uvarint())
+		s.Time = d.varint()
+		s.Value = d.varint()
+		if d.err != nil {
+			return d.err
+		}
+		return h.Sample(s)
+	case recComm:
+		if h.Comm == nil {
+			return nil
+		}
+		var c CommEvent
+		c.Kind = CommKind(d.uvarint())
+		c.CPU = int32(d.varint())
+		c.SrcCPU = int32(d.varint())
+		c.Time = d.varint()
+		c.Task = TaskID(d.uvarint())
+		c.Addr = d.uvarint()
+		c.Size = d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		return h.Comm(c)
+	case recMemRegion:
+		if h.Region == nil {
+			return nil
+		}
+		var r MemRegion
+		r.ID = RegionID(d.uvarint())
+		r.Addr = d.uvarint()
+		r.Size = d.uvarint()
+		r.Node = int32(d.varint())
+		if d.err != nil {
+			return d.err
+		}
+		return h.Region(r)
+	default:
+		if h.Unknown != nil {
+			return h.Unknown(kind, payload)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,12 @@
+package trace
+
+import "os"
+
+// statSize returns the on-disk size of a file (test helper).
+func statSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,410 @@
+// Package ui serves Aftermath's interactive viewer over HTTP. It
+// replaces the paper's GTK+ main window (Section II-A) with a browser
+// front end offering the same interface groups: the timeline with its
+// five modes (1), statistics for the selected interval (2), task
+// filters (3), detailed information for a selected task (4) and
+// derived metric overlays (5). Zooming, scrolling and filtering
+// re-render server-side through the optimized rendering engine.
+package ui
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/render"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/taskgraph"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Server serves one loaded trace.
+type Server struct {
+	Trace *core.Trace
+	// Name is shown in the page title.
+	Name string
+
+	counters *render.CounterIndex
+	mux      *http.ServeMux
+}
+
+// NewServer creates a viewer for a loaded trace.
+func NewServer(tr *core.Trace, name string) *Server {
+	s := &Server{
+		Trace:    tr,
+		Name:     name,
+		counters: render.NewCounterIndex(0),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/render", s.handleRender)
+	mux.HandleFunc("/matrix", s.handleMatrix)
+	mux.HandleFunc("/plot", s.handlePlot)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/task", s.handleTask)
+	mux.HandleFunc("/graph.dot", s.handleGraphDOT)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// window parses the t0/t1 query parameters, defaulting to the full
+// span.
+func (s *Server) window(r *http.Request) (int64, int64) {
+	t0, t1 := s.Trace.Span.Start, s.Trace.Span.End
+	if v := r.FormValue("t0"); v != "" {
+		if p, err := strconv.ParseInt(v, 10, 64); err == nil {
+			t0 = p
+		}
+	}
+	if v := r.FormValue("t1"); v != "" {
+		if p, err := strconv.ParseInt(v, 10, 64); err == nil {
+			t1 = p
+		}
+	}
+	if t1 <= t0 {
+		t0, t1 = s.Trace.Span.Start, s.Trace.Span.End
+	}
+	return t0, t1
+}
+
+// taskFilter parses filter query parameters: types (comma-separated
+// names), mindur/maxdur (cycles).
+func (s *Server) taskFilter(r *http.Request) *filter.TaskFilter {
+	var f *filter.TaskFilter
+	if v := r.FormValue("types"); v != "" {
+		f = filter.ByTypeNames(s.Trace, strings.Split(v, ",")...)
+	}
+	min, _ := strconv.ParseInt(r.FormValue("mindur"), 10, 64)
+	max, _ := strconv.ParseInt(r.FormValue("maxdur"), 10, 64)
+	if min > 0 || max > 0 {
+		f = f.WithDuration(min, max)
+	}
+	return f
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	t0, t1 := s.window(r)
+	mode, err := render.ParseMode(defaultStr(r.FormValue("mode"), "state"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	width := clampInt(formInt(r, "w", 1000), 100, 4000)
+	height := clampInt(formInt(r, "h", 400), 50, 2000)
+	cfg := render.TimelineConfig{
+		Width: width, Height: height,
+		Start: t0, End: t1,
+		Mode:    mode,
+		Filter:  s.taskFilter(r),
+		Labels:  r.FormValue("labels") != "0",
+		HeatMin: int64(formInt(r, "heatmin", 0)),
+		HeatMax: int64(formInt(r, "heatmax", 0)),
+		Shades:  formInt(r, "shades", 10),
+	}
+	fb, _, err := render.Timeline(s.Trace, cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if cname := r.FormValue("counter"); cname != "" {
+		if c, ok := s.Trace.CounterByName(cname); ok {
+			render.OverlayCounter(fb, s.Trace, cfg, render.OverlayConfig{
+				Counter: c,
+				Rate:    r.FormValue("rate") != "0",
+				Color:   render.CategoryColor(7),
+			}, s.counters)
+		}
+	}
+	w.Header().Set("Content-Type", "image/png")
+	if err := fb.EncodePNG(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	t0, t1 := s.window(r)
+	m := stats.CommMatrixOf(s.Trace, stats.ReadsAndWrites, t0, t1)
+	fb := render.RenderMatrix(m, clampInt(formInt(r, "cell", 14), 4, 64))
+	w.Header().Set("Content-Type", "image/png")
+	if err := fb.EncodePNG(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
+	intervals := clampInt(formInt(r, "n", 200), 10, 2000)
+	var series metrics.Series
+	switch kind := defaultStr(r.FormValue("kind"), "idle"); kind {
+	case "idle":
+		series = metrics.WorkersInState(s.Trace, trace.StateIdle, intervals)
+	case "avgdur":
+		series = metrics.AverageTaskDuration(s.Trace, intervals, s.taskFilter(r))
+	default:
+		if c, ok := s.Trace.CounterByName(kind); ok {
+			agg := metrics.AggregateCounter(s.Trace, c, intervals)
+			series = metrics.Derivative(agg)
+		} else {
+			http.Error(w, "unknown plot kind "+kind, http.StatusBadRequest)
+			return
+		}
+	}
+	fb, err := render.PlotSeries(render.PlotConfig{
+		Width: clampInt(formInt(r, "w", 800), 100, 4000), Height: clampInt(formInt(r, "h", 220), 50, 2000),
+		Title: strings.ToUpper(series.Name),
+	}, series)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	if err := fb.EncodePNG(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// statsResponse is the JSON body of /stats.
+type statsResponse struct {
+	Start          int64            `json:"start"`
+	End            int64            `json:"end"`
+	Tasks          int              `json:"tasks"`
+	AvgParallelism float64          `json:"avg_parallelism"`
+	StateCycles    map[string]int64 `json:"state_cycles"`
+	LocalFraction  float64          `json:"local_fraction"`
+	DurationHist   []int            `json:"duration_hist"`
+	HistMin        float64          `json:"hist_min"`
+	HistMax        float64          `json:"hist_max"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t0, t1 := s.window(r)
+	f := s.taskFilter(r).WithWindow(t0, t1)
+	st := StatsFor(s.Trace, f, t0, t1)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// StatsFor computes the statistics-panel values for a window (exposed
+// for tests and the CLI).
+func StatsFor(tr *core.Trace, f *filter.TaskFilter, t0, t1 int64) interface{} {
+	resp := statsResponse{
+		Start: t0, End: t1,
+		Tasks:          len(filter.Tasks(tr, f)),
+		AvgParallelism: stats.AverageParallelism(tr, t0, t1),
+		StateCycles:    map[string]int64{},
+		LocalFraction:  stats.LocalityFraction(tr, stats.ReadsAndWrites, t0, t1),
+	}
+	times := stats.StateTimes(tr, t0, t1)
+	for st, v := range times {
+		if v > 0 {
+			resp.StateCycles[trace.WorkerState(st).String()] = v
+		}
+	}
+	h := stats.DurationHistogram(tr, f, 20)
+	resp.DurationHist = h.Counts
+	resp.HistMin, resp.HistMax = h.Min, h.Max
+	return resp
+}
+
+// taskResponse is the JSON body of /task — the detailed text view of
+// interface group 4: task and state type, duration, and the sources
+// and destinations of the data read and written by the task.
+type taskResponse struct {
+	ID       uint64           `json:"id"`
+	Type     string           `json:"type"`
+	TypeAddr string           `json:"type_addr"`
+	CPU      int32            `json:"cpu"`
+	Node     int32            `json:"node"`
+	Start    int64            `json:"exec_start"`
+	End      int64            `json:"exec_end"`
+	Duration int64            `json:"duration"`
+	Reads    []accessResponse `json:"reads"`
+	Writes   []accessResponse `json:"writes"`
+}
+
+type accessResponse struct {
+	Addr string `json:"addr"`
+	Size uint64 `json:"size"`
+	Node int32  `json:"node"`
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	// Select by id, or by cpu+time (clicking the timeline).
+	var task *core.TaskInfo
+	if v := r.FormValue("id"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		t, ok := s.Trace.TaskByID(trace.TaskID(id))
+		if !ok {
+			http.Error(w, "no such task", http.StatusNotFound)
+			return
+		}
+		task = t
+	} else {
+		cpu := int32(formInt(r, "cpu", 0))
+		at, _ := strconv.ParseInt(r.FormValue("at"), 10, 64)
+		for _, ev := range s.Trace.StatesIn(cpu, at, at+1) {
+			if ev.State == trace.StateTaskExec {
+				if t, ok := s.Trace.TaskByID(ev.Task); ok {
+					task = t
+				}
+			}
+		}
+		if task == nil {
+			http.Error(w, "no task at that position", http.StatusNotFound)
+			return
+		}
+	}
+	tt, _ := s.Trace.TypeByID(task.Type)
+	resp := taskResponse{
+		ID:       uint64(task.ID),
+		Type:     s.Trace.TypeName(task.Type),
+		TypeAddr: fmt.Sprintf("0x%x", tt.Addr),
+		CPU:      task.ExecCPU,
+		Node:     s.Trace.NodeOfCPU(task.ExecCPU),
+		Start:    task.ExecStart,
+		End:      task.ExecEnd,
+		Duration: task.Duration(),
+	}
+	for _, ev := range s.Trace.TaskComm(task) {
+		a := accessResponse{
+			Addr: fmt.Sprintf("0x%x", ev.Addr),
+			Size: ev.Size,
+			Node: s.Trace.NodeOfAddr(ev.Addr),
+		}
+		switch ev.Kind {
+		case trace.CommRead:
+			resp.Reads = append(resp.Reads, a)
+		case trace.CommWrite:
+			resp.Writes = append(resp.Writes, a)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
+	g := taskgraph.Reconstruct(s.Trace)
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	max := formInt(r, "max", 500)
+	if err := g.WriteDOT(w, taskgraph.DOTOptions{MaxTasks: max, Label: s.Name}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>Aftermath - {{.Name}}</title>
+<style>
+body { font-family: sans-serif; background: #1a1a1a; color: #ddd; margin: 1em; }
+a { color: #8cf; margin-right: 0.6em; }
+img { border: 1px solid #444; display: block; margin: 0.6em 0; }
+.controls { margin: 0.4em 0; }
+code { color: #fc9; }
+</style></head>
+<body>
+<h2>Aftermath &mdash; {{.Name}}</h2>
+<div>machine: {{.Machine}} &middot; {{.CPUs}} CPUs / {{.Nodes}} NUMA nodes &middot; {{.Tasks}} tasks &middot; span {{.Span}} cycles</div>
+<div class="controls">mode:
+{{range .Modes}}<a href="?mode={{.}}&t0={{$.T0}}&t1={{$.T1}}">{{.}}</a>{{end}}
+</div>
+<div class="controls">
+<a href="?mode={{.Mode}}&t0={{.ZoomInT0}}&t1={{.ZoomInT1}}">zoom in</a>
+<a href="?mode={{.Mode}}&t0={{.ZoomOutT0}}&t1={{.ZoomOutT1}}">zoom out</a>
+<a href="?mode={{.Mode}}&t0={{.LeftT0}}&t1={{.LeftT1}}">&larr; pan</a>
+<a href="?mode={{.Mode}}&t0={{.RightT0}}&t1={{.RightT1}}">pan &rarr;</a>
+<a href="?mode={{.Mode}}">reset</a>
+</div>
+<img src="/render?mode={{.Mode}}&t0={{.T0}}&t1={{.T1}}&w=1100&h=420" alt="timeline">
+<img src="/plot?kind=idle&w=1100&h=180" alt="idle workers">
+<div class="controls">
+<a href="/stats?t0={{.T0}}&t1={{.T1}}">interval statistics (JSON)</a>
+<a href="/matrix?t0={{.T0}}&t1={{.T1}}">communication matrix</a>
+<a href="/graph.dot">task graph (DOT)</a>
+</div>
+</body></html>`))
+
+type indexData struct {
+	Name, Machine        string
+	CPUs, Nodes, Tasks   int
+	Span                 int64
+	Mode                 string
+	Modes                []string
+	T0, T1               int64
+	ZoomInT0, ZoomInT1   int64
+	ZoomOutT0, ZoomOutT1 int64
+	LeftT0, LeftT1       int64
+	RightT0, RightT1     int64
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	t0, t1 := s.window(r)
+	span := t1 - t0
+	quarter := span / 4
+	d := indexData{
+		Name:    s.Name,
+		Machine: s.Trace.Topology.Name,
+		CPUs:    s.Trace.NumCPUs(),
+		Nodes:   s.Trace.NumNodes(),
+		Tasks:   len(s.Trace.Tasks),
+		Span:    s.Trace.Span.Duration(),
+		Mode:    defaultStr(r.FormValue("mode"), "state"),
+		T0:      t0, T1: t1,
+		ZoomInT0: t0 + quarter, ZoomInT1: t1 - quarter,
+		ZoomOutT0: t0 - span/2, ZoomOutT1: t1 + span/2,
+		LeftT0: t0 - quarter, LeftT1: t1 - quarter,
+		RightT0: t0 + quarter, RightT1: t1 + quarter,
+	}
+	for m := render.ModeState; m <= render.ModeNUMAHeat; m++ {
+		d.Modes = append(d.Modes, m.String())
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, d); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func formInt(r *http.Request, key string, def int) int {
+	v, err := strconv.Atoi(r.FormValue(key))
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func defaultStr(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,192 @@
+package ui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	srv := httptest.NewServer(NewServer(tr, "seidel-test"))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	b := make([]byte, 64*1024)
+	for {
+		n, err := resp.Body.Read(b)
+		buf.Write(b[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, []byte(buf.String())
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := get(t, srv, "/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	s := string(body)
+	for _, want := range []string{"seidel-test", "state", "heatmap", "numa-read", "/render?mode="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Unknown path 404s.
+	resp, _ = get(t, srv, "/nope")
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}
+
+func TestRenderEndpointAllModes(t *testing.T) {
+	srv := newTestServer(t)
+	for _, mode := range []string{"state", "heatmap", "typemap", "numa-read", "numa-write", "numa-heat"} {
+		resp, body := get(t, srv, "/render?mode="+mode+"&w=300&h=100")
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", mode, resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+			t.Errorf("%s: content type %q", mode, ct)
+		}
+		if !strings.HasPrefix(string(body), "\x89PNG") {
+			t.Errorf("%s: not a PNG", mode)
+		}
+	}
+	resp, _ := get(t, srv, "/render?mode=bogus")
+	if resp.StatusCode != 400 {
+		t.Errorf("bogus mode status = %d", resp.StatusCode)
+	}
+}
+
+func TestRenderWithFilterZoomAndOverlay(t *testing.T) {
+	srv := newTestServer(t)
+	resp, _ := get(t, srv, "/render?mode=heatmap&types=seidel_block&t0=0&t1=1000000&counter=cache_misses&rate=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := get(t, srv, "/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st map[string]interface{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if st["tasks"].(float64) <= 0 {
+		t.Error("no tasks in stats")
+	}
+	if st["avg_parallelism"].(float64) <= 0 {
+		t.Error("no parallelism in stats")
+	}
+	sc := st["state_cycles"].(map[string]interface{})
+	if sc["task_exec"].(float64) <= 0 {
+		t.Error("no exec cycles")
+	}
+}
+
+func TestTaskEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	// Find a valid task id via stats of the full window: use id 1.
+	resp, body := get(t, srv, "/task?id=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var task map[string]interface{}
+	if err := json.Unmarshal(body, &task); err != nil {
+		t.Fatal(err)
+	}
+	if task["type"].(string) == "" {
+		t.Error("task has no type")
+	}
+	if task["duration"].(float64) <= 0 {
+		t.Error("task has no duration")
+	}
+	// Select by position: cpu+at of this task.
+	at := int64(task["exec_start"].(float64))
+	cpu := int(task["cpu"].(float64))
+	resp, body = get(t, srv, "/task?cpu="+itoa(cpu)+"&at="+itoa64(at))
+	if resp.StatusCode != 200 {
+		t.Fatalf("by-position status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = get(t, srv, "/task?id=999999")
+	if resp.StatusCode != 404 {
+		t.Errorf("missing task status = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/task?id=abc")
+	if resp.StatusCode != 400 {
+		t.Errorf("bad id status = %d", resp.StatusCode)
+	}
+}
+
+func TestMatrixPlotAndDOT(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := get(t, srv, "/matrix")
+	if resp.StatusCode != 200 || !strings.HasPrefix(string(body), "\x89PNG") {
+		t.Errorf("matrix: status %d", resp.StatusCode)
+	}
+	for _, kind := range []string{"idle", "avgdur", "os_system_time_us"} {
+		resp, _ = get(t, srv, "/plot?kind="+kind)
+		if resp.StatusCode != 200 {
+			t.Errorf("plot %s: status %d", kind, resp.StatusCode)
+		}
+	}
+	resp, _ = get(t, srv, "/plot?kind=bogus")
+	if resp.StatusCode != 400 {
+		t.Errorf("bogus plot status = %d", resp.StatusCode)
+	}
+	resp, body = get(t, srv, "/graph.dot?max=50")
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "digraph") {
+		t.Errorf("graph.dot: status %d", resp.StatusCode)
+	}
+}
+
+func itoa(v int) string { return itoa64(int64(v)) }
+
+func itoa64(v int64) string {
+	return strings.TrimSpace(strings.Join([]string{}, "")) + fmtInt(v)
+}
+
+func fmtInt(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
