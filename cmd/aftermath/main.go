@@ -110,6 +110,9 @@ func run(path, httpAddr, dotOut string, dotMax, width, rows int, nmPath string) 
 	}
 
 	if httpAddr != "" {
+		// Warm the shared counter min/max trees before accepting
+		// traffic, so the first overlay request is already fast.
+		tr.BuildCounterIndex(0)
 		fmt.Printf("\nserving interactive viewer on http://%s\n", httpAddr)
 		return http.ListenAndServe(httpAddr, aftermath.NewViewer(tr, path))
 	}

@@ -1,0 +1,3 @@
+module github.com/openstream/aftermath
+
+go 1.24

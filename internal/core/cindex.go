@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/openstream/aftermath/internal/mmtree"
+	"github.com/openstream/aftermath/internal/par"
+)
+
+// RateScale is the fixed-point scale for rate trees: rates are stored
+// as events per kilocycle times RateScale.
+const RateScale = 1 << 16
+
+// CounterIndex holds one min/max tree per (counter, cpu, rate) triple
+// — the index structure of Section VI-B-c. It is safe for concurrent
+// use: each tree is built exactly once, on first request, and
+// concurrent requests for different trees build in parallel. Traces
+// own one shared index (see Trace.CounterIndex), so every renderer,
+// overlay and viewer request reuses the same trees.
+type CounterIndex struct {
+	arity   int
+	mu      sync.Mutex
+	entries map[counterCPU]*indexEntry
+}
+
+type counterCPU struct {
+	counter uint64
+	cpu     int32
+	rate    bool
+}
+
+type indexEntry struct {
+	once sync.Once
+	tree *mmtree.Tree
+}
+
+// NewCounterIndex returns an empty index with the given tree arity
+// (mmtree.DefaultArity when < 2).
+func NewCounterIndex(arity int) *CounterIndex {
+	return &CounterIndex{arity: arity, entries: make(map[counterCPU]*indexEntry)}
+}
+
+// entry returns the guarded slot for a key, creating it under the map
+// lock; the tree itself is built outside the lock so different trees
+// build concurrently.
+func (ci *CounterIndex) entry(key counterCPU) *indexEntry {
+	ci.mu.Lock()
+	e, ok := ci.entries[key]
+	if !ok {
+		e = &indexEntry{}
+		ci.entries[key] = e
+	}
+	ci.mu.Unlock()
+	return e
+}
+
+// Tree returns the min/max tree over the counter's raw values on cpu.
+func (ci *CounterIndex) Tree(c *Counter, cpu int32) *mmtree.Tree {
+	e := ci.entry(counterCPU{uint64(c.Desc.ID), cpu, false})
+	e.once.Do(func() {
+		samples := c.Samples(cpu)
+		times := make([]int64, len(samples))
+		values := make([]int64, len(samples))
+		for i, s := range samples {
+			times[i], values[i] = s.Time, s.Value
+		}
+		e.tree = mmtree.Build(times, values, ci.arity)
+	})
+	return e.tree
+}
+
+// RateTree returns the min/max tree over the counter's discrete
+// derivative on cpu, in fixed-point events per kilocycle: the constant
+// interpolation per task of Figure 18 (counters are sampled
+// immediately before and after each task execution, so the rate is
+// constant over each execution).
+func (ci *CounterIndex) RateTree(c *Counter, cpu int32) *mmtree.Tree {
+	e := ci.entry(counterCPU{uint64(c.Desc.ID), cpu, true})
+	e.once.Do(func() {
+		samples := c.Samples(cpu)
+		n := 0
+		if len(samples) > 1 {
+			n = len(samples) - 1
+		}
+		times := make([]int64, n)
+		values := make([]int64, n)
+		for i := 0; i < n; i++ {
+			dt := samples[i+1].Time - samples[i].Time
+			times[i] = samples[i].Time
+			if dt > 0 {
+				dv := samples[i+1].Value - samples[i].Value
+				values[i] = dv * 1000 * RateScale / dt
+			}
+		}
+		e.tree = mmtree.Build(times, values, ci.arity)
+	})
+	return e.tree
+}
+
+// CounterIndex returns the trace's shared min/max tree index, creating
+// it on first use. Safe for concurrent callers.
+func (tr *Trace) CounterIndex() *CounterIndex {
+	tr.cindexOnce.Do(func() {
+		tr.cindex = NewCounterIndex(0)
+	})
+	return tr.cindex
+}
+
+// BuildCounterIndex eagerly builds the value and rate trees for every
+// (counter, cpu) pair with samples, spreading the work over up to
+// workers goroutines (<= 0 selects a worker per GOMAXPROCS). Useful
+// to warm the index right after loading, before serving viewer
+// traffic; lazy first-use construction remains available without it.
+func (tr *Trace) BuildCounterIndex(workers int) *CounterIndex {
+	ci := tr.CounterIndex()
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	type job struct {
+		c   *Counter
+		cpu int32
+	}
+	var jobs []job
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			if len(c.PerCPU[cpu]) > 0 {
+				jobs = append(jobs, job{c, int32(cpu)})
+			}
+		}
+	}
+	par.Do(workers, len(jobs), func(i int) {
+		ci.Tree(jobs[i].c, jobs[i].cpu)
+		ci.RateTree(jobs[i].c, jobs[i].cpu)
+	})
+	return ci
+}

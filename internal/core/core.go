@@ -12,8 +12,8 @@ package core
 
 import (
 	"fmt"
-	"io"
 	"sort"
+	"sync"
 
 	"github.com/openstream/aftermath/internal/trace"
 )
@@ -88,9 +88,13 @@ type Trace struct {
 	// Span is the traced time interval.
 	Span Interval
 
-	typeByID    map[trace.TypeID]int
-	taskByID    map[trace.TaskID]int
-	counterByID map[trace.CounterID]int
+	typeByID      map[trace.TypeID]int
+	taskByID      map[trace.TaskID]int
+	counterByID   map[trace.CounterID]int
+	counterByName map[string]int
+
+	cindexOnce sync.Once
+	cindex     *CounterIndex
 }
 
 // NumCPUs returns the number of CPUs.
@@ -152,8 +156,17 @@ func (tr *Trace) CounterByID(id trace.CounterID) (*Counter, bool) {
 	return tr.Counters[i], true
 }
 
-// CounterByName returns the first counter with the given name.
+// CounterByName returns the first counter with the given name. For
+// loaded traces this is a map lookup on the name index built at load
+// time; hand-built traces without the index fall back to a scan.
 func (tr *Trace) CounterByName(name string) (*Counter, bool) {
+	if tr.counterByName != nil {
+		i, ok := tr.counterByName[name]
+		if !ok {
+			return nil, false
+		}
+		return tr.Counters[i], true
+	}
 	for _, c := range tr.Counters {
 		if c.Desc.Name == name {
 			return c, true
@@ -224,17 +237,37 @@ func (tr *Trace) CommIn(cpu int32, t0, t1 trace.Time) []trace.CommEvent {
 	return evs[lo:hi]
 }
 
+// noComm is the shared result for tasks without communication events,
+// so callers iterating many tasks do not allocate per call.
+var noComm = []trace.CommEvent{}
+
 // TaskComm returns the communication events belonging to a task's
-// execution (reads recorded at start, writes at completion).
+// execution (reads recorded at start, writes at completion). The
+// result aliases trace storage where possible and must not be
+// modified.
 func (tr *Trace) TaskComm(t *TaskInfo) []trace.CommEvent {
 	if t.ExecCPU < 0 {
 		return nil
 	}
 	window := tr.CommIn(t.ExecCPU, t.ExecStart, t.ExecEnd+1)
-	var out []trace.CommEvent
-	for _, ev := range window {
-		if ev.Task == t.ID {
-			out = append(out, ev)
+	n := 0
+	for i := range window {
+		if window[i].Task == t.ID {
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return noComm
+	case len(window):
+		// The whole window belongs to the task (the common case):
+		// return the trace's own slice without copying.
+		return window
+	}
+	out := make([]trace.CommEvent, 0, n)
+	for i := range window {
+		if window[i].Task == t.ID {
+			out = append(out, window[i])
 		}
 	}
 	return out
@@ -268,198 +301,15 @@ func (c *Counter) ValueAt(cpu int32, t trace.Time) (int64, bool) {
 	return s[i-1].Value, true
 }
 
-// Load reads and indexes a trace file.
-func Load(path string) (*Trace, error) {
-	rc, err := trace.Open(path)
-	if err != nil {
-		return nil, err
+// counterFor returns the counter registered for id, creating and
+// registering it on first reference (samples may precede the counter
+// description in the stream).
+func (tr *Trace) counterFor(id trace.CounterID) *Counter {
+	if i, ok := tr.counterByID[id]; ok {
+		return tr.Counters[i]
 	}
-	defer rc.Close()
-	return FromReader(rc)
-}
-
-// FromReader reads and indexes a trace from a stream.
-func FromReader(r io.Reader) (*Trace, error) {
-	tr := &Trace{
-		typeByID:    make(map[trace.TypeID]int),
-		taskByID:    make(map[trace.TaskID]int),
-		counterByID: make(map[trace.CounterID]int),
-	}
-	var hasTopo bool
-	maxCPU := int32(-1)
-	cpu := func(id int32) *CPUData {
-		for int(id) >= len(tr.CPUs) {
-			tr.CPUs = append(tr.CPUs, CPUData{})
-		}
-		if id > maxCPU {
-			maxCPU = id
-		}
-		return &tr.CPUs[id]
-	}
-	counter := func(id trace.CounterID) *Counter {
-		if i, ok := tr.counterByID[id]; ok {
-			return tr.Counters[i]
-		}
-		c := &Counter{Desc: trace.CounterDesc{ID: id, Monotonic: true}}
-		tr.counterByID[id] = len(tr.Counters)
-		tr.Counters = append(tr.Counters, c)
-		return c
-	}
-
-	err := trace.Read(r, trace.Handler{
-		Topology: func(t trace.Topology) error {
-			tr.Topology = t
-			hasTopo = true
-			return nil
-		},
-		TaskType: func(t trace.TaskType) error {
-			if _, ok := tr.typeByID[t.ID]; !ok {
-				tr.typeByID[t.ID] = len(tr.Types)
-				tr.Types = append(tr.Types, t)
-			}
-			return nil
-		},
-		Task: func(t trace.Task) error {
-			if i, ok := tr.taskByID[t.ID]; ok {
-				ti := &tr.Tasks[i]
-				ti.Type, ti.Created, ti.CreatorCPU = t.Type, t.Created, t.CreatorCPU
-				return nil
-			}
-			tr.taskByID[t.ID] = len(tr.Tasks)
-			tr.Tasks = append(tr.Tasks, TaskInfo{
-				ID: t.ID, Type: t.Type, Created: t.Created,
-				CreatorCPU: t.CreatorCPU, ExecCPU: -1,
-			})
-			return nil
-		},
-		State: func(s trace.StateEvent) error {
-			cpu(s.CPU).States = append(cpu(s.CPU).States, s)
-			return nil
-		},
-		Discrete: func(d trace.DiscreteEvent) error {
-			cpu(d.CPU).Discrete = append(cpu(d.CPU).Discrete, d)
-			return nil
-		},
-		CounterDesc: func(d trace.CounterDesc) error {
-			counter(d.ID).Desc = d
-			return nil
-		},
-		Sample: func(s trace.CounterSample) error {
-			c := counter(s.Counter)
-			for int(s.CPU) >= len(c.PerCPU) {
-				c.PerCPU = append(c.PerCPU, nil)
-			}
-			c.PerCPU[s.CPU] = append(c.PerCPU[s.CPU], s)
-			if s.CPU > maxCPU {
-				maxCPU = s.CPU
-			}
-			return nil
-		},
-		Comm: func(c trace.CommEvent) error {
-			cpu(c.CPU).Comm = append(cpu(c.CPU).Comm, c)
-			return nil
-		},
-		Region: func(rg trace.MemRegion) error {
-			tr.Regions = append(tr.Regions, rg)
-			return nil
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	tr.index(hasTopo, maxCPU)
-	return tr, nil
-}
-
-// index finalizes the loaded trace: synthesizes a topology if absent,
-// repairs ordering if a producer violated it, sorts the region table,
-// derives task execution placement and computes the time span.
-func (tr *Trace) index(hasTopo bool, maxCPU int32) {
-	if !hasTopo {
-		n := int(maxCPU) + 1
-		if n < 1 {
-			n = 1
-		}
-		tr.Topology = trace.Topology{
-			Name:      "unknown",
-			NumNodes:  1,
-			NodeOfCPU: make([]int32, n),
-			Distance:  []int32{0},
-		}
-	}
-	for int(maxCPU) >= len(tr.CPUs) {
-		tr.CPUs = append(tr.CPUs, CPUData{})
-	}
-	// The format guarantees per-CPU order; tolerate producers that
-	// violated it by re-sorting (cheap when already sorted).
-	for i := range tr.CPUs {
-		c := &tr.CPUs[i]
-		if !sort.SliceIsSorted(c.States, func(a, b int) bool { return c.States[a].Start < c.States[b].Start }) {
-			sort.SliceStable(c.States, func(a, b int) bool { return c.States[a].Start < c.States[b].Start })
-		}
-		if !sort.SliceIsSorted(c.Discrete, func(a, b int) bool { return c.Discrete[a].Time < c.Discrete[b].Time }) {
-			sort.SliceStable(c.Discrete, func(a, b int) bool { return c.Discrete[a].Time < c.Discrete[b].Time })
-		}
-		if !sort.SliceIsSorted(c.Comm, func(a, b int) bool { return c.Comm[a].Time < c.Comm[b].Time }) {
-			sort.SliceStable(c.Comm, func(a, b int) bool { return c.Comm[a].Time < c.Comm[b].Time })
-		}
-	}
-	for _, c := range tr.Counters {
-		for cpu := range c.PerCPU {
-			s := c.PerCPU[cpu]
-			if !sort.SliceIsSorted(s, func(a, b int) bool { return s[a].Time < s[b].Time }) {
-				sort.SliceStable(s, func(a, b int) bool { return s[a].Time < s[b].Time })
-			}
-		}
-	}
-	sort.Slice(tr.Regions, func(a, b int) bool { return tr.Regions[a].Addr < tr.Regions[b].Addr })
-
-	// Derive task placement from execution states; synthesize tasks
-	// for traces without task records (Section VI-A tolerance).
-	var start, end trace.Time
-	first := true
-	for i := range tr.CPUs {
-		for _, s := range tr.CPUs[i].States {
-			if first || s.Start < start {
-				start = s.Start
-			}
-			if first || s.End > end {
-				end = s.End
-			}
-			first = false
-			if s.State != trace.StateTaskExec || s.Task == trace.NoTask {
-				continue
-			}
-			idx, ok := tr.taskByID[s.Task]
-			if !ok {
-				idx = len(tr.Tasks)
-				tr.taskByID[s.Task] = idx
-				tr.Tasks = append(tr.Tasks, TaskInfo{ID: s.Task, ExecCPU: -1})
-			}
-			ti := &tr.Tasks[idx]
-			ti.ExecCPU = s.CPU
-			ti.ExecStart = s.Start
-			ti.ExecEnd = s.End
-		}
-	}
-	for _, c := range tr.Counters {
-		for cpu := range c.PerCPU {
-			s := c.PerCPU[cpu]
-			if len(s) == 0 {
-				continue
-			}
-			if first || s[0].Time < start {
-				start = s[0].Time
-			}
-			if first || s[len(s)-1].Time > end {
-				end = s[len(s)-1].Time
-			}
-			first = false
-		}
-	}
-	tr.Span = Interval{Start: start, End: end}
-	sort.Slice(tr.Types, func(a, b int) bool { return tr.Types[a].ID < tr.Types[b].ID })
-	for i, t := range tr.Types {
-		tr.typeByID[t.ID] = i
-	}
+	c := &Counter{Desc: trace.CounterDesc{ID: id, Monotonic: true}}
+	tr.counterByID[id] = len(tr.Counters)
+	tr.Counters = append(tr.Counters, c)
+	return c
 }

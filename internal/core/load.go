@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/openstream/aftermath/internal/par"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Load reads and indexes a trace file.
+func Load(path string) (*Trace, error) {
+	rc, err := trace.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return FromReader(rc)
+}
+
+// FromReader reads and indexes a trace from a stream.
+//
+// Loading is a pipeline: the decode stage turns the byte stream into
+// typed record batches (parallel varint decoding inside
+// trace.ReadBatched), a router applies global records (topology,
+// types, tasks, counter registrations, regions) in stream order, and
+// per-CPU shard workers append state, discrete, communication and
+// sample arrays concurrently — records for different CPUs are
+// independent, and batches arrive in stream order, so every per-CPU
+// array is built in trace order without post-hoc merging. On a single
+// CPU the whole pipeline collapses to a sequential loop.
+func FromReader(r io.Reader) (*Trace, error) {
+	return fromReader(r, par.Workers())
+}
+
+// Pipeline sizing: decode parallelism saturates well below large
+// GOMAXPROCS values, and each extra shard re-scans every batch, so
+// both are capped independently of the machine size.
+const (
+	maxDecodeWorkers = 16
+	maxLoadShards    = 8
+)
+
+func fromReader(r io.Reader, workers int) (*Trace, error) {
+	if workers <= 1 {
+		return fromReaderSeq(r)
+	}
+	if workers > maxDecodeWorkers {
+		workers = maxDecodeWorkers
+	}
+	tr := newTrace()
+
+	nsh := workers
+	if nsh > maxLoadShards {
+		nsh = maxLoadShards
+	}
+	shards := make([]*loadShard, nsh)
+	var wg sync.WaitGroup
+	for i := range shards {
+		shards[i] = &loadShard{
+			n: nsh, id: i,
+			ch:      make(chan *trace.RecordBatch, 4),
+			samples: make(map[trace.CounterID][][]trace.CounterSample),
+		}
+		wg.Add(1)
+		go func(sh *loadShard) {
+			defer wg.Done()
+			sh.run()
+		}(shards[i])
+	}
+
+	var hasTopo bool
+	maxCPU := int32(-1)
+	err := trace.ReadBatched(r, workers, func(b *trace.RecordBatch) error {
+		// Global records are rare; apply them in stream order here.
+		for _, t := range b.Topologies {
+			tr.Topology = t
+			hasTopo = true
+		}
+		for _, t := range b.TaskTypes {
+			if _, ok := tr.typeByID[t.ID]; !ok {
+				tr.typeByID[t.ID] = len(tr.Types)
+				tr.Types = append(tr.Types, t)
+			}
+		}
+		for _, t := range b.Tasks {
+			tr.applyTask(t)
+		}
+		// Register counters in first-touch order so the counter table
+		// matches a sequential read, then apply the descriptions.
+		for _, id := range b.CounterIDs {
+			tr.counterFor(id)
+		}
+		for _, d := range b.Descs {
+			tr.counterFor(d.ID).Desc = d
+		}
+		tr.Regions = append(tr.Regions, b.Regions...)
+		if b.MaxCPU > maxCPU {
+			maxCPU = b.MaxCPU
+		}
+		// Per-CPU families fan out to the shard workers. Every shard
+		// sees every batch in order and keeps only its own CPUs, so
+		// per-CPU order is preserved without coordination.
+		for _, sh := range shards {
+			sh.ch <- b
+		}
+		return nil
+	})
+	for _, sh := range shards {
+		close(sh.ch)
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	// Stitch the shard-owned arrays into the trace. Only slice headers
+	// move here; the event data stays where the shards built it.
+	if maxCPU >= 0 {
+		tr.CPUs = make([]CPUData, maxCPU+1)
+		for _, sh := range shards {
+			for cpu := sh.id; cpu < len(sh.cpus); cpu += sh.n {
+				tr.CPUs[cpu] = sh.cpus[cpu]
+			}
+		}
+	}
+	for _, c := range tr.Counters {
+		id := c.Desc.ID
+		perLen := 0
+		for _, sh := range shards {
+			if l := len(sh.samples[id]); l > perLen {
+				perLen = l
+			}
+		}
+		if perLen == 0 {
+			continue
+		}
+		c.PerCPU = make([][]trace.CounterSample, perLen)
+		for _, sh := range shards {
+			for cpu, s := range sh.samples[id] {
+				if s != nil {
+					c.PerCPU[cpu] = s
+				}
+			}
+		}
+	}
+
+	tr.index(hasTopo, maxCPU, workers)
+	return tr, nil
+}
+
+// fromReaderSeq is the sequential load path, used when a single
+// worker is available. It is the reference implementation the
+// parallel pipeline must reproduce exactly (see TestLoadParallelMatch).
+func fromReaderSeq(r io.Reader) (*Trace, error) {
+	tr := newTrace()
+	var hasTopo bool
+	maxCPU := int32(-1)
+	// checkCPU mirrors the parallel decoder's validation so both
+	// paths reject a corrupt negative CPU id with the same error
+	// instead of panicking.
+	checkCPU := func(id int32) error {
+		if id < 0 {
+			return fmt.Errorf("trace: negative CPU id %d", id)
+		}
+		return nil
+	}
+	cpu := func(id int32) *CPUData {
+		for int(id) >= len(tr.CPUs) {
+			tr.CPUs = append(tr.CPUs, CPUData{})
+		}
+		if id > maxCPU {
+			maxCPU = id
+		}
+		return &tr.CPUs[id]
+	}
+
+	err := trace.Read(r, trace.Handler{
+		Topology: func(t trace.Topology) error {
+			tr.Topology = t
+			hasTopo = true
+			return nil
+		},
+		TaskType: func(t trace.TaskType) error {
+			if _, ok := tr.typeByID[t.ID]; !ok {
+				tr.typeByID[t.ID] = len(tr.Types)
+				tr.Types = append(tr.Types, t)
+			}
+			return nil
+		},
+		Task: func(t trace.Task) error {
+			tr.applyTask(t)
+			return nil
+		},
+		State: func(s trace.StateEvent) error {
+			if err := checkCPU(s.CPU); err != nil {
+				return err
+			}
+			cpu(s.CPU).States = append(cpu(s.CPU).States, s)
+			return nil
+		},
+		Discrete: func(d trace.DiscreteEvent) error {
+			if err := checkCPU(d.CPU); err != nil {
+				return err
+			}
+			cpu(d.CPU).Discrete = append(cpu(d.CPU).Discrete, d)
+			return nil
+		},
+		CounterDesc: func(d trace.CounterDesc) error {
+			tr.counterFor(d.ID).Desc = d
+			return nil
+		},
+		Sample: func(s trace.CounterSample) error {
+			if err := checkCPU(s.CPU); err != nil {
+				return err
+			}
+			c := tr.counterFor(s.Counter)
+			for int(s.CPU) >= len(c.PerCPU) {
+				c.PerCPU = append(c.PerCPU, nil)
+			}
+			c.PerCPU[s.CPU] = append(c.PerCPU[s.CPU], s)
+			if s.CPU > maxCPU {
+				maxCPU = s.CPU
+			}
+			return nil
+		},
+		Comm: func(c trace.CommEvent) error {
+			if err := checkCPU(c.CPU); err != nil {
+				return err
+			}
+			cpu(c.CPU).Comm = append(cpu(c.CPU).Comm, c)
+			return nil
+		},
+		Region: func(rg trace.MemRegion) error {
+			tr.Regions = append(tr.Regions, rg)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.index(hasTopo, maxCPU, 1)
+	return tr, nil
+}
+
+func newTrace() *Trace {
+	return &Trace{
+		typeByID:    make(map[trace.TypeID]int),
+		taskByID:    make(map[trace.TaskID]int),
+		counterByID: make(map[trace.CounterID]int),
+	}
+}
+
+// applyTask merges one task record: the first record creates the
+// entry, later records for the same ID update its metadata.
+func (tr *Trace) applyTask(t trace.Task) {
+	if i, ok := tr.taskByID[t.ID]; ok {
+		ti := &tr.Tasks[i]
+		ti.Type, ti.Created, ti.CreatorCPU = t.Type, t.Created, t.CreatorCPU
+		return
+	}
+	tr.taskByID[t.ID] = len(tr.Tasks)
+	tr.Tasks = append(tr.Tasks, TaskInfo{
+		ID: t.ID, Type: t.Type, Created: t.Created,
+		CreatorCPU: t.CreatorCPU, ExecCPU: -1,
+	})
+}
+
+// loadShard owns the CPUs whose id is congruent to id modulo n and
+// appends their per-CPU event and sample arrays. Batches arrive in
+// stream order on ch, so each owned array is built in trace order.
+type loadShard struct {
+	n, id   int
+	ch      chan *trace.RecordBatch
+	cpus    []CPUData // indexed by CPU id; entries with cpu%n != id stay zero
+	samples map[trace.CounterID][][]trace.CounterSample
+}
+
+func (sh *loadShard) owns(cpu int32) bool { return int(cpu)%sh.n == sh.id }
+
+func (sh *loadShard) cpu(id int32) *CPUData {
+	for int(id) >= len(sh.cpus) {
+		sh.cpus = append(sh.cpus, CPUData{})
+	}
+	return &sh.cpus[id]
+}
+
+func (sh *loadShard) run() {
+	for b := range sh.ch {
+		for _, s := range b.States {
+			if sh.owns(s.CPU) {
+				c := sh.cpu(s.CPU)
+				c.States = append(c.States, s)
+			}
+		}
+		for _, ev := range b.Discrete {
+			if sh.owns(ev.CPU) {
+				c := sh.cpu(ev.CPU)
+				c.Discrete = append(c.Discrete, ev)
+			}
+		}
+		for _, ev := range b.Comms {
+			if sh.owns(ev.CPU) {
+				c := sh.cpu(ev.CPU)
+				c.Comm = append(c.Comm, ev)
+			}
+		}
+		for _, s := range b.Samples {
+			if !sh.owns(s.CPU) {
+				continue
+			}
+			per := sh.samples[s.Counter]
+			for int(s.CPU) >= len(per) {
+				per = append(per, nil)
+			}
+			per[s.CPU] = append(per[s.CPU], s)
+			sh.samples[s.Counter] = per
+		}
+	}
+}
+
+// index finalizes the loaded trace: synthesizes a topology if absent,
+// repairs ordering if a producer violated it, sorts the region table,
+// derives task execution placement and computes the time span. The
+// per-CPU and per-(counter, cpu) passes run on up to workers
+// goroutines; their results merge serially in CPU order so the
+// outcome is identical to a sequential pass.
+func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
+	if !hasTopo {
+		n := int(maxCPU) + 1
+		if n < 1 {
+			n = 1
+		}
+		tr.Topology = trace.Topology{
+			Name:      "unknown",
+			NumNodes:  1,
+			NodeOfCPU: make([]int32, n),
+			Distance:  []int32{0},
+		}
+	}
+	for int(maxCPU) >= len(tr.CPUs) {
+		tr.CPUs = append(tr.CPUs, CPUData{})
+	}
+
+	// Per-CPU finalization: verify/repair event order (the format
+	// guarantees per-CPU order; tolerate producers that violated it by
+	// re-sorting, cheap when already sorted), find the CPU's time
+	// bounds, and collect task execution intervals in event order.
+	type execSpan struct {
+		task       trace.TaskID
+		start, end trace.Time
+	}
+	type cpuIndex struct {
+		min, max trace.Time
+		has      bool
+		execs    []execSpan
+	}
+	perCPU := make([]cpuIndex, len(tr.CPUs))
+	par.Do(workers, len(tr.CPUs), func(i int) {
+		c := &tr.CPUs[i]
+		if !sort.SliceIsSorted(c.States, func(a, b int) bool { return c.States[a].Start < c.States[b].Start }) {
+			sort.SliceStable(c.States, func(a, b int) bool { return c.States[a].Start < c.States[b].Start })
+		}
+		if !sort.SliceIsSorted(c.Discrete, func(a, b int) bool { return c.Discrete[a].Time < c.Discrete[b].Time }) {
+			sort.SliceStable(c.Discrete, func(a, b int) bool { return c.Discrete[a].Time < c.Discrete[b].Time })
+		}
+		if !sort.SliceIsSorted(c.Comm, func(a, b int) bool { return c.Comm[a].Time < c.Comm[b].Time }) {
+			sort.SliceStable(c.Comm, func(a, b int) bool { return c.Comm[a].Time < c.Comm[b].Time })
+		}
+		res := &perCPU[i]
+		for _, s := range c.States {
+			if !res.has || s.Start < res.min {
+				res.min = s.Start
+			}
+			if !res.has || s.End > res.max {
+				res.max = s.End
+			}
+			res.has = true
+			if s.State == trace.StateTaskExec && s.Task != trace.NoTask {
+				res.execs = append(res.execs, execSpan{s.Task, s.Start, s.End})
+			}
+		}
+	})
+
+	// Per-(counter, cpu) sample arrays are independent too.
+	type samplePair struct {
+		c   *Counter
+		cpu int
+	}
+	var pairs []samplePair
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			if len(c.PerCPU[cpu]) > 1 {
+				pairs = append(pairs, samplePair{c, cpu})
+			}
+		}
+	}
+	par.Do(workers, len(pairs), func(i int) {
+		s := pairs[i].c.PerCPU[pairs[i].cpu]
+		if !sort.SliceIsSorted(s, func(a, b int) bool { return s[a].Time < s[b].Time }) {
+			sort.SliceStable(s, func(a, b int) bool { return s[a].Time < s[b].Time })
+		}
+	})
+
+	sort.Slice(tr.Regions, func(a, b int) bool { return tr.Regions[a].Addr < tr.Regions[b].Addr })
+
+	// Serial merge, in CPU order: the span, and task placement derived
+	// from execution states — synthesizing tasks for traces without
+	// task records (Section VI-A tolerance). Applying placements in
+	// CPU and event order reproduces the sequential last-writer-wins
+	// semantics exactly.
+	var start, end trace.Time
+	first := true
+	for i := range perCPU {
+		r := &perCPU[i]
+		if !r.has {
+			continue
+		}
+		if first || r.min < start {
+			start = r.min
+		}
+		if first || r.max > end {
+			end = r.max
+		}
+		first = false
+	}
+	for cpu := range perCPU {
+		for _, e := range perCPU[cpu].execs {
+			idx, ok := tr.taskByID[e.task]
+			if !ok {
+				idx = len(tr.Tasks)
+				tr.taskByID[e.task] = idx
+				tr.Tasks = append(tr.Tasks, TaskInfo{ID: e.task, ExecCPU: -1})
+			}
+			ti := &tr.Tasks[idx]
+			ti.ExecCPU = int32(cpu)
+			ti.ExecStart = e.start
+			ti.ExecEnd = e.end
+		}
+	}
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			s := c.PerCPU[cpu]
+			if len(s) == 0 {
+				continue
+			}
+			if first || s[0].Time < start {
+				start = s[0].Time
+			}
+			if first || s[len(s)-1].Time > end {
+				end = s[len(s)-1].Time
+			}
+			first = false
+		}
+	}
+	tr.Span = Interval{Start: start, End: end}
+	sort.Slice(tr.Types, func(a, b int) bool { return tr.Types[a].ID < tr.Types[b].ID })
+	for i, t := range tr.Types {
+		tr.typeByID[t.ID] = i
+	}
+	tr.counterByName = make(map[string]int, len(tr.Counters))
+	for i, c := range tr.Counters {
+		if _, ok := tr.counterByName[c.Desc.Name]; !ok {
+			tr.counterByName[c.Desc.Name] = i
+		}
+	}
+}

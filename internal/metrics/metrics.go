@@ -14,6 +14,7 @@ import (
 
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/par"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -66,26 +67,46 @@ func boundaries(tr *core.Trace, n int) []trace.Time {
 // interval, the time each worker spent in the state is summed over all
 // workers and divided by the interval duration.
 func WorkersInState(tr *core.Trace, state trace.WorkerState, n int) Series {
+	return workersInState(tr, state, n, par.Workers())
+}
+
+func workersInState(tr *core.Trace, state trace.WorkerState, n, workers int) Series {
 	bs := boundaries(tr, n)
 	s := Series{
 		Name:   "workers_in_" + state.String(),
 		Times:  bs[:len(bs)-1],
 		Values: make([]float64, len(bs)-1),
 	}
-	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+	// The per-CPU interval scans are independent; fan them out and
+	// accumulate integer in-state times per CPU. The float merge then
+	// runs serially in CPU order, so the result is bit-identical to a
+	// sequential pass.
+	nCPU := tr.NumCPUs()
+	inState := make([][]trace.Time, nCPU)
+	par.Do(workers, nCPU, func(c int) {
+		cpu := int32(c)
+		in := make([]trace.Time, len(bs)-1)
 		for i := 0; i < len(bs)-1; i++ {
 			t0, t1 := bs[i], bs[i+1]
 			if t1 <= t0 {
 				continue
 			}
-			var in trace.Time
 			for _, ev := range tr.StatesIn(cpu, t0, t1) {
 				if ev.State != state {
 					continue
 				}
-				in += clip(ev.Start, ev.End, t0, t1)
+				in[i] += clip(ev.Start, ev.End, t0, t1)
 			}
-			s.Values[i] += float64(in) / float64(t1-t0)
+		}
+		inState[c] = in
+	})
+	for cpu := 0; cpu < nCPU; cpu++ {
+		for i := 0; i < len(bs)-1; i++ {
+			t0, t1 := bs[i], bs[i+1]
+			if t1 <= t0 {
+				continue
+			}
+			s.Values[i] += float64(inState[cpu][i]) / float64(t1-t0)
 		}
 	}
 	return s
@@ -95,6 +116,10 @@ func WorkersInState(tr *core.Trace, state trace.WorkerState, n int) Series {
 // duration of the (filtered) tasks running during the interval — the
 // derived counter of Figure 8.
 func AverageTaskDuration(tr *core.Trace, n int, f *filter.TaskFilter) Series {
+	return averageTaskDuration(tr, n, f, par.Workers())
+}
+
+func averageTaskDuration(tr *core.Trace, n int, f *filter.TaskFilter, workers int) Series {
 	bs := boundaries(tr, n)
 	s := Series{Name: "avg_task_duration", Times: bs[:len(bs)-1], Values: make([]float64, len(bs)-1)}
 	counts := make([]int64, len(bs)-1)
@@ -104,22 +129,40 @@ func AverageTaskDuration(tr *core.Trace, n int, f *filter.TaskFilter) Series {
 		return s
 	}
 	nIv := int64(len(counts))
-	for i := range tr.Tasks {
-		t := &tr.Tasks[i]
-		if t.ExecCPU < 0 || !f.Match(tr, t) {
-			continue
+	// Tasks partition into contiguous chunks accumulated in parallel;
+	// chunk results merge in chunk order, so the series is
+	// deterministic for a given GOMAXPROCS.
+	bounds := par.Chunks(workers, len(tr.Tasks))
+	nChunks := len(bounds) - 1
+	chunkCounts := make([][]int64, nChunks)
+	chunkSums := make([][]float64, nChunks)
+	par.Do(workers, nChunks, func(c int) {
+		cc := make([]int64, nIv)
+		cs := make([]float64, nIv)
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			t := &tr.Tasks[i]
+			if t.ExecCPU < 0 || !f.Match(tr, t) {
+				continue
+			}
+			lo := (t.ExecStart - tr.Span.Start) * nIv / span
+			hi := (t.ExecEnd - 1 - tr.Span.Start) * nIv / span
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= nIv {
+				hi = nIv - 1
+			}
+			for iv := lo; iv <= hi; iv++ {
+				cc[iv]++
+				cs[iv] += float64(t.Duration())
+			}
 		}
-		lo := (t.ExecStart - tr.Span.Start) * nIv / span
-		hi := (t.ExecEnd - 1 - tr.Span.Start) * nIv / span
-		if lo < 0 {
-			lo = 0
-		}
-		if hi >= nIv {
-			hi = nIv - 1
-		}
-		for iv := lo; iv <= hi; iv++ {
-			counts[iv]++
-			sums[iv] += float64(t.Duration())
+		chunkCounts[c], chunkSums[c] = cc, cs
+	})
+	for c := 0; c < nChunks; c++ {
+		for i := range counts {
+			counts[i] += chunkCounts[c][i]
+			sums[i] += chunkSums[c][i]
 		}
 	}
 	for i := range s.Values {

@@ -5,78 +5,25 @@ import (
 
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/mmtree"
-	"github.com/openstream/aftermath/internal/trace"
 )
 
-// CounterIndex lazily builds and caches one min/max tree per
-// (counter, cpu) pair — the index structure of Section VI-B-c.
-type CounterIndex struct {
-	arity int
-	trees map[counterCPU]*mmtree.Tree
-}
-
-type counterCPU struct {
-	counter trace.CounterID
-	cpu     int32
-	rate    bool
-}
+// CounterIndex caches one min/max tree per (counter, cpu) pair — the
+// index structure of Section VI-B-c. It now lives in core so a trace
+// can own one shared, concurrency-safe instance (Trace.CounterIndex)
+// reused by every render, overlay and viewer request; this alias and
+// constructor remain for rendering-layer callers.
+type CounterIndex = core.CounterIndex
 
 // NewCounterIndex returns an index with the given tree arity
-// (mmtree.DefaultArity when <2).
+// (mmtree.DefaultArity when <2). Prefer Trace.CounterIndex, which
+// shares one index per trace.
 func NewCounterIndex(arity int) *CounterIndex {
-	return &CounterIndex{arity: arity, trees: make(map[counterCPU]*mmtree.Tree)}
+	return core.NewCounterIndex(arity)
 }
 
 // RateScale is the fixed-point scale for rate trees: rates are stored
 // as events per kilocycle times RateScale.
-const RateScale = 1 << 16
-
-// Tree returns the min/max tree over the counter's raw values on cpu.
-func (ci *CounterIndex) Tree(c *core.Counter, cpu int32) *mmtree.Tree {
-	key := counterCPU{c.Desc.ID, cpu, false}
-	if t, ok := ci.trees[key]; ok {
-		return t
-	}
-	samples := c.Samples(cpu)
-	times := make([]int64, len(samples))
-	values := make([]int64, len(samples))
-	for i, s := range samples {
-		times[i], values[i] = s.Time, s.Value
-	}
-	t := mmtree.Build(times, values, ci.arity)
-	ci.trees[key] = t
-	return t
-}
-
-// RateTree returns the min/max tree over the counter's discrete
-// derivative on cpu, in fixed-point events per kilocycle: the constant
-// interpolation per task of Figure 18 (counters are sampled
-// immediately before and after each task execution, so the rate is
-// constant over each execution).
-func (ci *CounterIndex) RateTree(c *core.Counter, cpu int32) *mmtree.Tree {
-	key := counterCPU{c.Desc.ID, cpu, true}
-	if t, ok := ci.trees[key]; ok {
-		return t
-	}
-	samples := c.Samples(cpu)
-	n := 0
-	if len(samples) > 1 {
-		n = len(samples) - 1
-	}
-	times := make([]int64, n)
-	values := make([]int64, n)
-	for i := 0; i < n; i++ {
-		dt := samples[i+1].Time - samples[i].Time
-		times[i] = samples[i].Time
-		if dt > 0 {
-			dv := samples[i+1].Value - samples[i].Value
-			values[i] = dv * 1000 * RateScale / dt
-		}
-	}
-	t := mmtree.Build(times, values, ci.arity)
-	ci.trees[key] = t
-	return t
-}
+const RateScale = core.RateScale
 
 // OverlayConfig parameterizes a per-CPU counter overlay on a timeline.
 type OverlayConfig struct {
@@ -128,7 +75,7 @@ func OverlayCounter(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, ov Over
 		// Auto-scale over the visible range of all selected CPUs.
 		first := true
 		for _, cpu := range cpus {
-			t := ci.tree(ov, cpu)
+			t := overlayTree(ci, ov, cpu)
 			mn, mx, ok := t.MinMax(start, end)
 			if !ok {
 				continue
@@ -148,7 +95,7 @@ func OverlayCounter(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, ov Over
 
 	for row, cpu := range cpus {
 		y := row * rowH
-		tree := ci.tree(ov, cpu)
+		tree := overlayTree(ci, ov, cpu)
 		if ov.Naive {
 			st.Rects += overlayNaive(fb, tree, gutter, y, plotW, rowH, start, end, vmin, vmax, ov.Color)
 			continue
@@ -173,7 +120,7 @@ func OverlayCounter(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, ov Over
 	return st
 }
 
-func (ci *CounterIndex) tree(ov OverlayConfig, cpu int32) *mmtree.Tree {
+func overlayTree(ci *CounterIndex, ov OverlayConfig, cpu int32) *mmtree.Tree {
 	if ov.Rate {
 		return ci.RateTree(ov.Counter, cpu)
 	}

@@ -1,0 +1,115 @@
+package render
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// TestTimelineParallelMatchesSequential is the golden-image equality
+// test: for every timeline mode, and for label/filter variations, the
+// parallel renderer must produce a framebuffer byte-identical to the
+// sequential one, with identical draw-call accounting.
+func TestTimelineParallelMatchesSequential(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 8, 4, openstream.SchedRandom)
+	f := filter.ByTypeNames(tr, "seidel_block")
+	cfgs := []TimelineConfig{
+		{Width: 640, Height: 200, Mode: ModeState},
+		{Width: 640, Height: 200, Mode: ModeState, Labels: true},
+		{Width: 400, Height: 37, Mode: ModeState, Labels: true}, // rowH < glyph height
+		{Width: 640, Height: 200, Mode: ModeHeat},
+		{Width: 640, Height: 200, Mode: ModeHeat, Filter: f, Shades: 5},
+		{Width: 640, Height: 200, Mode: ModeType},
+		{Width: 640, Height: 200, Mode: ModeNUMARead},
+		{Width: 640, Height: 200, Mode: ModeNUMAWrite},
+		{Width: 640, Height: 200, Mode: ModeNUMAHeat},
+	}
+	for _, cfg := range cfgs {
+		seqFB, seqStats, err := timeline(tr, cfg, 1)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", cfg.Mode, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			parFB, parStats, err := timeline(tr, cfg, workers)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", cfg.Mode, workers, err)
+			}
+			if !bytes.Equal(seqFB.Img.Pix, parFB.Img.Pix) {
+				t.Errorf("mode %v labels=%v workers=%d: pixels differ from sequential rendering",
+					cfg.Mode, cfg.Labels, workers)
+			}
+			if seqStats != parStats {
+				t.Errorf("mode %v workers=%d: stats = %+v, want %+v", cfg.Mode, workers, parStats, seqStats)
+			}
+			if seqFB.Ops != parFB.Ops {
+				t.Errorf("mode %v workers=%d: ops = %d, want %d", cfg.Mode, workers, parFB.Ops, seqFB.Ops)
+			}
+		}
+	}
+}
+
+// TestTimelineParallelZoomed checks byte-identity on a zoomed window
+// with an explicit CPU subset (the interactive pan/zoom path).
+func TestTimelineParallelZoomed(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 8, 4, openstream.SchedRandom)
+	span := tr.Span.Duration()
+	cfg := TimelineConfig{
+		Width: 500, Height: 120,
+		Start: tr.Span.Start + span/4,
+		End:   tr.Span.End - span/4,
+		CPUs:  []int32{0, 2, 3},
+		Mode:  ModeState,
+	}
+	seqFB, seqStats, err := timeline(tr, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parFB, parStats, err := timeline(tr, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqFB.Img.Pix, parFB.Img.Pix) || seqStats != parStats {
+		t.Error("zoomed parallel rendering differs from sequential")
+	}
+}
+
+// TestTimelineConcurrentRenders renders all six modes from concurrent
+// goroutines sharing one trace and one counter index; under -race
+// this proves rendering is safe for concurrent viewer requests.
+func TestTimelineConcurrentRenders(t *testing.T) {
+	tr := atmtest.KMeansTrace(t, 16, 200, 3, false)
+	c, ok := tr.CounterByName(trace.CounterBranchMisses)
+	if !ok {
+		t.Fatal("missing branch-miss counter")
+	}
+	ci := tr.CounterIndex()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for round := 0; round < 4; round++ {
+		for m := ModeState; m <= ModeNUMAHeat; m++ {
+			wg.Add(1)
+			go func(m Mode) {
+				defer wg.Done()
+				cfg := TimelineConfig{Width: 300, Height: 80, Mode: m}
+				fb, _, err := Timeline(tr, cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				OverlayCounter(fb, tr, cfg, OverlayConfig{
+					Counter: c, Rate: true, Color: CategoryColor(3),
+				}, ci)
+			}(m)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

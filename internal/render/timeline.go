@@ -6,6 +6,7 @@ import (
 
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/par"
 	"github.com/openstream/aftermath/internal/stats"
 	"github.com/openstream/aftermath/internal/trace"
 )
@@ -98,8 +99,23 @@ type Stats struct {
 }
 
 // Timeline renders the timeline and returns the framebuffer with
-// rendering statistics.
+// rendering statistics. Rows (one per CPU) are computed on a bounded
+// worker pool; the output is byte-identical to a sequential rendering
+// (see TestTimelineParallelMatchesSequential).
 func Timeline(tr *core.Trace, cfg TimelineConfig) (*Framebuffer, Stats, error) {
+	return timeline(tr, cfg, par.Workers())
+}
+
+// pixelRun is one aggregated run of identically colored pixels within
+// a row: plot-relative columns [x0, x1).
+type pixelRun struct {
+	x0, x1 int
+	c      color.RGBA
+}
+
+// timeline implements Timeline with an explicit worker count (tests
+// compare worker counts against each other).
+func timeline(tr *core.Trace, cfg TimelineConfig, workers int) (*Framebuffer, Stats, error) {
 	var st Stats
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, st, fmt.Errorf("render: invalid dimensions %dx%d", cfg.Width, cfg.Height)
@@ -139,68 +155,98 @@ func Timeline(tr *core.Trace, cfg TimelineConfig) (*Framebuffer, Stats, error) {
 	if rowH < 1 {
 		rowH = 1
 	}
+	drawH := rowH
+	if rowH >= 3 {
+		drawH = rowH - 1 // leave a grid line between rows
+	}
 
 	heatMin, heatMax := cfg.HeatMin, cfg.HeatMax
 	if cfg.Mode == ModeHeat && heatMin == 0 && heatMax == 0 {
 		heatMin, heatMax = visibleDurationRange(tr, cfg.Filter, start, end)
 	}
 
-	px := newPixelizer(tr, cfg.Filter, start, end, plotW)
-	span := end - start
+	// Rows below the framebuffer bottom are never drawn.
+	visible := len(cpus)
+	if v := (fb.H() + rowH - 1) / rowH; v < visible {
+		visible = v
+	}
 
-	for row, cpu := range cpus {
-		y := row * rowH
-		if y >= fb.H() {
-			break
+	typeIdx := typeIndexOf(tr)
+
+	// Phase 1: compute each row's aggregated pixel runs. Rows are
+	// independent (per-row dominance caches suffice: a task executes
+	// on a single CPU), so they fan out over the worker pool. Phase 2
+	// applies labels and fills serially in row order, so the pixels
+	// and draw-call accounting match a sequential rendering exactly.
+	rows := make([][]pixelRun, visible)
+	if workers > 1 {
+		par.Do(workers, visible, func(row int) {
+			px := newPixelizer(tr, cfg.Filter, typeIdx)
+			rows[row] = rowRuns(px, cfg.Mode, cpus[row], start, end, plotW, heatMin, heatMax, shades)
+		})
+	} else {
+		px := newPixelizer(tr, cfg.Filter, typeIdx)
+		for row := 0; row < visible; row++ {
+			rows[row] = rowRuns(px, cfg.Mode, cpus[row], start, end, plotW, heatMin, heatMax, shades)
 		}
+	}
+
+	for row := 0; row < visible; row++ {
+		y := row * rowH
 		if cfg.Labels {
 			if rowH >= GlyphHeight || row%(GlyphHeight/maxInt(rowH, 1)+1) == 0 {
-				fb.DrawText(0, y+(rowH-GlyphHeight)/2+1, fmt.Sprintf("CPU %d", cpu), TextColor)
+				fb.DrawText(0, y+(rowH-GlyphHeight)/2+1, fmt.Sprintf("CPU %d", cpus[row]), TextColor)
 			}
 		}
-		drawH := rowH
-		if rowH >= 3 {
-			drawH = rowH - 1 // leave a grid line between rows
+		for _, run := range rows[row] {
+			fb.FillRect(gutter+run.x0, y, run.x1-run.x0, drawH, run.c)
+			st.Rects++
 		}
-		// Walk the pixels, aggregating runs of identical color into
-		// single rectangle fills (optimization b of Section VI-B).
-		runStart := -1
-		var runColor color.RGBA
-		flush := func(xEnd int) {
-			if runStart >= 0 {
-				fb.FillRect(gutter+runStart, y, xEnd-runStart, drawH, runColor)
-				st.Rects++
-				runStart = -1
-			}
-		}
-		for x := 0; x < plotW; x++ {
-			t0 := start + span*int64(x)/int64(plotW)
-			t1 := start + span*int64(x+1)/int64(plotW)
-			if t1 <= t0 {
-				t1 = t0 + 1
-			}
-			st.PixelColumns++
-			c, ok := px.pixelColor(cfg.Mode, cpu, t0, t1, heatMin, heatMax, shades)
-			if !ok {
-				flush(x)
-				continue
-			}
-			if runStart < 0 {
-				runStart = x
-				runColor = c
-			} else if c != runColor {
-				flush(x)
-				runStart = x
-				runColor = c
-			}
-		}
-		flush(plotW)
+		st.PixelColumns += plotW
 	}
 	return fb, st, nil
 }
 
-// pixelizer computes per-pixel colors with caches shared across the
-// whole rendering.
+// rowRuns walks one CPU row's pixels, aggregating runs of identical
+// color into single rectangle spans (optimization b of Section VI-B).
+func rowRuns(px *pixelizer, mode Mode, cpu int32, start, end trace.Time, plotW int, heatMin, heatMax trace.Time, shades int) []pixelRun {
+	var runs []pixelRun
+	span := end - start
+	runStart := -1
+	var runColor color.RGBA
+	flush := func(xEnd int) {
+		if runStart >= 0 {
+			runs = append(runs, pixelRun{runStart, xEnd, runColor})
+			runStart = -1
+		}
+	}
+	for x := 0; x < plotW; x++ {
+		t0 := start + span*int64(x)/int64(plotW)
+		t1 := start + span*int64(x+1)/int64(plotW)
+		if t1 <= t0 {
+			t1 = t0 + 1
+		}
+		c, ok := px.pixelColor(mode, cpu, t0, t1, heatMin, heatMax, shades)
+		if !ok {
+			flush(x)
+			continue
+		}
+		if runStart < 0 {
+			runStart = x
+			runColor = c
+		} else if c != runColor {
+			flush(x)
+			runStart = x
+			runColor = c
+		}
+	}
+	flush(plotW)
+	return runs
+}
+
+// pixelizer computes per-pixel colors for one renderer goroutine. The
+// nodeCache is private to its goroutine; the type index is read-only
+// and shared across all rows of a rendering.
 type pixelizer struct {
 	tr     *core.Trace
 	filter *filter.TaskFilter
@@ -214,12 +260,18 @@ type nodeKey struct {
 	kinds stats.CommKinds
 }
 
-func newPixelizer(tr *core.Trace, f *filter.TaskFilter, start, end trace.Time, w int) *pixelizer {
+// typeIndexOf maps type IDs to their position in tr.Types, for stable
+// category colors.
+func typeIndexOf(tr *core.Trace) map[trace.TypeID]int {
 	ti := make(map[trace.TypeID]int, len(tr.Types))
 	for i, t := range tr.Types {
 		ti[t.ID] = i
 	}
-	return &pixelizer{tr: tr, filter: f, nodeCache: make(map[nodeKey]int32), typeIdx: ti}
+	return ti
+}
+
+func newPixelizer(tr *core.Trace, f *filter.TaskFilter, typeIdx map[trace.TypeID]int) *pixelizer {
+	return &pixelizer{tr: tr, filter: f, nodeCache: make(map[nodeKey]int32), typeIdx: typeIdx}
 }
 
 // pixelColor implements optimization (a) of Section VI-B: each pixel

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+// TestCommMatrixParallelMatch: per-CPU matrices merge with integer
+// adds, so the parallel matrix must equal the sequential one exactly.
+func TestCommMatrixParallelMatch(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 8, 4, openstream.SchedRandom)
+	for _, kinds := range []CommKinds{Reads, Writes, ReadsAndWrites} {
+		want := commMatrixOf(tr, kinds, tr.Span.Start, tr.Span.End, 1)
+		for _, workers := range []int{2, 4, 8} {
+			got := commMatrixOf(tr, kinds, tr.Span.Start, tr.Span.End, workers)
+			if got.N != want.N {
+				t.Fatalf("kinds %v workers=%d: N = %d, want %d", kinds, workers, got.N, want.N)
+			}
+			for i := range want.Bytes {
+				if got.Bytes[i] != want.Bytes[i] {
+					t.Fatalf("kinds %v workers=%d: cell %d = %d, want %d", kinds, workers, i, got.Bytes[i], want.Bytes[i])
+				}
+			}
+		}
+	}
+	// A sub-window hits the binary-search windows per CPU.
+	mid := tr.Span.Start + tr.Span.Duration()/2
+	want := commMatrixOf(tr, ReadsAndWrites, tr.Span.Start, mid, 1)
+	got := commMatrixOf(tr, ReadsAndWrites, tr.Span.Start, mid, 4)
+	if want.Total() != got.Total() {
+		t.Fatalf("windowed total = %d, want %d", got.Total(), want.Total())
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/par"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -227,19 +228,45 @@ func (k CommKinds) matches(ck trace.CommKind) bool {
 // the region table (Section VI-A); accesses to unknown regions are
 // skipped.
 func CommMatrixOf(tr *core.Trace, kinds CommKinds, t0, t1 trace.Time) *CommMatrix {
+	return commMatrixOf(tr, kinds, t0, t1, par.Workers())
+}
+
+func commMatrixOf(tr *core.Trace, kinds CommKinds, t0, t1 trace.Time, workers int) *CommMatrix {
 	n := tr.NumNodes()
 	m := &CommMatrix{N: n, Bytes: make([]int64, n*n)}
-	for cpu := int32(0); int(cpu) < tr.NumCPUs(); cpu++ {
+	// Per-CPU communication windows are independent: accumulate one
+	// local matrix per CPU in parallel and sum them (integer adds, so
+	// the merge order cannot change the result).
+	nCPU := tr.NumCPUs()
+	perCPU := make([][]int64, nCPU)
+	par.Do(workers, nCPU, func(c int) {
+		cpu := int32(c)
 		accessor := tr.NodeOfCPU(cpu)
+		if int(accessor) >= n {
+			return
+		}
+		var local []int64
 		for _, ev := range tr.CommIn(cpu, t0, t1) {
 			if !kinds.matches(ev.Kind) {
 				continue
 			}
 			home := tr.NodeOfAddr(ev.Addr)
-			if home < 0 || int(home) >= n || int(accessor) >= n {
+			if home < 0 || int(home) >= n {
 				continue
 			}
-			m.Bytes[int(accessor)*n+int(home)] += int64(ev.Size)
+			if local == nil {
+				local = make([]int64, n*n)
+			}
+			local[int(accessor)*n+int(home)] += int64(ev.Size)
+		}
+		perCPU[c] = local
+	})
+	for _, local := range perCPU {
+		if local == nil {
+			continue
+		}
+		for i, b := range local {
+			m.Bytes[i] += b
 		}
 	}
 	return m

@@ -97,22 +97,8 @@ func (d *dec) bool() bool {
 // stream.
 func Read(r io.Reader, h Handler) error {
 	br := bufio.NewReaderSize(r, 1<<16)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		if err == io.EOF {
-			return ErrBadMagic
-		}
+	if err := readHeader(br); err != nil {
 		return err
-	}
-	if m != magic {
-		return ErrBadMagic
-	}
-	version, err := binary.ReadUvarint(br)
-	if err != nil {
-		return fmt.Errorf("trace: reading version: %w", err)
-	}
-	if version > formatVersion {
-		return fmt.Errorf("trace: unsupported format version %d (max %d)", version, formatVersion)
 	}
 
 	var payload []byte

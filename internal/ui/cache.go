@@ -1,0 +1,86 @@
+package ui
+
+import (
+	"container/list"
+	"sync"
+)
+
+// responseCache is a byte-bounded LRU cache for rendered viewer
+// responses (PNG tiles, stats JSON). Loaded traces are immutable, so
+// entries never need invalidation: a repeated pan/zoom/filter request
+// is served straight from memory. Safe for concurrent use.
+type responseCache struct {
+	mu       sync.Mutex
+	maxBytes int
+	size     int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// cachedResponse is one stored response body.
+type cachedResponse struct {
+	key         string
+	contentType string
+	body        []byte
+}
+
+// newResponseCache returns a cache bounded to maxBytes of body data
+// (entries above the bound are admitted and older entries evicted; a
+// single body larger than maxBytes is simply not stored).
+func newResponseCache(maxBytes int) *responseCache {
+	return &responseCache{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached response for key and marks it most recently
+// used.
+func (c *responseCache) get(key string) (*cachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cachedResponse), true
+}
+
+// put stores a response body. body must not be modified by the caller
+// afterwards.
+func (c *responseCache) put(key, contentType string, body []byte) {
+	if len(body) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A concurrent request computed the same entry; keep the
+		// existing one current.
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cachedResponse{key: key, contentType: contentType, body: body})
+	c.items[key] = el
+	c.size += len(body)
+	for c.size > c.maxBytes {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		ent := last.Value.(*cachedResponse)
+		c.order.Remove(last)
+		delete(c.items, ent.key)
+		c.size -= len(ent.body)
+	}
+}
+
+// stats returns the current entry count and byte size (for tests and
+// diagnostics).
+func (c *responseCache) stats() (entries, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.size
+}

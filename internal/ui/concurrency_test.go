@@ -1,0 +1,134 @@
+package ui
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestResponseCacheLRU exercises the cache data structure directly:
+// hits, LRU eviction under the byte bound, and oversized bodies.
+func TestResponseCacheLRU(t *testing.T) {
+	c := newResponseCache(100)
+	c.put("a", "t", make([]byte, 40))
+	c.put("b", "t", make([]byte, 40))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// "a" is now most recently used; inserting 40 more bytes must
+	// evict "b".
+	c.put("c", "t", make([]byte, 40))
+	if _, ok := c.get("b"); ok {
+		t.Error("b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted out of LRU order")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing")
+	}
+	// Oversized bodies are not admitted.
+	c.put("big", "t", make([]byte, 101))
+	if _, ok := c.get("big"); ok {
+		t.Error("oversized body cached")
+	}
+	if n, size := c.stats(); n != 2 || size > 100 {
+		t.Errorf("stats = %d entries / %d bytes", n, size)
+	}
+}
+
+// TestViewerCacheHits checks that a repeated pan/zoom request is
+// served from the cache with an identical body.
+func TestViewerCacheHits(t *testing.T) {
+	srv := newTestServer(t)
+	paths := []string{
+		"/render?mode=heatmap&w=300&h=100&t0=0&t1=500000",
+		"/stats?t0=0&t1=500000",
+		"/matrix",
+		"/plot?kind=idle",
+	}
+	for _, p := range paths {
+		first, body1 := get(t, srv, p)
+		if first.StatusCode != 200 {
+			t.Fatalf("%s: status %d", p, first.StatusCode)
+		}
+		if hc := first.Header.Get("X-Cache"); hc != "MISS" {
+			t.Errorf("%s: first X-Cache = %q, want MISS", p, hc)
+		}
+		second, body2 := get(t, srv, p)
+		if hc := second.Header.Get("X-Cache"); hc != "HIT" {
+			t.Errorf("%s: second X-Cache = %q, want HIT", p, hc)
+		}
+		if !bytes.Equal(body1, body2) {
+			t.Errorf("%s: cached body differs", p)
+		}
+	}
+	// A different window must miss (no stale reuse).
+	resp, _ := get(t, srv, "/render?mode=heatmap&w=300&h=100&t0=0&t1=400000")
+	if hc := resp.Header.Get("X-Cache"); hc != "MISS" {
+		t.Errorf("different window X-Cache = %q, want MISS", hc)
+	}
+	// Semantically different filters must not collide on a cache key
+	// even when their raw fragments concatenate identically
+	// (types="a|1",mindur=2 vs types="a",mindur="1|2").
+	resp, _ = get(t, srv, "/stats?t0=0&t1=500000&types=a%7C1&mindur=2")
+	if hc := resp.Header.Get("X-Cache"); hc != "MISS" {
+		t.Errorf("collision probe 1 X-Cache = %q, want MISS", hc)
+	}
+	resp, _ = get(t, srv, "/stats?t0=0&t1=500000&types=a&mindur=1%7C2")
+	if hc := resp.Header.Get("X-Cache"); hc != "MISS" {
+		t.Errorf("collision probe 2 X-Cache = %q, want MISS (key collision)", hc)
+	}
+	// Error responses are never cached.
+	resp, _ = get(t, srv, "/plot?kind=bogus")
+	if resp.StatusCode != 400 {
+		t.Fatalf("bogus plot status = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/plot?kind=bogus")
+	if resp.StatusCode != 400 || resp.Header.Get("X-Cache") == "HIT" {
+		t.Error("error response was cached")
+	}
+}
+
+// TestViewerConcurrentClients hammers every endpoint from concurrent
+// goroutines; under -race this proves the server, the shared counter
+// index and the response cache are safe for parallel viewer traffic.
+func TestViewerConcurrentClients(t *testing.T) {
+	srv := newTestServer(t)
+	modes := []string{"state", "heatmap", "typemap", "numa-read", "numa-write", "numa-heat"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	req := func(path string) {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			errs <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			errs <- fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i, mode := range modes {
+			wg.Add(4)
+			// Same URLs race between cache misses and hits; zoomed
+			// windows force fresh renders.
+			go req("/render?mode=" + mode + "&w=300&h=100")
+			go req(fmt.Sprintf("/render?mode=%s&w=300&h=100&t0=0&t1=%d", mode, 100000*(i+1+round)))
+			go req("/render?mode=" + mode + "&w=300&h=100&counter=cache_misses&rate=1")
+			go req("/stats")
+		}
+		wg.Add(2)
+		go req("/matrix")
+		go req("/plot?kind=idle")
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -8,10 +8,12 @@
 package ui
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -24,13 +26,20 @@ import (
 	"github.com/openstream/aftermath/internal/trace"
 )
 
-// Server serves one loaded trace.
+// defaultCacheBytes bounds the response cache: enough for hundreds of
+// rendered tiles, small next to the traces the paper targets.
+const defaultCacheBytes = 32 << 20
+
+// Server serves one loaded trace. A loaded trace is immutable, so the
+// server caches rendered responses (see responseCache) and is safe
+// for concurrent clients.
 type Server struct {
 	Trace *core.Trace
 	// Name is shown in the page title.
 	Name string
 
 	counters *render.CounterIndex
+	cache    *responseCache
 	mux      *http.ServeMux
 }
 
@@ -39,7 +48,8 @@ func NewServer(tr *core.Trace, name string) *Server {
 	s := &Server{
 		Trace:    tr,
 		Name:     name,
-		counters: render.NewCounterIndex(0),
+		counters: tr.CounterIndex(),
+		cache:    newResponseCache(defaultCacheBytes),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -51,6 +61,36 @@ func NewServer(tr *core.Trace, name string) *Server {
 	mux.HandleFunc("/graph.dot", s.handleGraphDOT)
 	s.mux = mux
 	return s
+}
+
+// serveCached serves the response for key from the cache, invoking
+// build on a miss. build returns the body, or the HTTP status and
+// error to report. Error responses are never cached.
+func (s *Server) serveCached(w http.ResponseWriter, key, contentType string, build func() ([]byte, int, error)) {
+	if ent, ok := s.cache.get(key); ok {
+		w.Header().Set("Content-Type", ent.contentType)
+		w.Header().Set("X-Cache", "HIT")
+		w.Write(ent.body)
+		return
+	}
+	body, status, err := build()
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.cache.put(key, contentType, body)
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Cache", "MISS")
+	w.Write(body)
+}
+
+// filterKey is the cache-key fragment of the filter query parameters.
+// User-controlled strings are escaped and numeric bounds normalized to
+// their parsed values, so distinct filters can never collide on a key.
+func filterKey(r *http.Request) string {
+	min, _ := strconv.ParseInt(r.FormValue("mindur"), 10, 64)
+	max, _ := strconv.ParseInt(r.FormValue("maxdur"), 10, 64)
+	return fmt.Sprintf("%s|%d|%d", url.QueryEscape(r.FormValue("types")), min, max)
 }
 
 // ServeHTTP implements http.Handler.
@@ -112,65 +152,82 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		HeatMax: int64(formInt(r, "heatmax", 0)),
 		Shades:  formInt(r, "shades", 10),
 	}
-	fb, _, err := render.Timeline(s.Trace, cfg)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if cname := r.FormValue("counter"); cname != "" {
-		if c, ok := s.Trace.CounterByName(cname); ok {
-			render.OverlayCounter(fb, s.Trace, cfg, render.OverlayConfig{
-				Counter: c,
-				Rate:    r.FormValue("rate") != "0",
-				Color:   render.CategoryColor(7),
-			}, s.counters)
+	cname := r.FormValue("counter")
+	rate := r.FormValue("rate") != "0"
+	key := fmt.Sprintf("render|%d|%d|%d|%dx%d|%v|%d|%d|%d|%s|%v|%s",
+		mode, t0, t1, width, height, cfg.Labels, cfg.HeatMin, cfg.HeatMax,
+		cfg.Shades, url.QueryEscape(cname), rate, filterKey(r))
+	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
+		fb, _, err := render.Timeline(s.Trace, cfg)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
 		}
-	}
-	w.Header().Set("Content-Type", "image/png")
-	if err := fb.EncodePNG(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+		if cname != "" {
+			if c, ok := s.Trace.CounterByName(cname); ok {
+				render.OverlayCounter(fb, s.Trace, cfg, render.OverlayConfig{
+					Counter: c,
+					Rate:    rate,
+					Color:   render.CategoryColor(7),
+				}, s.counters)
+			}
+		}
+		var buf bytes.Buffer
+		if err := fb.EncodePNG(&buf); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return buf.Bytes(), 0, nil
+	})
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	t0, t1 := s.window(r)
-	m := stats.CommMatrixOf(s.Trace, stats.ReadsAndWrites, t0, t1)
-	fb := render.RenderMatrix(m, clampInt(formInt(r, "cell", 14), 4, 64))
-	w.Header().Set("Content-Type", "image/png")
-	if err := fb.EncodePNG(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	cell := clampInt(formInt(r, "cell", 14), 4, 64)
+	key := fmt.Sprintf("matrix|%d|%d|%d", t0, t1, cell)
+	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
+		m := stats.CommMatrixOf(s.Trace, stats.ReadsAndWrites, t0, t1)
+		fb := render.RenderMatrix(m, cell)
+		var buf bytes.Buffer
+		if err := fb.EncodePNG(&buf); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return buf.Bytes(), 0, nil
+	})
 }
 
 func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 	intervals := clampInt(formInt(r, "n", 200), 10, 2000)
-	var series metrics.Series
-	switch kind := defaultStr(r.FormValue("kind"), "idle"); kind {
-	case "idle":
-		series = metrics.WorkersInState(s.Trace, trace.StateIdle, intervals)
-	case "avgdur":
-		series = metrics.AverageTaskDuration(s.Trace, intervals, s.taskFilter(r))
-	default:
-		if c, ok := s.Trace.CounterByName(kind); ok {
-			agg := metrics.AggregateCounter(s.Trace, c, intervals)
-			series = metrics.Derivative(agg)
-		} else {
-			http.Error(w, "unknown plot kind "+kind, http.StatusBadRequest)
-			return
+	kind := defaultStr(r.FormValue("kind"), "idle")
+	width := clampInt(formInt(r, "w", 800), 100, 4000)
+	height := clampInt(formInt(r, "h", 220), 50, 2000)
+	key := fmt.Sprintf("plot|%s|%d|%dx%d|%s", url.QueryEscape(kind), intervals, width, height, filterKey(r))
+	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
+		var series metrics.Series
+		switch kind {
+		case "idle":
+			series = metrics.WorkersInState(s.Trace, trace.StateIdle, intervals)
+		case "avgdur":
+			series = metrics.AverageTaskDuration(s.Trace, intervals, s.taskFilter(r))
+		default:
+			if c, ok := s.Trace.CounterByName(kind); ok {
+				agg := metrics.AggregateCounter(s.Trace, c, intervals)
+				series = metrics.Derivative(agg)
+			} else {
+				return nil, http.StatusBadRequest, fmt.Errorf("unknown plot kind %s", kind)
+			}
 		}
-	}
-	fb, err := render.PlotSeries(render.PlotConfig{
-		Width: clampInt(formInt(r, "w", 800), 100, 4000), Height: clampInt(formInt(r, "h", 220), 50, 2000),
-		Title: strings.ToUpper(series.Name),
-	}, series)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	w.Header().Set("Content-Type", "image/png")
-	if err := fb.EncodePNG(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+		fb, err := render.PlotSeries(render.PlotConfig{
+			Width: width, Height: height,
+			Title: strings.ToUpper(series.Name),
+		}, series)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		var buf bytes.Buffer
+		if err := fb.EncodePNG(&buf); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return buf.Bytes(), 0, nil
+	})
 }
 
 // statsResponse is the JSON body of /stats.
@@ -188,12 +245,16 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	t0, t1 := s.window(r)
-	f := s.taskFilter(r).WithWindow(t0, t1)
-	st := StatsFor(s.Trace, f, t0, t1)
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(st); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	key := fmt.Sprintf("stats|%d|%d|%s", t0, t1, filterKey(r))
+	s.serveCached(w, key, "application/json", func() ([]byte, int, error) {
+		f := s.taskFilter(r).WithWindow(t0, t1)
+		st := StatsFor(s.Trace, f, t0, t1)
+		body, err := json.Marshal(st)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return append(body, '\n'), 0, nil
+	})
 }
 
 // StatsFor computes the statistics-panel values for a window (exposed
