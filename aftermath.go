@@ -27,9 +27,9 @@ package aftermath
 
 import (
 	"io"
-	"net/http"
 
 	"github.com/openstream/aftermath/internal/annotations"
+	"github.com/openstream/aftermath/internal/anomaly"
 	"github.com/openstream/aftermath/internal/apps"
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/export"
@@ -275,9 +275,51 @@ func PlotScatter(cfg PlotConfig, xs, ys []float64, fit *Fit) (*Framebuffer, erro
 	return render.PlotScatter(cfg, xs, ys, fit)
 }
 
+// Viewer is the interactive HTTP viewer server. It implements
+// http.Handler; SetAnnotations overlays markers on rendered timelines.
+type Viewer = ui.Server
+
 // NewViewer returns the interactive HTTP viewer for a trace: timeline
-// navigation, mode switching, filters, statistics and task details.
-func NewViewer(tr *Trace, name string) http.Handler { return ui.NewServer(tr, name) }
+// navigation, mode switching, filters, statistics, task details and
+// the ranked /anomalies endpoint.
+func NewViewer(tr *Trace, name string) *Viewer { return ui.NewServer(tr, name) }
+
+// ---- Anomaly detection ----
+
+// Anomaly is one ranked finding of the anomaly detection engine.
+type Anomaly = anomaly.Anomaly
+
+// AnomalyKind classifies a finding.
+type AnomalyKind = anomaly.Kind
+
+// Anomaly kinds.
+const (
+	AnomalyDurationOutlier = anomaly.KindDurationOutlier
+	AnomalyNUMARemote      = anomaly.KindNUMARemote
+	AnomalyLoadImbalance   = anomaly.KindLoadImbalance
+	AnomalyCounterSpike    = anomaly.KindCounterSpike
+)
+
+// AnomalyConfig parameterizes a scan (zero value selects defaults).
+type AnomalyConfig = anomaly.Config
+
+// AnomalyDetector finds one class of anomaly; implementations can be
+// added to the default scan with RegisterDetector.
+type AnomalyDetector = anomaly.Detector
+
+// ScanAnomalies runs every registered detector over the trace in
+// parallel and returns the merged findings ranked by severity,
+// deterministically across runs and worker counts.
+func ScanAnomalies(tr *Trace, cfg AnomalyConfig) []Anomaly { return anomaly.Scan(tr, cfg) }
+
+// RegisterDetector adds a detector to the default scan set.
+func RegisterDetector(d AnomalyDetector) { anomaly.Register(d) }
+
+// AnomalyAnnotations converts the top max findings into an annotation
+// set that renders as timeline markers and saves as JSON.
+func AnomalyAnnotations(found []Anomaly, author string, max int) *AnnotationSet {
+	return anomaly.Annotations(found, author, max)
+}
 
 // ---- Export, symbols, annotations ----
 

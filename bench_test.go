@@ -304,6 +304,22 @@ func BenchmarkTraceLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkAnomalyScan measures the full anomaly detection engine
+// (all four registered detectors, merge and ranking) over a synthetic
+// seidel trace, so detector throughput regressions show up in future
+// PRs. Findings/op is reported as a sanity metric: a scan that stops
+// finding anything is as much a regression as a slow one.
+func BenchmarkAnomalyScan(b *testing.B) {
+	tr := atmtest.SeidelTrace(b, 8, 6, openstream.SchedRandom)
+	cfg := AnomalyConfig{}
+	var found []Anomaly
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found = ScanAnomalies(tr, cfg)
+	}
+	b.ReportMetric(float64(len(found)), "findings/op")
+}
+
 // BenchmarkSimulator measures raw simulation throughput (tasks/op
 // reported as custom metric).
 func BenchmarkSimulator(b *testing.B) {

@@ -7,6 +7,7 @@
 //	aftermath trace.atm.gz                 # summary + ASCII timeline
 //	aftermath -http :8080 trace.atm.gz     # interactive viewer
 //	aftermath -dot graph.dot trace.atm.gz  # export the task graph
+//	aftermath -anomalies trace.atm.gz      # ranked anomaly report
 package main
 
 import (
@@ -26,6 +27,10 @@ func main() {
 		width    = flag.Int("width", 100, "ASCII timeline width")
 		rows     = flag.Int("rows", 16, "ASCII timeline rows (0 = all CPUs)")
 		nmPath   = flag.String("nm", "", "resolve work function names from this nm(1) output file")
+		anoms    = flag.Bool("anomalies", false, "scan for cross-layer anomalies and print a ranked report")
+		anomTop  = flag.Int("top", 15, "maximum anomalies printed/annotated in -anomalies mode")
+		anomMin  = flag.Float64("minscore", 0, "anomaly severity cutoff (0 = default)")
+		annOut   = flag.String("annotations", "", "write the top anomalies as an annotation JSON file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -33,13 +38,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *httpAddr, *dotOut, *dotMax, *width, *rows, *nmPath); err != nil {
+	opts := runOptions{
+		httpAddr: *httpAddr, dotOut: *dotOut, dotMax: *dotMax,
+		width: *width, rows: *rows, nmPath: *nmPath,
+		anomalies: *anoms, anomTop: *anomTop, anomMinScore: *anomMin, annOut: *annOut,
+	}
+	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aftermath:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, httpAddr, dotOut string, dotMax, width, rows int, nmPath string) error {
+type runOptions struct {
+	httpAddr, dotOut, nmPath string
+	dotMax, width, rows      int
+	anomalies                bool
+	anomTop                  int
+	anomMinScore             float64
+	annOut                   string
+}
+
+func run(path string, o runOptions) error {
+	httpAddr, dotOut, dotMax, width, rows, nmPath :=
+		o.httpAddr, o.dotOut, o.dotMax, o.width, o.rows, o.nmPath
 	tr, err := aftermath.Open(path)
 	if err != nil {
 		return err
@@ -109,12 +130,42 @@ func run(path, httpAddr, dotOut string, dotMax, width, rows int, nmPath string) 
 		fmt.Printf("\ntask graph written to %s (%d edges)\n", dotOut, g.NumEdges())
 	}
 
+	var anns *aftermath.AnnotationSet
+	if o.anomalies {
+		found := aftermath.ScanAnomalies(tr, aftermath.AnomalyConfig{MinScore: o.anomMinScore})
+		fmt.Printf("\nanomalies: %d findings", len(found))
+		top := o.anomTop
+		if top <= 0 || top > len(found) {
+			top = len(found)
+		}
+		if len(found) > top {
+			fmt.Printf(" (top %d shown)", top)
+		}
+		fmt.Println()
+		for _, a := range found[:top] {
+			fmt.Println("  " + a.String())
+		}
+		anns = aftermath.AnomalyAnnotations(found, "anomaly-scan", top)
+		if o.annOut != "" {
+			anns.TracePath = path
+			if err := anns.Save(o.annOut); err != nil {
+				return err
+			}
+			fmt.Printf("annotations written to %s (%d entries)\n", o.annOut, len(anns.Annotations))
+		}
+	}
+
 	if httpAddr != "" {
 		// Warm the shared counter min/max trees before accepting
 		// traffic, so the first overlay request is already fast.
 		tr.BuildCounterIndex(0)
+		viewer := aftermath.NewViewer(tr, path)
+		if anns != nil {
+			// Top findings render as timeline markers in the viewer.
+			viewer.SetAnnotations(anns)
+		}
 		fmt.Printf("\nserving interactive viewer on http://%s\n", httpAddr)
-		return http.ListenAndServe(httpAddr, aftermath.NewViewer(tr, path))
+		return http.ListenAndServe(httpAddr, viewer)
 	}
 	return nil
 }

@@ -84,4 +84,19 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", v.name)
 	}
+
+	// The hunt above is manual: compare maps, spot the remote tasks.
+	// The detector-driven flow in examples/anomaly-hunting automates
+	// it — ScanAnomalies ranks the NUMA-remote stragglers (plus
+	// duration outliers, imbalance windows and counter spikes)
+	// directly, and the viewer serves the same list at /anomalies.
+	remote := 0
+	// MaxPerKind -1 lifts the per-detector cap so the count is a true
+	// total, not a saturated top-20.
+	for _, a := range aftermath.ScanAnomalies(trNUMA, aftermath.AnomalyConfig{MaxPerKind: -1}) {
+		if a.Kind == aftermath.AnomalyNUMARemote {
+			remote++
+		}
+	}
+	fmt.Printf("\nautomatic scan of the optimized run: %d NUMA-remote stragglers (see examples/anomaly-hunting)\n", remote)
 }

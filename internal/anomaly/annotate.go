@@ -1,0 +1,29 @@
+package anomaly
+
+import (
+	"fmt"
+
+	"github.com/openstream/aftermath/internal/annotations"
+)
+
+// Annotations converts the top max findings of a ranked scan into an
+// annotation set, so detector output lands on the timeline (and in
+// saved annotation files) exactly like hand-written notes from a
+// collaborative debugging session (paper Section VI-C). max <= 0
+// converts every finding. Each annotation is placed at the start of
+// the anomaly's window on its CPU.
+func Annotations(found []Anomaly, author string, max int) *annotations.Set {
+	if max <= 0 || max > len(found) {
+		max = len(found)
+	}
+	set := &annotations.Set{}
+	for _, a := range found[:max] {
+		set.Add(annotations.Annotation{
+			Time:   a.Window.Start,
+			CPU:    a.CPU,
+			Author: author,
+			Text:   fmt.Sprintf("[%s %.1f] %s", a.Kind, a.Score, a.Explanation),
+		})
+	}
+	return set
+}

@@ -1,0 +1,104 @@
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/par"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// minGroupSize is the smallest per-type sample for which duration
+// statistics are meaningful.
+const minGroupSize = 8
+
+// DurationDetector finds tasks that ran far longer than is typical for
+// their task type, scoring each task's execution duration as a robust
+// z-score against the type's median and MAD (the per-task-type
+// duration histograms of Figure 16, automated).
+type DurationDetector struct{}
+
+// Name implements Detector.
+func (DurationDetector) Name() string { return "duration-outlier" }
+
+// Detect implements Detector.
+func (DurationDetector) Detect(tr *core.Trace, cfg Config) []Anomaly {
+	// Group matching executed tasks by type, in task order.
+	byType := make(map[trace.TypeID][]*core.TaskInfo)
+	var typeOrder []trace.TypeID
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if t.ExecCPU < 0 || !cfg.Filter.Match(tr, t) {
+			continue
+		}
+		if !cfg.Window.Overlaps(t.ExecStart, t.ExecEnd) {
+			continue
+		}
+		if _, ok := byType[t.Type]; !ok {
+			typeOrder = append(typeOrder, t.Type)
+		}
+		byType[t.Type] = append(byType[t.Type], t)
+	}
+	sort.Slice(typeOrder, func(i, j int) bool { return typeOrder[i] < typeOrder[j] })
+
+	// Type groups are independent; score them in parallel, one result
+	// slot per type.
+	perType := make([][]Anomaly, len(typeOrder))
+	par.Do(cfg.Workers, len(typeOrder), func(i int) {
+		perType[i] = scoreTypeDurations(tr, typeOrder[i], byType[typeOrder[i]])
+	})
+	var out []Anomaly
+	for _, as := range perType {
+		out = append(out, as...)
+	}
+	return out
+}
+
+func scoreTypeDurations(tr *core.Trace, typ trace.TypeID, tasks []*core.TaskInfo) []Anomaly {
+	if len(tasks) < minGroupSize {
+		return nil
+	}
+	durs := make([]float64, len(tasks))
+	for i, t := range tasks {
+		durs[i] = float64(t.Duration())
+	}
+	med := stats.Median(durs)
+	spread := stats.RobustSpread(durs)
+	// Floor the spread so near-constant groups do not inflate tiny
+	// absolute jitter into huge scores: an outlier must stand out by
+	// at least ~1% of the median duration per score unit.
+	if floor := med * 0.01; spread < floor {
+		spread = floor
+	}
+	if spread <= 0 {
+		return nil
+	}
+	var out []Anomaly
+	for i, t := range tasks {
+		z := stats.RobustZ(durs[i], med, spread)
+		if z <= 0 {
+			continue
+		}
+		out = append(out, Anomaly{
+			Kind:   KindDurationOutlier,
+			Score:  z,
+			Window: core.Interval{Start: t.ExecStart, End: t.ExecEnd},
+			CPU:    t.ExecCPU,
+			TaskID: t.ID,
+			Explanation: fmt.Sprintf("task %d (%s) ran %.0f cycles, %.1fx the type median of %.0f (n=%d)",
+				t.ID, tr.TypeName(typ), durs[i], durs[i]/maxf(med, 1), med, len(tasks)),
+		})
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func init() { Register(DurationDetector{}) }

@@ -1,0 +1,123 @@
+package anomaly
+
+import (
+	"fmt"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/hw"
+	"github.com/openstream/aftermath/internal/par"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// numaMinBytes is the least data a task must touch before its access
+// locality is judged; tiny tasks yield meaningless fractions.
+const numaMinBytes = 4096
+
+// NUMADetector finds tasks whose memory accesses are far more
+// node-remote than the trace baseline — the anomaly the NUMA timeline
+// modes of Section IV visualize. The baseline is the trace-wide remote
+// fraction of accessed bytes, so a uniformly remote (badly scheduled)
+// program does not flag every task, only those markedly worse than
+// their surroundings. The score scales with how far the task's remote
+// fraction exceeds the baseline; the explanation estimates the cycle
+// penalty with the hardware cost model.
+type NUMADetector struct {
+	// HW is the cost model used to estimate remote-access penalties
+	// in explanations; the zero value selects hw.Default().
+	HW hw.Model
+}
+
+// Name implements Detector.
+func (NUMADetector) Name() string { return "numa-remote" }
+
+// Detect implements Detector.
+func (d NUMADetector) Detect(tr *core.Trace, cfg Config) []Anomaly {
+	if tr.NumNodes() < 2 {
+		return nil // single-node machines have no remote accesses
+	}
+	model := d.HW
+	if model.CacheLineBytes == 0 {
+		model = hw.Default()
+	}
+	baseline := 1 - stats.LocalityFraction(tr, stats.ReadsAndWrites, cfg.Window.Start, cfg.Window.End)
+
+	// Task chunks are scored in parallel and merged in chunk order.
+	bounds := par.Chunks(cfg.Workers, len(tr.Tasks))
+	nChunks := len(bounds) - 1
+	perChunk := make([][]Anomaly, nChunks)
+	par.Do(cfg.Workers, nChunks, func(c int) {
+		var out []Anomaly
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			t := &tr.Tasks[i]
+			if t.ExecCPU < 0 || !cfg.Filter.Match(tr, t) {
+				continue
+			}
+			if !cfg.Window.Overlaps(t.ExecStart, t.ExecEnd) {
+				continue
+			}
+			if a, ok := scoreTaskLocality(tr, model, t, baseline); ok {
+				out = append(out, a)
+			}
+		}
+		perChunk[c] = out
+	})
+	var out []Anomaly
+	for _, as := range perChunk {
+		out = append(out, as...)
+	}
+	return out
+}
+
+// scoreTaskLocality computes one task's remote-access fraction and
+// scores its excess over the baseline: a task 100% remote against a
+// fully local baseline scores 10.
+func scoreTaskLocality(tr *core.Trace, model hw.Model, t *core.TaskInfo, baseline float64) (Anomaly, bool) {
+	execNode := tr.NodeOfCPU(t.ExecCPU)
+	var total, remote int64
+	var worstNode int32 = -1
+	var worstBytes int64
+	perNode := make(map[int32]int64)
+	for _, ev := range tr.TaskComm(t) {
+		if ev.Kind != trace.CommRead && ev.Kind != trace.CommWrite {
+			continue
+		}
+		home := tr.NodeOfAddr(ev.Addr)
+		if home < 0 {
+			continue
+		}
+		n := int64(ev.Size)
+		total += n
+		if home != execNode {
+			remote += n
+			perNode[home] += n
+			if b := perNode[home]; b > worstBytes || (b == worstBytes && home < worstNode) {
+				worstNode, worstBytes = home, b
+			}
+		}
+	}
+	if total < numaMinBytes {
+		return Anomaly{}, false
+	}
+	frac := float64(remote) / float64(total)
+	excess := frac - baseline
+	if excess <= 0 {
+		return Anomaly{}, false
+	}
+	dist := int(tr.Distance(execNode, worstNode))
+	if dist < 1 {
+		dist = 1
+	}
+	penalty := model.MemCost(remote, dist, 0) - model.MemCost(remote, 0, 0)
+	return Anomaly{
+		Kind:   KindNUMARemote,
+		Score:  excess * 10,
+		Window: core.Interval{Start: t.ExecStart, End: t.ExecEnd},
+		CPU:    t.ExecCPU,
+		TaskID: t.ID,
+		Explanation: fmt.Sprintf("task %d (%s) on node %d accessed %.0f%% of %d bytes remotely (baseline %.0f%%), mostly node %d; ~%d cycles of remote-access penalty",
+			t.ID, tr.TypeName(t.Type), execNode, 100*frac, total, 100*baseline, worstNode, penalty),
+	}, true
+}
+
+func init() { Register(NUMADetector{}) }

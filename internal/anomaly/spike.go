@@ -1,0 +1,143 @@
+package anomaly
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/par"
+	"github.com/openstream/aftermath/internal/stats"
+)
+
+// SpikeDetector finds hardware-counter excursions: windows in which a
+// monotonic counter's rate on one CPU (cache misses, branch
+// mispredictions, system time, ...) far exceeds the counter's typical
+// rate across all CPUs and windows. Window rates come from the counter
+// deltas at window boundaries; the peak instantaneous rate quoted in
+// the explanation is answered by the trace's shared min/max rate tree
+// index (Section VI-B-c) without scanning samples. Consecutive
+// anomalous windows on the same (counter, CPU) merge.
+type SpikeDetector struct{}
+
+// Name implements Detector.
+func (SpikeDetector) Name() string { return "counter-spike" }
+
+// Detect implements Detector.
+func (SpikeDetector) Detect(tr *core.Trace, cfg Config) []Anomaly {
+	counters := make([]*core.Counter, 0, len(tr.Counters))
+	for _, c := range tr.Counters {
+		if c.Desc.Monotonic && len(c.PerCPU) > 0 {
+			counters = append(counters, c)
+		}
+	}
+	// Counters are independent; scan them in parallel, one slot each.
+	perCounter := make([][]Anomaly, len(counters))
+	par.Do(cfg.Workers, len(counters), func(i int) {
+		perCounter[i] = scanCounter(tr, counters[i], cfg)
+	})
+	var out []Anomaly
+	for _, as := range perCounter {
+		out = append(out, as...)
+	}
+	return out
+}
+
+func scanCounter(tr *core.Trace, c *core.Counter, cfg Config) []Anomaly {
+	bs := windowBounds(cfg.Window, cfg.Windows)
+	nCPU := len(c.PerCPU)
+
+	// Per-(cpu, window) mean rates, and the pooled sample for the
+	// baseline. Rates are per kilocycle to keep magnitudes readable.
+	// Windows the counter's samples do not cover stay NaN and enter
+	// neither the baseline nor the scoring: pooling them as zero would
+	// collapse the baseline for counters sampled over only part of
+	// the scan window.
+	rates := make([][]float64, nCPU)
+	var pooled []float64
+	for cpu := 0; cpu < nCPU; cpu++ {
+		if len(c.PerCPU[cpu]) < 2 {
+			continue
+		}
+		row := make([]float64, cfg.Windows)
+		for w := 0; w < cfg.Windows; w++ {
+			row[w] = math.NaN()
+			t0, t1 := bs[w], bs[w+1]
+			if t1 <= t0 {
+				continue
+			}
+			v0, ok0 := c.ValueAt(int32(cpu), t0)
+			v1, ok1 := c.ValueAt(int32(cpu), t1)
+			if !ok0 || !ok1 {
+				continue
+			}
+			row[w] = float64(v1-v0) * 1000 / float64(t1-t0)
+			pooled = append(pooled, row[w])
+		}
+		rates[cpu] = row
+	}
+	if len(pooled) < minGroupSize {
+		return nil
+	}
+	med := stats.Median(pooled)
+	spread := stats.RobustSpread(pooled)
+	// Floor the spread at 1% of the median rate (and an absolute
+	// epsilon) so flat counters with measurement jitter do not flag.
+	if floor := med * 0.01; spread < floor {
+		spread = floor
+	}
+	if spread <= 0 {
+		return nil
+	}
+
+	ci := tr.CounterIndex()
+	var out []Anomaly
+	for cpu := 0; cpu < nCPU; cpu++ {
+		if rates[cpu] == nil {
+			continue
+		}
+		var cur *Anomaly
+		for w := 0; w < cfg.Windows; w++ {
+			if math.IsNaN(rates[cpu][w]) {
+				cur = nil
+				continue
+			}
+			z := stats.RobustZ(rates[cpu][w], med, spread)
+			if z < cfg.MinScore {
+				cur = nil
+				continue
+			}
+			if cur != nil && cur.Window.End == bs[w] {
+				cur.Window.End = bs[w+1]
+				if z > cur.Score {
+					cur.Score = z
+				}
+				cur.Explanation = spikeExplanation(tr, ci, c, int32(cpu), cur.Window, med)
+				continue
+			}
+			win := core.Interval{Start: bs[w], End: bs[w+1]}
+			out = append(out, Anomaly{
+				Kind:        KindCounterSpike,
+				Score:       z,
+				Window:      win,
+				CPU:         int32(cpu),
+				Counter:     c.Desc.Name,
+				Explanation: spikeExplanation(tr, ci, c, int32(cpu), win, med),
+			})
+			cur = &out[len(out)-1]
+		}
+	}
+	return out
+}
+
+// spikeExplanation quotes the window's peak instantaneous rate from
+// the shared min/max rate tree.
+func spikeExplanation(tr *core.Trace, ci *core.CounterIndex, c *core.Counter, cpu int32, win core.Interval, med float64) string {
+	peak := 0.0
+	if _, mx, ok := ci.RateTree(c, cpu).MinMax(win.Start, win.End); ok {
+		peak = float64(mx) / core.RateScale
+	}
+	return fmt.Sprintf("%s rate on cpu %d peaked at %.2f/kcycle against a machine-wide median of %.2f/kcycle",
+		c.Desc.Name, cpu, peak, med)
+}
+
+func init() { Register(SpikeDetector{}) }

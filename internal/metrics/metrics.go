@@ -112,6 +112,53 @@ func workersInState(tr *core.Trace, state trace.WorkerState, n, workers int) Ser
 	return s
 }
 
+// InStateFractions returns, for each CPU, the fraction of each of n
+// equal windows of [t0, t1) that the CPU spent in the given state:
+// result[cpu][w] in [0, 1]. It is the per-CPU decomposition of the
+// WorkersInState accounting (summing result columns over CPUs yields
+// that series), used by the load-imbalance anomaly detector. The
+// per-CPU window scans fan out over the worker pool; each CPU's row is
+// written to its own slot, so the result is independent of the worker
+// count.
+func InStateFractions(tr *core.Trace, state trace.WorkerState, n int, t0, t1 trace.Time) [][]float64 {
+	return inStateFractions(tr, state, n, t0, t1, par.Workers())
+}
+
+func inStateFractions(tr *core.Trace, state trace.WorkerState, n int, t0, t1 trace.Time, workers int) [][]float64 {
+	if n < 1 {
+		n = 1
+	}
+	nCPU := tr.NumCPUs()
+	out := make([][]float64, nCPU)
+	if t1 <= t0 {
+		for c := range out {
+			out[c] = make([]float64, n)
+		}
+		return out
+	}
+	span := t1 - t0
+	par.Do(workers, nCPU, func(c int) {
+		cpu := int32(c)
+		row := make([]float64, n)
+		for w := 0; w < n; w++ {
+			w0 := t0 + span*int64(w)/int64(n)
+			w1 := t0 + span*int64(w+1)/int64(n)
+			if w1 <= w0 {
+				continue
+			}
+			var in trace.Time
+			for _, ev := range tr.StatesIn(cpu, w0, w1) {
+				if ev.State == state {
+					in += clip(ev.Start, ev.End, w0, w1)
+				}
+			}
+			row[w] = float64(in) / float64(w1-w0)
+		}
+		out[c] = row
+	})
+	return out
+}
+
 // AverageTaskDuration computes, per interval, the mean execution
 // duration of the (filtered) tasks running during the interval — the
 // derived counter of Figure 8.

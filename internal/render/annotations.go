@@ -1,0 +1,87 @@
+package render
+
+import (
+	"image/color"
+
+	"github.com/openstream/aftermath/internal/annotations"
+	"github.com/openstream/aftermath/internal/core"
+)
+
+// AnnotationColor marks annotations on the timeline (amber, distinct
+// from every state and NUMA category color).
+var AnnotationColor = color.RGBA{R: 0xff, G: 0xb0, B: 0x30, A: 0xff}
+
+// OverlayAnnotations draws the annotations falling inside a rendered
+// timeline's interval as markers: a vertical line at the annotated
+// instant — spanning the full plot for global annotations (CPU -1), or
+// the annotated CPU's row — with a small flag at the top so dense
+// marker groups stay visible. The framebuffer must have been rendered
+// with cfg. Returns the number of markers drawn.
+func OverlayAnnotations(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, set *annotations.Set) int {
+	if set == nil || len(set.Annotations) == 0 {
+		return 0
+	}
+	start, end := cfg.Start, cfg.End
+	if start == 0 && end == 0 {
+		start, end = tr.Span.Start, tr.Span.End
+	}
+	if end <= start {
+		return 0
+	}
+	cpus := cfg.CPUs
+	if cpus == nil {
+		cpus = make([]int32, tr.NumCPUs())
+		for i := range cpus {
+			cpus[i] = int32(i)
+		}
+	}
+	if len(cpus) == 0 {
+		return 0
+	}
+	rowOf := make(map[int32]int, len(cpus))
+	for row, cpu := range cpus {
+		rowOf[cpu] = row
+	}
+	gutter := 0
+	if cfg.Labels {
+		gutter = TextWidth("CPU 000 ")
+	}
+	plotW := fb.W() - gutter
+	if plotW < 1 {
+		return 0
+	}
+	rowH := fb.H() / len(cpus)
+	if rowH < 1 {
+		rowH = 1
+	}
+	span := end - start
+	drawn := 0
+	for _, a := range set.In(start, end) {
+		x := gutter + int(int64(plotW)*(a.Time-start)/span)
+		if x >= fb.W() {
+			x = fb.W() - 1
+		}
+		y0, y1 := 0, fb.H()-1
+		if a.CPU >= 0 {
+			row, ok := rowOf[a.CPU]
+			if !ok {
+				continue
+			}
+			y0 = row * rowH
+			y1 = y0 + rowH - 1
+		}
+		fb.VLine(x, y0, y1, AnnotationColor)
+		// Flag: a short horizontal tick at the marker top.
+		fb.HLine(x, minInt(x+4, fb.W()-1), y0, AnnotationColor)
+		fb.HLine(x, minInt(x+3, fb.W()-1), minInt(y0+1, fb.H()-1), AnnotationColor)
+		drawn++
+	}
+	return drawn
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

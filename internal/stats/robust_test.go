@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-2, -1, 0, 1, 2}, 0},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); !almostEqual(got, c.want) {
+			t.Errorf("Median(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median reordered its input: %v", xs)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, q3 := Quartiles([]float64{1, 2, 3, 4, 5})
+	if !almostEqual(q1, 2) || !almostEqual(q3, 4) {
+		t.Errorf("Quartiles(1..5) = %g, %g, want 2, 4", q1, q3)
+	}
+	q1, q3 = Quartiles(nil)
+	if q1 != 0 || q3 != 0 {
+		t.Errorf("Quartiles(nil) = %g, %g", q1, q3)
+	}
+	q1, q3 = Quartiles([]float64{7})
+	if !almostEqual(q1, 7) || !almostEqual(q3, 7) {
+		t.Errorf("Quartiles([7]) = %g, %g", q1, q3)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// Median 3, absolute deviations {2,1,0,1,2} -> MAD 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); !almostEqual(got, 1) {
+		t.Errorf("MAD(1..5) = %g, want 1", got)
+	}
+	if got := MAD([]float64{4, 4, 4}); got != 0 {
+		t.Errorf("MAD(constant) = %g, want 0", got)
+	}
+	if got := MAD(nil); got != 0 {
+		t.Errorf("MAD(nil) = %g, want 0", got)
+	}
+	// An outlier barely moves the MAD — the property the detectors
+	// rely on.
+	base := MAD([]float64{1, 2, 3, 4, 5})
+	spiked := MAD([]float64{1, 2, 3, 4, 1e9})
+	if spiked > 2*base {
+		t.Errorf("MAD not robust: %g vs %g", spiked, base)
+	}
+}
+
+func TestRobustSpread(t *testing.T) {
+	// Normal-ish data: scaled MAD.
+	if got := RobustSpread([]float64{1, 2, 3, 4, 5}); !almostEqual(got, 1.4826) {
+		t.Errorf("RobustSpread(1..5) = %g, want 1.4826", got)
+	}
+	// More than half identical (MAD 0): falls back to the IQR.
+	xs := []float64{5, 5, 5, 5, 5, 1, 2, 9}
+	if got := RobustSpread(xs); got <= 0 {
+		t.Errorf("RobustSpread(%v) = %g, want > 0 (IQR fallback)", xs, got)
+	}
+	// No spread information at all.
+	if got := RobustSpread([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("RobustSpread(constant) = %g, want 0", got)
+	}
+}
+
+func TestRobustZ(t *testing.T) {
+	if got := RobustZ(10, 4, 2); !almostEqual(got, 3) {
+		t.Errorf("RobustZ(10,4,2) = %g, want 3", got)
+	}
+	if got := RobustZ(1, 4, 2); !almostEqual(got, -1.5) {
+		t.Errorf("RobustZ(1,4,2) = %g, want -1.5", got)
+	}
+	if got := RobustZ(10, 4, 0); got != 0 {
+		t.Errorf("RobustZ with zero spread = %g, want 0", got)
+	}
+}

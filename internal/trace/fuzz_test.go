@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedTrace builds a small well-formed trace exercising every
+// record kind, used as the structured fuzz seed.
+func fuzzSeedTrace(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	steps := []func() error{
+		func() error {
+			return w.WriteTopology(Topology{
+				Name: "fuzz", NumNodes: 2,
+				NodeOfCPU: []int32{0, 1},
+				Distance:  []int32{0, 1, 1, 0},
+			})
+		},
+		func() error { return w.WriteTaskType(TaskType{ID: 1, Addr: 0x400, Name: "work"}) },
+		func() error { return w.WriteTask(Task{ID: 1, Type: 1, Created: 5, CreatorCPU: 0}) },
+		func() error {
+			return w.WriteState(StateEvent{CPU: 0, State: StateTaskExec, Start: 10, End: 90, Task: 1})
+		},
+		func() error {
+			return w.WriteDiscrete(DiscreteEvent{CPU: 1, Kind: EventSteal, Time: 15, Arg: 1})
+		},
+		func() error {
+			return w.WriteCounterDesc(CounterDesc{ID: 7, Name: CounterCacheMisses, Monotonic: true})
+		},
+		func() error { return w.WriteSample(CounterSample{CPU: 0, Counter: 7, Time: 20, Value: 100}) },
+		func() error {
+			return w.WriteComm(CommEvent{Kind: CommRead, CPU: 0, SrcCPU: -1, Time: 12, Task: 1, Addr: 0x1000, Size: 64})
+		},
+		func() error { return w.WriteRegion(MemRegion{ID: 1, Addr: 0x1000, Size: 4096, Node: 1}) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// collectAll reads every record kind through both the sequential
+// handler reader and the batched reader, returning the two batched
+// record sets for cross-checking. Any panic is the fuzz failure.
+func collectAll(data []byte, workers int) (*RecordBatch, error) {
+	all := &RecordBatch{MaxCPU: -1}
+	err := ReadBatched(bytes.NewReader(data), workers, func(b *RecordBatch) error {
+		all.Topologies = append(all.Topologies, b.Topologies...)
+		all.TaskTypes = append(all.TaskTypes, b.TaskTypes...)
+		all.Tasks = append(all.Tasks, b.Tasks...)
+		all.States = append(all.States, b.States...)
+		all.Discrete = append(all.Discrete, b.Discrete...)
+		all.Descs = append(all.Descs, b.Descs...)
+		all.Samples = append(all.Samples, b.Samples...)
+		all.Comms = append(all.Comms, b.Comms...)
+		all.Regions = append(all.Regions, b.Regions...)
+		if b.MaxCPU > all.MaxCPU {
+			all.MaxCPU = b.MaxCPU
+		}
+		return nil
+	})
+	return all, err
+}
+
+// FuzzReadTrace: arbitrary bytes through the sequential reader and the
+// batched reader (sequential and parallel decode paths) must return an
+// error or decode cleanly — never panic, and never allocate
+// proportionally to corrupt length fields. Whenever the sequential
+// reader accepts the input, the batched readers must accept it too and
+// agree record by record.
+func FuzzReadTrace(f *testing.F) {
+	valid := fuzzSeedTrace(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-record
+	f.Add([]byte{})
+	f.Add([]byte("ATMG"))                                       // header only, no version
+	f.Add([]byte("ATMG\x01"))                                   // empty valid trace
+	f.Add([]byte("not a trace at all"))                         // bad magic
+	f.Add([]byte("ATMG\x01\x04\xff\xff\xff\xff\x0f"))           // state record, huge payload length
+	f.Add([]byte("ATMG\x01\x01\x03foo"))                        // topology with garbage payload
+	f.Add([]byte("ATMG\x01\x01\x06\x00\xff\xff\xff\xff\x0f"))   // topology claiming 2^32 nodes
+	f.Add([]byte("ATMG\x01\x04\x05\x7f\x00\x00\x00\x00"))       // state on implausible CPU 127... truncated
+	f.Add([]byte("ATMG\x01\x63\x02\x01\x02"))                   // unknown record kind 0x63, skipped
+	f.Add(append(append([]byte{}, valid...), 0x04, 0x02, 0x01)) // valid trace + trailing truncated record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var seq RecordBatch
+		seq.MaxCPU = -1
+		seqErr := Read(bytes.NewReader(data), Handler{
+			Topology: func(v Topology) error { seq.Topologies = append(seq.Topologies, v); return nil },
+			TaskType: func(v TaskType) error { seq.TaskTypes = append(seq.TaskTypes, v); return nil },
+			Task:     func(v Task) error { seq.Tasks = append(seq.Tasks, v); return nil },
+			State:    func(v StateEvent) error { seq.States = append(seq.States, v); return nil },
+			Discrete: func(v DiscreteEvent) error { seq.Discrete = append(seq.Discrete, v); return nil },
+			CounterDesc: func(v CounterDesc) error {
+				seq.Descs = append(seq.Descs, v)
+				return nil
+			},
+			Sample: func(v CounterSample) error { seq.Samples = append(seq.Samples, v); return nil },
+			Comm:   func(v CommEvent) error { seq.Comms = append(seq.Comms, v); return nil },
+			Region: func(v MemRegion) error { seq.Regions = append(seq.Regions, v); return nil },
+		})
+
+		for _, workers := range []int{1, 4} {
+			got, err := collectAll(data, workers)
+			if (err == nil) != (seqErr == nil) {
+				t.Fatalf("workers=%d: batched err = %v, sequential err = %v", workers, err, seqErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			for _, cmp := range []struct {
+				name     string
+				seq, bat interface{}
+			}{
+				{"topologies", seq.Topologies, got.Topologies},
+				{"tasktypes", seq.TaskTypes, got.TaskTypes},
+				{"tasks", seq.Tasks, got.Tasks},
+				{"states", seq.States, got.States},
+				{"discrete", seq.Discrete, got.Discrete},
+				{"descs", seq.Descs, got.Descs},
+				{"samples", seq.Samples, got.Samples},
+				{"comms", seq.Comms, got.Comms},
+				{"regions", seq.Regions, got.Regions},
+			} {
+				if !reflect.DeepEqual(cmp.seq, cmp.bat) {
+					t.Fatalf("workers=%d: %s diverge\nseq: %v\nbat: %v", workers, cmp.name, cmp.seq, cmp.bat)
+				}
+			}
+		}
+	})
+}

@@ -115,12 +115,8 @@ func readBatchedSeq(br *bufio.Reader, emit func(*RecordBatch) error) error {
 		if err != nil {
 			return ErrTruncated
 		}
-		if uint64(cap(payload)) < size {
-			payload = make([]byte, size)
-		}
-		payload = payload[:size]
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return ErrTruncated
+		if payload, err = readPayload(br, payload, size); err != nil {
+			return err
 		}
 		if err := decodeInto(kind, payload, b, seen); err != nil {
 			return err
@@ -209,17 +205,31 @@ func readBatchedPar(br *bufio.Reader, workers int, emit func(*RecordBatch) error
 				frameErr <- ErrTruncated
 				return
 			}
-			off := len(job.arena)
-			need := off + int(size)
-			if need > cap(job.arena) {
-				grown := make([]byte, off, 2*need)
-				copy(grown, job.arena)
-				job.arena = grown
-			}
-			job.arena = job.arena[:need]
-			if _, err := io.ReadFull(br, job.arena[off:]); err != nil {
-				frameErr <- ErrTruncated
+			if size > maxRecordSize {
+				frameErr <- fmt.Errorf("trace: record payload of %d bytes exceeds the %d byte limit", size, maxRecordSize)
 				return
+			}
+			// Grow the arena in bounded chunks as payload bytes
+			// actually arrive: frames must stay contiguous in the
+			// arena, and a corrupt length field must not trigger a
+			// huge allocation before the stream runs dry.
+			for remaining := int(size); remaining > 0; {
+				c := remaining
+				if c > payloadChunk {
+					c = payloadChunk
+				}
+				start := len(job.arena)
+				if need := start + c; need > cap(job.arena) {
+					grown := make([]byte, start, 2*need)
+					copy(grown, job.arena)
+					job.arena = grown
+				}
+				job.arena = job.arena[:start+c]
+				if _, err := io.ReadFull(br, job.arena[start:]); err != nil {
+					frameErr <- ErrTruncated
+					return
+				}
+				remaining -= c
 			}
 			job.kinds = append(job.kinds, kind)
 			job.offs = append(job.offs, len(job.arena))
@@ -283,20 +293,9 @@ func decodeInto(kind uint64, payload []byte, b *RecordBatch, seen map[CounterID]
 	}
 	switch kind {
 	case recTopology:
-		var t Topology
-		t.Name = d.str()
-		t.NumNodes = int32(d.uvarint())
-		numCPUs := d.uvarint()
-		t.NodeOfCPU = make([]int32, numCPUs)
-		for i := range t.NodeOfCPU {
-			t.NodeOfCPU[i] = int32(d.uvarint())
-		}
-		t.Distance = make([]int32, int(t.NumNodes)*int(t.NumNodes))
-		for i := range t.Distance {
-			t.Distance[i] = int32(d.uvarint())
-		}
-		if d.err != nil {
-			return d.err
+		t, err := decodeTopology(d)
+		if err != nil {
+			return err
 		}
 		b.Topologies = append(b.Topologies, t)
 	case recTaskType:
@@ -313,14 +312,14 @@ func decodeInto(kind uint64, payload []byte, b *RecordBatch, seen map[CounterID]
 		t.ID = TaskID(d.uvarint())
 		t.Type = TypeID(d.uvarint())
 		t.Created = d.varint()
-		t.CreatorCPU = int32(d.varint())
+		t.CreatorCPU = d.cpuID(true)
 		if d.err != nil {
 			return d.err
 		}
 		b.Tasks = append(b.Tasks, t)
 	case recState:
 		var s StateEvent
-		s.CPU = int32(d.varint())
+		s.CPU = d.cpuID(false)
 		s.State = WorkerState(d.uvarint())
 		s.Start = d.varint()
 		s.End = s.Start + int64(d.uvarint())
@@ -335,7 +334,7 @@ func decodeInto(kind uint64, payload []byte, b *RecordBatch, seen map[CounterID]
 		b.States = append(b.States, s)
 	case recDiscrete:
 		var ev DiscreteEvent
-		ev.CPU = int32(d.varint())
+		ev.CPU = d.cpuID(false)
 		ev.Kind = EventKind(d.uvarint())
 		ev.Time = d.varint()
 		ev.Arg = d.uvarint()
@@ -359,7 +358,7 @@ func decodeInto(kind uint64, payload []byte, b *RecordBatch, seen map[CounterID]
 		b.Descs = append(b.Descs, c)
 	case recCounterSample:
 		var s CounterSample
-		s.CPU = int32(d.varint())
+		s.CPU = d.cpuID(false)
 		s.Counter = CounterID(d.uvarint())
 		s.Time = d.varint()
 		s.Value = d.varint()
@@ -375,8 +374,8 @@ func decodeInto(kind uint64, payload []byte, b *RecordBatch, seen map[CounterID]
 	case recComm:
 		var c CommEvent
 		c.Kind = CommKind(d.uvarint())
-		c.CPU = int32(d.varint())
-		c.SrcCPU = int32(d.varint())
+		c.CPU = d.cpuID(false)
+		c.SrcCPU = d.cpuID(true)
 		c.Time = d.varint()
 		c.Task = TaskID(d.uvarint())
 		c.Addr = d.uvarint()

@@ -32,6 +32,53 @@ var ErrBadMagic = errors.New("trace: bad magic (not an Aftermath trace)")
 // ErrTruncated reports a stream that ends inside a record.
 var ErrTruncated = errors.New("trace: truncated record")
 
+// maxRecordSize bounds a single record's payload. Real records are a
+// handful of varints (the largest, a topology for thousands of CPUs,
+// stays in kilobytes); a length field beyond this bound is a corrupt
+// or malicious stream, rejected before any allocation happens.
+const maxRecordSize = 1 << 28
+
+// MaxCPUID bounds the CPU ids the decoders accept. The format stores
+// CPU ids as varints, so a corrupt stream can claim ids near 2^31;
+// consumers index per-CPU arrays by id, which such ids would blow up.
+// No machine the trace model targets comes near a million CPUs.
+const MaxCPUID = 1 << 20
+
+// payloadChunk is the allocation granularity of readPayload: corrupt
+// length fields cost at most one chunk before the stream runs dry.
+const payloadChunk = 1 << 20
+
+// readPayload reads a size-byte record payload into buf (reused
+// across records), growing the buffer in bounded chunks as bytes
+// actually arrive, so a corrupt length field cannot trigger a huge
+// up-front allocation.
+func readPayload(br *bufio.Reader, buf []byte, size uint64) ([]byte, error) {
+	if size > maxRecordSize {
+		return buf, fmt.Errorf("trace: record payload of %d bytes exceeds the %d byte limit", size, maxRecordSize)
+	}
+	n := int(size)
+	if cap(buf) >= n {
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return buf, ErrTruncated
+		}
+		return buf, nil
+	}
+	buf = buf[:0]
+	for len(buf) < n {
+		c := n - len(buf)
+		if c > payloadChunk {
+			c = payloadChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return buf, ErrTruncated
+		}
+	}
+	return buf, nil
+}
+
 // dec decodes a record payload.
 type dec struct {
 	b   []byte
@@ -92,6 +139,68 @@ func (d *dec) bool() bool {
 	return v
 }
 
+// cpuID decodes a CPU id and rejects implausible values: ids above
+// MaxCPUID always (consumers size per-CPU arrays by id), and negative
+// ids unless the field admits the -1 "no CPU" sentinel.
+func (d *dec) cpuID(allowNone bool) int32 {
+	v := d.varint()
+	if d.err != nil {
+		return 0
+	}
+	min := int64(0)
+	if allowNone {
+		min = -1
+	}
+	if v < min || v > MaxCPUID {
+		d.err = fmt.Errorf("trace: implausible CPU id %d", v)
+		return 0
+	}
+	return int32(v)
+}
+
+// count decodes an element count for an array whose elements occupy
+// at least one payload byte each, so any count beyond the remaining
+// payload is provably corrupt and rejected before allocation.
+func (d *dec) count() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)-d.off) {
+		d.err = ErrTruncated
+		return 0
+	}
+	return int(v)
+}
+
+// decodeTopology decodes a topology payload, shared by the sequential
+// and parallel readers. The element counts are validated against the
+// remaining payload, so corrupt streams cannot demand huge arrays.
+func decodeTopology(d *dec) (Topology, error) {
+	var t Topology
+	t.Name = d.str()
+	numNodes := d.count()
+	t.NumNodes = int32(numNodes)
+	t.NodeOfCPU = make([]int32, d.count())
+	for i := range t.NodeOfCPU {
+		t.NodeOfCPU[i] = int32(d.uvarint())
+	}
+	if d.err == nil && int64(numNodes)*int64(numNodes) > int64(len(d.b)-d.off) {
+		d.err = ErrTruncated
+	}
+	if d.err != nil {
+		return Topology{}, d.err
+	}
+	t.Distance = make([]int32, numNodes*numNodes)
+	for i := range t.Distance {
+		t.Distance[i] = int32(d.uvarint())
+	}
+	if d.err != nil {
+		return Topology{}, d.err
+	}
+	return t, nil
+}
+
 // Read decodes all records from r, invoking the handler's callbacks.
 // It stops at the first error returned by a callback or at end of
 // stream.
@@ -114,12 +223,8 @@ func Read(r io.Reader, h Handler) error {
 		if err != nil {
 			return ErrTruncated
 		}
-		if uint64(cap(payload)) < size {
-			payload = make([]byte, size)
-		}
-		payload = payload[:size]
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return ErrTruncated
+		if payload, err = readPayload(br, payload, size); err != nil {
+			return err
 		}
 		if err := dispatch(kind, payload, h); err != nil {
 			return err
@@ -134,20 +239,9 @@ func dispatch(kind uint64, payload []byte, h Handler) error {
 		if h.Topology == nil {
 			return nil
 		}
-		var t Topology
-		t.Name = d.str()
-		t.NumNodes = int32(d.uvarint())
-		numCPUs := d.uvarint()
-		t.NodeOfCPU = make([]int32, numCPUs)
-		for i := range t.NodeOfCPU {
-			t.NodeOfCPU[i] = int32(d.uvarint())
-		}
-		t.Distance = make([]int32, int(t.NumNodes)*int(t.NumNodes))
-		for i := range t.Distance {
-			t.Distance[i] = int32(d.uvarint())
-		}
-		if d.err != nil {
-			return d.err
+		t, err := decodeTopology(d)
+		if err != nil {
+			return err
 		}
 		return h.Topology(t)
 	case recTaskType:
@@ -170,7 +264,7 @@ func dispatch(kind uint64, payload []byte, h Handler) error {
 		t.ID = TaskID(d.uvarint())
 		t.Type = TypeID(d.uvarint())
 		t.Created = d.varint()
-		t.CreatorCPU = int32(d.varint())
+		t.CreatorCPU = d.cpuID(true)
 		if d.err != nil {
 			return d.err
 		}
@@ -180,7 +274,7 @@ func dispatch(kind uint64, payload []byte, h Handler) error {
 			return nil
 		}
 		var s StateEvent
-		s.CPU = int32(d.varint())
+		s.CPU = d.cpuID(false)
 		s.State = WorkerState(d.uvarint())
 		s.Start = d.varint()
 		s.End = s.Start + int64(d.uvarint())
@@ -194,7 +288,7 @@ func dispatch(kind uint64, payload []byte, h Handler) error {
 			return nil
 		}
 		var ev DiscreteEvent
-		ev.CPU = int32(d.varint())
+		ev.CPU = d.cpuID(false)
 		ev.Kind = EventKind(d.uvarint())
 		ev.Time = d.varint()
 		ev.Arg = d.uvarint()
@@ -219,7 +313,7 @@ func dispatch(kind uint64, payload []byte, h Handler) error {
 			return nil
 		}
 		var s CounterSample
-		s.CPU = int32(d.varint())
+		s.CPU = d.cpuID(false)
 		s.Counter = CounterID(d.uvarint())
 		s.Time = d.varint()
 		s.Value = d.varint()
@@ -233,8 +327,8 @@ func dispatch(kind uint64, payload []byte, h Handler) error {
 		}
 		var c CommEvent
 		c.Kind = CommKind(d.uvarint())
-		c.CPU = int32(d.varint())
-		c.SrcCPU = int32(d.varint())
+		c.CPU = d.cpuID(false)
+		c.SrcCPU = d.cpuID(true)
 		c.Time = d.varint()
 		c.Task = TaskID(d.uvarint())
 		c.Addr = d.uvarint()

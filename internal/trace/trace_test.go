@@ -275,13 +275,13 @@ func TestFileRoundTripPlainAndGzip(t *testing.T) {
 
 // Property: every randomly generated event round trips exactly.
 func TestRoundTripProperty(t *testing.T) {
-	f := func(cpu int16, state uint8, start int64, dur uint32, task uint64) bool {
+	f := func(cpu uint16, state uint8, start int64, dur uint32, task uint64) bool {
 		start = start % (1 << 40)
 		if start < 0 {
 			start = -start
 		}
 		ev := StateEvent{
-			CPU:   int32(cpu),
+			CPU:   int32(cpu), // valid ids: readers reject CPUs outside [0, MaxCPUID]
 			State: WorkerState(state % uint8(NumWorkerStates)),
 			Start: start,
 			End:   start + int64(dur),
@@ -305,9 +305,12 @@ func TestRoundTripProperty(t *testing.T) {
 }
 
 func TestCommRoundTripProperty(t *testing.T) {
-	f := func(kind uint8, cpu, src int16, tm int64, task, addr, size uint64) bool {
+	f := func(kind uint8, cpu uint16, src int16, tm int64, task, addr, size uint64) bool {
 		if tm < 0 {
 			tm = -tm
+		}
+		if src < -1 {
+			src = -1 // -1 is the only valid negative (no source CPU)
 		}
 		ev := CommEvent{
 			Kind:   CommKind(kind % uint8(NumCommKinds)),

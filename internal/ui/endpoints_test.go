@@ -1,0 +1,196 @@
+package ui
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/annotations"
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+// TestEndpointContentTypes: every endpoint declares the right content
+// type on success.
+func TestEndpointContentTypes(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct{ path, ct string }{
+		{"/", "text/html; charset=utf-8"},
+		{"/render?w=200&h=80", "image/png"},
+		{"/matrix", "image/png"},
+		{"/plot?kind=idle", "image/png"},
+		{"/stats", "application/json"},
+		{"/task?id=1", "application/json"},
+		{"/graph.dot", "text/vnd.graphviz"},
+		{"/anomalies", "application/json"},
+	}
+	for _, c := range cases {
+		resp, body := get(t, srv, c.path)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d: %s", c.path, resp.StatusCode, body)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != c.ct {
+			t.Errorf("%s: content type %q, want %q", c.path, ct, c.ct)
+		}
+	}
+}
+
+// TestEndpointBadParameters: malformed parameters return 400, not 200
+// or a panic.
+func TestEndpointBadParameters(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{
+		"/render?mode=bogus",
+		"/plot?kind=bogus",
+		"/task?id=abc",
+		"/anomalies?kind=bogus",
+		"/anomalies?minscore=abc",
+		"/anomalies?minscore=-1",
+	} {
+		resp, _ := get(t, srv, path)
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Out-of-range numeric parameters clamp rather than fail.
+	for _, path := range []string{
+		"/render?w=999999&h=1",
+		"/plot?n=1",
+		"/anomalies?n=999999&windows=2",
+	} {
+		resp, _ := get(t, srv, path)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d, want 200 (clamped)", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEndpointCacheHit: the second identical request is served from
+// the LRU response cache.
+func TestEndpointCacheHit(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{
+		"/stats?t0=0&t1=500000",
+		"/plot?kind=idle&w=300&h=100",
+		"/render?mode=state&w=300&h=100",
+		"/anomalies?n=10",
+	} {
+		resp, first := get(t, srv, path)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != "MISS" {
+			t.Errorf("%s: first request X-Cache = %q, want MISS", path, xc)
+		}
+		resp, second := get(t, srv, path)
+		if xc := resp.Header.Get("X-Cache"); xc != "HIT" {
+			t.Errorf("%s: second request X-Cache = %q, want HIT", path, xc)
+		}
+		if string(first) != string(second) {
+			t.Errorf("%s: cached body differs from computed body", path)
+		}
+	}
+}
+
+// TestAnomaliesEndpoint: the ranked JSON respects window, kind and
+// count parameters.
+func TestAnomaliesEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := get(t, srv, "/anomalies?minscore=0.5&n=500")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ar struct {
+		Start     int64 `json:"start"`
+		End       int64 `json:"end"`
+		Count     int   `json:"count"`
+		Anomalies []struct {
+			Kind  string  `json:"kind"`
+			Score float64 `json:"score"`
+			Start int64   `json:"start"`
+			End   int64   `json:"end"`
+		} `json:"anomalies"`
+	}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if ar.Count != len(ar.Anomalies) {
+		t.Errorf("count %d != len %d", ar.Count, len(ar.Anomalies))
+	}
+	for i, a := range ar.Anomalies {
+		if a.Kind == "" || a.Start > a.End {
+			t.Errorf("anomaly %d malformed: %+v", i, a)
+		}
+		if i > 0 && a.Score > ar.Anomalies[i-1].Score {
+			t.Errorf("anomaly %d out of rank order", i)
+		}
+		if a.End < ar.Start || a.Start > ar.End {
+			t.Errorf("anomaly %d outside scan window: %+v", i, a)
+		}
+	}
+
+	// n bounds the result count.
+	resp, body = get(t, srv, "/anomalies?minscore=0.5&n=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Count > 1 {
+		t.Errorf("n=1 returned %d anomalies", ar.Count)
+	}
+
+	// kind restricts, and a window restricts the scan span.
+	resp, body = get(t, srv, "/anomalies?kind=load-imbalance&t0=0&t1=1000000&minscore=0.1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Start != 0 || ar.End != 1000000 {
+		t.Errorf("window = [%d,%d), want [0,1000000)", ar.Start, ar.End)
+	}
+	for _, a := range ar.Anomalies {
+		if a.Kind != "load-imbalance" {
+			t.Errorf("kind filter leaked %q", a.Kind)
+		}
+	}
+}
+
+// TestRenderAnnotationMarks: attaching annotations changes the
+// rendered timeline (markers drawn), and marks=0 suppresses them.
+func TestRenderAnnotationMarks(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	s := NewServer(tr, "marks-test")
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	_, plain := get(t, srv, "/render?w=300&h=100")
+
+	set := &annotations.Set{}
+	mid := (tr.Span.Start + tr.Span.End) / 2
+	set.Add(annotations.Annotation{Time: mid, CPU: -1, Text: "marker"})
+	s.SetAnnotations(set)
+
+	resp, marked := get(t, srv, "/render?w=300&h=100")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if string(marked) == string(plain) {
+		t.Error("annotation markers did not change the rendering")
+	}
+	resp, suppressed := get(t, srv, "/render?w=300&h=100&marks=0")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if string(suppressed) != string(plain) {
+		t.Error("marks=0 did not suppress annotation markers")
+	}
+	if !strings.HasPrefix(string(marked), "\x89PNG") {
+		t.Error("marked render is not a PNG")
+	}
+}

@@ -16,7 +16,10 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 
+	"github.com/openstream/aftermath/internal/annotations"
+	"github.com/openstream/aftermath/internal/anomaly"
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/filter"
 	"github.com/openstream/aftermath/internal/metrics"
@@ -41,6 +44,33 @@ type Server struct {
 	counters *render.CounterIndex
 	cache    *responseCache
 	mux      *http.ServeMux
+	// anns are annotations overlaid on rendered timelines (e.g. the
+	// top anomaly-scan findings); annsVer keys the response cache so
+	// tiles rendered against an older set are never served for a
+	// newer one. annsMu guards both against concurrent SetAnnotations.
+	annsMu  sync.RWMutex
+	anns    *annotations.Set
+	annsVer int
+}
+
+// SetAnnotations attaches an annotation set overlaid on every rendered
+// timeline (markers at the annotated instants). Safe to call while
+// serving: the set is swapped atomically with its cache-key version,
+// so previously cached tiles are invalidated and in-flight renders use
+// a consistent (set, version) pair. The set itself must not be mutated
+// after the call.
+func (s *Server) SetAnnotations(set *annotations.Set) {
+	s.annsMu.Lock()
+	s.anns = set
+	s.annsVer++
+	s.annsMu.Unlock()
+}
+
+// annotationsState snapshots the current annotation set and version.
+func (s *Server) annotationsState() (*annotations.Set, int) {
+	s.annsMu.RLock()
+	defer s.annsMu.RUnlock()
+	return s.anns, s.annsVer
 }
 
 // NewServer creates a viewer for a loaded trace.
@@ -59,6 +89,7 @@ func NewServer(tr *core.Trace, name string) *Server {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/task", s.handleTask)
 	mux.HandleFunc("/graph.dot", s.handleGraphDOT)
+	mux.HandleFunc("/anomalies", s.handleAnomalies)
 	s.mux = mux
 	return s
 }
@@ -154,9 +185,11 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 	cname := r.FormValue("counter")
 	rate := r.FormValue("rate") != "0"
-	key := fmt.Sprintf("render|%d|%d|%d|%dx%d|%v|%d|%d|%d|%s|%v|%s",
+	anns, annsVer := s.annotationsState()
+	marks := anns != nil && r.FormValue("marks") != "0"
+	key := fmt.Sprintf("render|%d|%d|%d|%dx%d|%v|%d|%d|%d|%s|%v|%v|%d|%s",
 		mode, t0, t1, width, height, cfg.Labels, cfg.HeatMin, cfg.HeatMax,
-		cfg.Shades, url.QueryEscape(cname), rate, filterKey(r))
+		cfg.Shades, url.QueryEscape(cname), rate, marks, annsVer, filterKey(r))
 	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
 		fb, _, err := render.Timeline(s.Trace, cfg)
 		if err != nil {
@@ -170,6 +203,9 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 					Color:   render.CategoryColor(7),
 				}, s.counters)
 			}
+		}
+		if marks {
+			render.OverlayAnnotations(fb, s.Trace, cfg, anns)
 		}
 		var buf bytes.Buffer
 		if err := fb.EncodePNG(&buf); err != nil {
@@ -370,6 +406,106 @@ func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// anomalyItem is one finding in the /anomalies JSON body.
+type anomalyItem struct {
+	Kind        string  `json:"kind"`
+	Score       float64 `json:"score"`
+	Start       int64   `json:"start"`
+	End         int64   `json:"end"`
+	CPU         int32   `json:"cpu"`
+	Task        uint64  `json:"task,omitempty"`
+	Counter     string  `json:"counter,omitempty"`
+	Explanation string  `json:"explanation"`
+}
+
+// anomaliesResponse is the JSON body of /anomalies.
+type anomaliesResponse struct {
+	Start     int64         `json:"start"`
+	End       int64         `json:"end"`
+	Count     int           `json:"count"`
+	Anomalies []anomalyItem `json:"anomalies"`
+}
+
+// handleAnomalies runs the anomaly detectors over the requested window
+// and returns the ranked findings as JSON. Parameters: t0/t1 (scan
+// window), types/mindur/maxdur (task filter), kind (restrict to one
+// anomaly kind), n (max results, default 50), windows (analysis window
+// count), minscore (severity cutoff). Results are cached like every
+// other endpoint: a loaded trace is immutable, so a repeated query is
+// a cache hit.
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	t0, t1 := s.window(r)
+	// Clamp to the trace span (mirroring the scan's own clamping), so
+	// the echoed window is exactly the interval that was scanned.
+	if t0 < s.Trace.Span.Start {
+		t0 = s.Trace.Span.Start
+	}
+	if t1 > s.Trace.Span.End {
+		t1 = s.Trace.Span.End
+	}
+	if t1 <= t0 {
+		t0, t1 = s.Trace.Span.Start, s.Trace.Span.End
+	}
+	n := clampInt(formInt(r, "n", 50), 1, 1000)
+	windows := clampInt(formInt(r, "windows", anomaly.DefaultWindows), 8, 4096)
+	minScore := 0.0
+	if v := r.FormValue("minscore"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 {
+			http.Error(w, "bad minscore", http.StatusBadRequest)
+			return
+		}
+		minScore = p
+	}
+	kindName := r.FormValue("kind")
+	var wantKind anomaly.Kind
+	haveKind := false
+	if kindName != "" {
+		k, ok := anomaly.ParseKind(kindName)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown anomaly kind %q", kindName), http.StatusBadRequest)
+			return
+		}
+		wantKind, haveKind = k, true
+	}
+	key := fmt.Sprintf("anomalies|%d|%d|%d|%d|%g|%s|%s",
+		t0, t1, n, windows, minScore, url.QueryEscape(kindName), filterKey(r))
+	s.serveCached(w, key, "application/json", func() ([]byte, int, error) {
+		cfg := anomaly.Config{
+			Windows:  windows,
+			MinScore: minScore,
+			Filter:   s.taskFilter(r),
+			Window:   core.Interval{Start: t0, End: t1},
+		}
+		found := anomaly.Scan(s.Trace, cfg)
+		resp := anomaliesResponse{Start: t0, End: t1, Anomalies: []anomalyItem{}}
+		for _, a := range found {
+			if haveKind && a.Kind != wantKind {
+				continue
+			}
+			if len(resp.Anomalies) >= n {
+				break
+			}
+			resp.Anomalies = append(resp.Anomalies, anomalyItem{
+				Kind:        a.Kind.String(),
+				Score:       a.Score,
+				Start:       a.Window.Start,
+				End:         a.Window.End,
+				CPU:         a.CPU,
+				Task:        uint64(a.TaskID),
+				Counter:     a.Counter,
+				Explanation: a.Explanation,
+			})
+		}
+		resp.Count = len(resp.Anomalies)
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return append(body, '\n'), 0, nil
+	})
+}
+
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>Aftermath - {{.Name}}</title>
 <style>
@@ -398,6 +534,7 @@ code { color: #fc9; }
 <a href="/stats?t0={{.T0}}&t1={{.T1}}">interval statistics (JSON)</a>
 <a href="/matrix?t0={{.T0}}&t1={{.T1}}">communication matrix</a>
 <a href="/graph.dot">task graph (DOT)</a>
+<a href="/anomalies?t0={{.T0}}&t1={{.T1}}">anomalies (JSON)</a>
 </div>
 </body></html>`))
 
