@@ -92,6 +92,42 @@ func Open(path string) (*Trace, error) { return core.Load(path) }
 // OpenReader loads a trace from a stream.
 func OpenReader(r io.Reader) (*Trace, error) { return core.FromReader(r) }
 
+// ---- Live streaming ingest ----
+
+// LiveTrace is an appendable trace: record batches stream in while
+// readers query immutable epoch-versioned snapshots. A snapshot is
+// byte-identical to a cold Open of the stream prefix consumed so far
+// (the guarantee TestStreamEqualsBatch enforces), so every analysis,
+// metric and rendering API in this package works on live traces
+// unchanged.
+type LiveTrace = core.Live
+
+// RecordBatch is a decoded group of trace records, as produced by a
+// StreamReader poll and consumed by LiveTrace.Append.
+type RecordBatch = trace.RecordBatch
+
+// StreamReader incrementally decodes a trace that is still being
+// written; each Poll drains the bytes currently available and decodes
+// every complete record, buffering the partial tail.
+type StreamReader = trace.StreamReader
+
+// NewLiveTrace returns an empty live trace at epoch 0.
+func NewLiveTrace() *LiveTrace { return core.NewLive() }
+
+// NewStreamReader returns a StreamReader decoding the trace stream r.
+func NewStreamReader(r io.Reader) *StreamReader { return trace.NewStreamReader(r) }
+
+// OpenTraceStream opens a trace file for live tailing (uncompressed
+// traces only — a gzip stream cannot be decoded incrementally while it
+// is still being written).
+func OpenTraceStream(path string) (io.ReadCloser, error) { return trace.OpenStream(path) }
+
+// NewLiveViewer returns the interactive HTTP viewer for a live trace:
+// the same endpoints as NewViewer, updating as the trace grows, plus
+// the /live ingest-status endpoint. Cached responses are versioned by
+// the publish epoch.
+func NewLiveViewer(lv *LiveTrace, name string) *Viewer { return ui.NewLiveServer(lv, name) }
+
 // ---- Filters ----
 
 // TaskFilter selects tasks for views, statistics and exports.

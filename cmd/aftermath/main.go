@@ -1,13 +1,17 @@
 // Command aftermath explores a trace file: it prints a summary and an
 // ASCII timeline, and optionally serves the interactive HTTP viewer
 // with the full timeline modes, filters and statistics of the paper.
+// With -follow the trace may still be written while it is served: the
+// file is polled for appended records and the viewer's timelines,
+// statistics and anomaly rankings update continuously.
 //
 // Usage:
 //
-//	aftermath trace.atm.gz                 # summary + ASCII timeline
-//	aftermath -http :8080 trace.atm.gz     # interactive viewer
-//	aftermath -dot graph.dot trace.atm.gz  # export the task graph
-//	aftermath -anomalies trace.atm.gz      # ranked anomaly report
+//	aftermath trace.atm.gz                   # summary + ASCII timeline
+//	aftermath -http :8080 trace.atm.gz       # interactive viewer
+//	aftermath -dot graph.dot trace.atm.gz    # export the task graph
+//	aftermath -anomalies trace.atm.gz        # ranked anomaly report
+//	aftermath -follow -http :8080 trace.atm  # tail a growing trace
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	aftermath "github.com/openstream/aftermath"
 )
@@ -31,6 +36,8 @@ func main() {
 		anomTop  = flag.Int("top", 15, "maximum anomalies printed/annotated in -anomalies mode")
 		anomMin  = flag.Float64("minscore", 0, "anomaly severity cutoff (0 = default)")
 		annOut   = flag.String("annotations", "", "write the top anomalies as an annotation JSON file")
+		follow   = flag.Bool("follow", false, "tail a trace that is still being written and serve it live (requires -http; uncompressed traces only)")
+		pollIv   = flag.Duration("poll", 500*time.Millisecond, "poll interval for -follow mode")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,8 +49,15 @@ func main() {
 		httpAddr: *httpAddr, dotOut: *dotOut, dotMax: *dotMax,
 		width: *width, rows: *rows, nmPath: *nmPath,
 		anomalies: *anoms, anomTop: *anomTop, anomMinScore: *anomMin, annOut: *annOut,
+		follow: *follow, pollEvery: *pollIv,
 	}
-	if err := run(flag.Arg(0), opts); err != nil {
+	var err error
+	if opts.follow {
+		err = runFollow(flag.Arg(0), opts)
+	} else {
+		err = run(flag.Arg(0), opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aftermath:", err)
 		os.Exit(1)
 	}
@@ -56,6 +70,56 @@ type runOptions struct {
 	anomTop                  int
 	anomMinScore             float64
 	annOut                   string
+	follow                   bool
+	pollEvery                time.Duration
+}
+
+// runFollow tails a growing trace file and serves it live: every poll
+// appends newly written records, publishes a snapshot and bumps the
+// epoch, so the viewer's timelines, statistics and anomaly rankings
+// track the run while it executes.
+func runFollow(path string, o runOptions) error {
+	if o.httpAddr == "" {
+		return fmt.Errorf("-follow requires -http (the live trace is served, not summarized once)")
+	}
+	if o.anomalies || o.annOut != "" || o.dotOut != "" || o.nmPath != "" {
+		return fmt.Errorf("-follow serves the live viewer only; -anomalies/-annotations/-dot/-nm are one-shot analyses — query /anomalies on the live server, or run them after the trace is complete")
+	}
+	if o.pollEvery <= 0 {
+		o.pollEvery = 500 * time.Millisecond
+	}
+	rc, err := aftermath.OpenTraceStream(path)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	lv := aftermath.NewLiveTrace()
+	sr := aftermath.NewStreamReader(rc)
+	if _, err := lv.Feed(sr); err != nil {
+		return err
+	}
+	tr, epoch := lv.Snapshot()
+	fmt.Printf("following %s: epoch %d, %d tasks, %d CPUs, span %d cycles so far\n",
+		path, epoch, len(tr.Tasks), tr.NumCPUs(), tr.Span.Duration())
+
+	viewer := aftermath.NewLiveViewer(lv, path)
+	go func() {
+		tick := time.NewTicker(o.pollEvery)
+		defer tick.Stop()
+		for range tick.C {
+			if _, err := lv.Feed(sr); err != nil {
+				// Sticky: stop polling. The viewer keeps serving the
+				// snapshots already published, and /live reports the
+				// error so pollers can tell "dead ingest" from "quiet
+				// run".
+				fmt.Fprintln(os.Stderr, "aftermath: stream:", err)
+				return
+			}
+		}
+	}()
+	fmt.Printf("serving live viewer on http://%s (polling every %s; /live reports ingest status)\n",
+		o.httpAddr, o.pollEvery)
+	return http.ListenAndServe(o.httpAddr, viewer)
 }
 
 func run(path string, o runOptions) error {

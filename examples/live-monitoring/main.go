@@ -1,0 +1,141 @@
+// Live monitoring: analyzing a trace that is still being written.
+//
+// The paper's workflow is post-mortem — collect a trace, then load and
+// explore it. This example walks the streaming counterpart: a producer
+// is still appending records to the trace file while a follower tails
+// it, publishing epoch-versioned snapshots whose timelines, metrics
+// and anomaly rankings update as the run progresses. Every snapshot is
+// byte-identical to a cold load of the file's current prefix, so
+// nothing about the analysis changes — only when it can start.
+//
+// The same loop backs the CLI:
+//
+//	aftermath -follow -http :8080 trace.atm
+//
+// Run with: go run ./examples/live-monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	aftermath "github.com/openstream/aftermath"
+)
+
+func main() {
+	// 1. Simulate a seidel run into memory: this stands in for any
+	//    long-running task-parallel job whose runtime writes a trace as
+	//    it executes. (Streaming requires an uncompressed trace — a
+	//    gzip stream cannot be decoded while still being written.)
+	prog, err := aftermath.BuildSeidel(aftermath.ScaledSeidelConfig(6, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := aftermath.DefaultSimConfig(aftermath.SmallMachine(4, 4))
+	var buf traceBuffer
+	if _, err := aftermath.Simulate(prog, cfg, &buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated trace: %d bytes\n", len(buf.data))
+
+	// 2. The producer: write the trace to disk in bursts, the way a
+	//    tracing runtime flushes its buffers while the job runs.
+	dir, err := os.MkdirTemp("", "aftermath-live")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.atm")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		defer f.Close()
+		const bursts = 12
+		chunk := len(buf.data)/bursts + 1
+		for off := 0; off < len(buf.data); off += chunk {
+			end := off + chunk
+			if end > len(buf.data) {
+				end = len(buf.data)
+			}
+			if _, err := f.Write(buf.data[off:end]); err != nil {
+				log.Fatal(err)
+			}
+			time.Sleep(40 * time.Millisecond) // the job is still computing
+		}
+	}()
+
+	// 3. The follower: tail the growing file. Each Feed polls the
+	//    stream, appends the newly arrived records and publishes a new
+	//    epoch; Snapshot hands back an immutable trace any analysis in
+	//    this package accepts.
+	rc, err := aftermath.OpenTraceStream(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rc.Close()
+	lv := aftermath.NewLiveTrace()
+	sr := aftermath.NewStreamReader(rc)
+	done := false
+	for !done {
+		select {
+		case <-producerDone:
+			done = true
+		case <-time.After(25 * time.Millisecond):
+		}
+		n, err := lv.Feed(sr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 && !done {
+			continue
+		}
+		tr, epoch := lv.Snapshot()
+		// Any query works mid-ingest: here the current span, task count
+		// and the early anomaly ranking.
+		found := aftermath.ScanAnomalies(tr, aftermath.AnomalyConfig{})
+		fmt.Printf("epoch %2d: %7d bytes ingested, %4d tasks, span %9d cycles, %2d anomalies\n",
+			epoch, sr.Consumed(), len(tr.Tasks), tr.Span.Duration(), len(found))
+	}
+	// Drain whatever the producer flushed after our last poll.
+	if _, err := lv.Feed(sr); err != nil {
+		log.Fatal(err)
+	}
+	if err := sr.Done(); err != nil {
+		log.Fatalf("stream ended mid-record: %v", err)
+	}
+
+	// 4. The run is over; the live trace is now simply a loaded trace.
+	//    Its final snapshot matches a cold aftermath.Open of the file.
+	tr, epoch := lv.Snapshot()
+	cold, err := aftermath.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal epoch %d: %d tasks (cold load agrees: %v)\n",
+		epoch, len(tr.Tasks), len(tr.Tasks) == len(cold.Tasks) && tr.Span == cold.Span)
+	fmt.Println("\ntop final anomalies:")
+	found := aftermath.ScanAnomalies(tr, aftermath.AnomalyConfig{})
+	top := 5
+	if len(found) < top {
+		top = len(found)
+	}
+	for _, a := range found[:top] {
+		fmt.Println("  " + a.String())
+	}
+	fmt.Println("\nserve this live with: aftermath -follow -http :8080 " + path)
+}
+
+// traceBuffer collects the simulated trace in memory.
+type traceBuffer struct{ data []byte }
+
+func (t *traceBuffer) Write(p []byte) (int, error) {
+	t.data = append(t.data, p...)
+	return len(p), nil
+}

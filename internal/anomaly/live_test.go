@@ -1,0 +1,66 @@
+package anomaly
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+// TestLiveScannerMemoizes: same epoch + key scans once; an epoch bump
+// or a different key re-scans; an older epoch's snapshot scans without
+// poisoning the memo; an empty key bypasses the memo.
+func TestLiveScannerMemoizes(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedRandom)
+	s := NewLiveScanner()
+	cfg := Config{Windows: 16}
+	const key = "w16"
+
+	first := s.Scan(tr, 1, key, cfg)
+	second := s.Scan(tr, 1, key, cfg)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("memoized result differs")
+	}
+	// The memo returns the identical slice, not a re-scan.
+	if len(first) > 0 && &first[0] != &second[0] {
+		t.Fatal("same epoch + key was re-scanned")
+	}
+	if want := Scan(tr, cfg); !reflect.DeepEqual(first, want) {
+		t.Fatal("memoized result differs from a direct Scan")
+	}
+
+	// New epoch: fresh scan (equal content for the same trace).
+	third := s.Scan(tr, 2, key, cfg)
+	if !reflect.DeepEqual(first, third) {
+		t.Fatal("scan of identical trace at new epoch differs")
+	}
+	if len(first) > 0 && &first[0] == &third[0] {
+		t.Fatal("epoch bump did not invalidate the memo")
+	}
+
+	// Old-epoch scan: correct result, current memo untouched.
+	old := s.Scan(tr, 1, key, cfg)
+	if !reflect.DeepEqual(first, old) {
+		t.Fatal("old-epoch scan differs")
+	}
+	cur := s.Scan(tr, 2, key, cfg)
+	if len(third) > 0 && &third[0] != &cur[0] {
+		t.Fatal("old-epoch scan evicted the current epoch's memo")
+	}
+
+	// A different key at the same epoch is a separate entry.
+	other := s.Scan(tr, 2, "w32", Config{Windows: 32})
+	if want := Scan(tr, Config{Windows: 32}); !reflect.DeepEqual(other, want) {
+		t.Fatal("second key's scan differs from a direct Scan")
+	}
+
+	// Empty key: always a direct scan, never memoized.
+	bypass := s.Scan(tr, 2, "", cfg)
+	if !reflect.DeepEqual(bypass, third) {
+		t.Fatal("memo-bypass scan differs")
+	}
+	if len(bypass) > 0 && &bypass[0] == &third[0] {
+		t.Fatal("empty key unexpectedly hit the memo")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/openstream/aftermath/internal/mmtree"
 	"github.com/openstream/aftermath/internal/par"
+	"github.com/openstream/aftermath/internal/trace"
 )
 
 // RateScale is the fixed-point scale for rate trees: rates are stored
@@ -69,6 +70,35 @@ func (ci *CounterIndex) Tree(c *Counter, cpu int32) *mmtree.Tree {
 	return e.tree
 }
 
+// rateSamples computes the fixed-point rate entries derived from a
+// counter's sample array: entry i (for i in [from, len(samples)-1))
+// covers [samples[i].Time, samples[i+1].Time) at the constant rate
+// (dv * 1000 * RateScale / dt) events per kilocycle, 0 when dt <= 0.
+// Both the lazy RateTree build and the live ingest path's incremental
+// tree extension derive their entries here, so the two stay
+// bit-identical by construction.
+func rateSamples(samples []trace.CounterSample, from int) (times, values []int64) {
+	if from < 0 {
+		from = 0
+	}
+	n := len(samples) - 1 - from
+	if n <= 0 {
+		return nil, nil
+	}
+	times = make([]int64, n)
+	values = make([]int64, n)
+	for i := 0; i < n; i++ {
+		s := from + i
+		dt := samples[s+1].Time - samples[s].Time
+		times[i] = samples[s].Time
+		if dt > 0 {
+			dv := samples[s+1].Value - samples[s].Value
+			values[i] = dv * 1000 * RateScale / dt
+		}
+	}
+	return times, values
+}
+
 // RateTree returns the min/max tree over the counter's discrete
 // derivative on cpu, in fixed-point events per kilocycle: the constant
 // interpolation per task of Figure 18 (counters are sampled
@@ -77,24 +107,19 @@ func (ci *CounterIndex) Tree(c *Counter, cpu int32) *mmtree.Tree {
 func (ci *CounterIndex) RateTree(c *Counter, cpu int32) *mmtree.Tree {
 	e := ci.entry(counterCPU{uint64(c.Desc.ID), cpu, true})
 	e.once.Do(func() {
-		samples := c.Samples(cpu)
-		n := 0
-		if len(samples) > 1 {
-			n = len(samples) - 1
-		}
-		times := make([]int64, n)
-		values := make([]int64, n)
-		for i := 0; i < n; i++ {
-			dt := samples[i+1].Time - samples[i].Time
-			times[i] = samples[i].Time
-			if dt > 0 {
-				dv := samples[i+1].Value - samples[i].Value
-				values[i] = dv * 1000 * RateScale / dt
-			}
-		}
+		times, values := rateSamples(c.Samples(cpu), 0)
 		e.tree = mmtree.Build(times, values, ci.arity)
 	})
 	return e.tree
+}
+
+// seed installs a prebuilt tree for a key. The live ingest path uses
+// this to hand each published snapshot the incrementally extended
+// trees (mmtree append mode) instead of letting the snapshot rebuild
+// them from scratch; unseeded keys still build lazily on first use.
+func (ci *CounterIndex) seed(key counterCPU, t *mmtree.Tree) {
+	e := ci.entry(key)
+	e.once.Do(func() { e.tree = t })
 }
 
 // CounterIndex returns the trace's shared min/max tree index, creating

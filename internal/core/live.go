@@ -1,0 +1,495 @@
+// Live streaming ingest: a Live trace accepts record batches while it
+// is being queried, turning the "load once, then explore" workflow of
+// the paper into "append forever" — the run can still be executing
+// while its timeline, metrics and anomaly rankings are served.
+//
+// The design separates a mutable builder from immutable snapshots. The
+// builder accumulates exactly the state a batch load accumulates
+// before indexing (per-CPU event arrays in stream order, first-touch
+// task/type/counter tables, the raw region list), guarded by a coarse
+// epoch lock. Publish finalizes a snapshot through the same helpers
+// the batch indexer uses (applyExecs, finalizeTypes, sortRegions,
+// buildCounterNameIndex), so a snapshot is — provably, see
+// TestStreamEqualsBatch — byte-identical to a cold Load of the stream
+// prefix consumed so far. Snapshots share the large event arrays with
+// the builder: appends only ever write beyond a snapshot's slice
+// lengths, so readers keep querying older epochs race-free while the
+// writer appends.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/openstream/aftermath/internal/mmtree"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// Live is an appendable trace. Writers feed it record batches (Append,
+// or Feed from a StreamReader) and publish immutable snapshots;
+// readers take the latest snapshot — a regular *Trace plus its epoch —
+// and run any existing query, metric, render or anomaly code on it
+// unchanged. Safe for one writer and any number of readers; Append,
+// Publish and Feed serialize on the internal epoch lock.
+type Live struct {
+	mu sync.Mutex // the coarse epoch lock: serializes all writes
+
+	// Builder state, guarded by mu.
+	topo    trace.Topology
+	hasTopo bool
+	maxCPU  int32
+
+	cpus  []CPUData
+	order []cpuOrder
+	execs [][]execSpan
+
+	types    []trace.TaskType
+	typeByID map[trace.TypeID]int
+
+	tasks    []TaskInfo
+	taskByID map[trace.TaskID]int
+
+	counters    []*liveCounter
+	counterByID map[trace.CounterID]int
+
+	regions []trace.MemRegion
+
+	spanSet bool
+	spanMin trace.Time
+	spanMax trace.Time
+
+	snap    atomic.Pointer[liveSnap]
+	lastErr atomic.Pointer[ingestErr]
+}
+
+// ingestErr boxes the first sticky ingest error for atomic publication.
+type ingestErr struct{ err error }
+
+// liveSnap pairs a published snapshot with its epoch.
+type liveSnap struct {
+	tr    *Trace
+	epoch uint64
+}
+
+// cpuOrder tracks per-family timestamp monotonicity for one CPU. The
+// format guarantees per-CPU order, so the dirty flags stay false in
+// practice; a producer that violates the guarantee only costs that
+// CPU a copy + stable sort per snapshot (the same repair a batch load
+// performs once).
+type cpuOrder struct {
+	lastState     trace.Time
+	lastDiscrete  trace.Time
+	lastComm      trace.Time
+	stateDirty    bool
+	discreteDirty bool
+	commDirty     bool
+}
+
+// liveCounter wraps one counter with per-CPU order tracking and the
+// incrementally extended min/max trees.
+type liveCounter struct {
+	c     *Counter
+	last  []trace.Time
+	dirty []bool
+	// trees/rateTrees[cpu] cover the first treeN[cpu] samples, extended
+	// via mmtree append mode at publish; nil rows build lazily in the
+	// snapshot instead (dirty pairs).
+	trees     []*mmtree.Tree
+	rateTrees []*mmtree.Tree
+	treeN     []int
+}
+
+// NewLive returns an empty live trace at epoch 0. Its initial snapshot
+// is the empty trace a batch load of a bare stream header produces.
+func NewLive() *Live {
+	lv := &Live{
+		typeByID:    make(map[trace.TypeID]int),
+		taskByID:    make(map[trace.TaskID]int),
+		counterByID: make(map[trace.CounterID]int),
+		maxCPU:      -1,
+	}
+	lv.snap.Store(&liveSnap{tr: lv.snapshotLocked()})
+	return lv
+}
+
+// Snapshot returns the most recently published snapshot and its epoch.
+// The returned trace is immutable and safe to query concurrently with
+// further appends. Lock-free.
+func (lv *Live) Snapshot() (*Trace, uint64) {
+	s := lv.snap.Load()
+	return s.tr, s.epoch
+}
+
+// Epoch returns the current published epoch. The epoch increments on
+// every Publish, so it versions every derived artifact (cache keys,
+// memoized scans) computed from a snapshot.
+func (lv *Live) Epoch() uint64 {
+	return lv.snap.Load().epoch
+}
+
+// Err returns the first error the ingest path hit (a corrupt stream, a
+// failed append), or nil while ingest is healthy. Such errors are
+// sticky: the already-published snapshots stay valid and queryable,
+// but no further data will arrive, which status surfaces (the /live
+// endpoint, the -follow loop) must report instead of letting a frozen
+// trace masquerade as a quiescent run.
+func (lv *Live) Err() error {
+	if p := lv.lastErr.Load(); p != nil {
+		return p.err
+	}
+	return nil
+}
+
+// noteErr records the first ingest error.
+func (lv *Live) noteErr(err error) {
+	if err != nil && lv.lastErr.Load() == nil {
+		lv.lastErr.Store(&ingestErr{err})
+	}
+}
+
+// Append extends the trace with decoded record batches, in stream
+// order. The new data becomes visible to readers at the next Publish.
+func (lv *Live) Append(batches ...*trace.RecordBatch) error {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	for _, b := range batches {
+		if err := lv.appendLocked(b); err != nil {
+			lv.noteErr(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// Publish finalizes the appended data into a new immutable snapshot,
+// stores it as the current epoch+1 and returns it.
+func (lv *Live) Publish() (*Trace, uint64) {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return lv.publishLocked()
+}
+
+// Feed polls the stream reader once, appends every decoded batch and,
+// if any records arrived, publishes a new snapshot. It returns the
+// number of records appended. This is the per-tick body of the
+// follow/live-monitoring loop.
+func (lv *Live) Feed(sr *trace.StreamReader) (int, error) {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	n, err := sr.Poll(func(b *trace.RecordBatch) error {
+		return lv.appendLocked(b)
+	})
+	if n > 0 {
+		lv.publishLocked()
+	}
+	lv.noteErr(err)
+	return n, err
+}
+
+// cpu returns the builder slots for a CPU id, growing the per-CPU
+// tables as needed.
+func (lv *Live) cpu(id int32) (*CPUData, *cpuOrder) {
+	for int(id) >= len(lv.cpus) {
+		lv.cpus = append(lv.cpus, CPUData{})
+		lv.order = append(lv.order, cpuOrder{})
+		lv.execs = append(lv.execs, nil)
+	}
+	if id > lv.maxCPU {
+		lv.maxCPU = id
+	}
+	return &lv.cpus[id], &lv.order[id]
+}
+
+// counterFor returns the live slot for a counter, registering it in
+// first-touch order exactly like a batch load.
+func (lv *Live) counterFor(id trace.CounterID) *liveCounter {
+	if i, ok := lv.counterByID[id]; ok {
+		return lv.counters[i]
+	}
+	lc := &liveCounter{c: &Counter{Desc: trace.CounterDesc{ID: id, Monotonic: true}}}
+	lv.counterByID[id] = len(lv.counters)
+	lv.counters = append(lv.counters, lc)
+	return lc
+}
+
+// applyTask mirrors Trace.applyTask on the builder tables.
+func (lv *Live) applyTask(t trace.Task) {
+	if i, ok := lv.taskByID[t.ID]; ok {
+		ti := &lv.tasks[i]
+		ti.Type, ti.Created, ti.CreatorCPU = t.Type, t.Created, t.CreatorCPU
+		return
+	}
+	lv.taskByID[t.ID] = len(lv.tasks)
+	lv.tasks = append(lv.tasks, TaskInfo{
+		ID: t.ID, Type: t.Type, Created: t.Created,
+		CreatorCPU: t.CreatorCPU, ExecCPU: -1,
+	})
+}
+
+// growSpan extends the incremental span. For sorted inputs this equals
+// the span the batch indexer derives from first/last samples and state
+// bounds; for disordered inputs it still tracks the true min/max.
+func (lv *Live) growSpan(lo, hi trace.Time) {
+	if !lv.spanSet || lo < lv.spanMin {
+		lv.spanMin = lo
+	}
+	if !lv.spanSet || hi > lv.spanMax {
+		lv.spanMax = hi
+	}
+	lv.spanSet = true
+}
+
+// appendLocked routes one batch into the builder — the streaming
+// counterpart of the batch loader's router + shard stage.
+func (lv *Live) appendLocked(b *trace.RecordBatch) error {
+	for _, t := range b.Topologies {
+		lv.topo = t
+		lv.hasTopo = true
+	}
+	for _, t := range b.TaskTypes {
+		if _, ok := lv.typeByID[t.ID]; !ok {
+			lv.typeByID[t.ID] = len(lv.types)
+			lv.types = append(lv.types, t)
+		}
+	}
+	for _, t := range b.Tasks {
+		lv.applyTask(t)
+	}
+	// Register counters in first-touch order, then apply descriptions,
+	// reproducing the counter table order of a sequential read.
+	for _, id := range b.CounterIDs {
+		lv.counterFor(id)
+	}
+	for _, d := range b.Descs {
+		lv.counterFor(d.ID).c.Desc = d
+	}
+	lv.regions = append(lv.regions, b.Regions...)
+	if b.MaxCPU > lv.maxCPU {
+		lv.maxCPU = b.MaxCPU
+	}
+
+	checkCPU := func(id int32) error {
+		if id < 0 || id > trace.MaxCPUID {
+			return fmt.Errorf("trace: implausible CPU id %d in appended batch", id)
+		}
+		return nil
+	}
+	for _, s := range b.States {
+		if err := checkCPU(s.CPU); err != nil {
+			return err
+		}
+		c, o := lv.cpu(s.CPU)
+		if len(c.States) > 0 && s.Start < o.lastState {
+			o.stateDirty = true
+		}
+		o.lastState = s.Start
+		c.States = append(c.States, s)
+		if s.State == trace.StateTaskExec && s.Task != trace.NoTask {
+			lv.execs[s.CPU] = append(lv.execs[s.CPU], execSpan{s.Task, s.Start, s.End})
+		}
+		lv.growSpan(s.Start, s.End)
+	}
+	for _, ev := range b.Discrete {
+		if err := checkCPU(ev.CPU); err != nil {
+			return err
+		}
+		c, o := lv.cpu(ev.CPU)
+		if len(c.Discrete) > 0 && ev.Time < o.lastDiscrete {
+			o.discreteDirty = true
+		}
+		o.lastDiscrete = ev.Time
+		c.Discrete = append(c.Discrete, ev)
+	}
+	for _, ev := range b.Comms {
+		if err := checkCPU(ev.CPU); err != nil {
+			return err
+		}
+		c, o := lv.cpu(ev.CPU)
+		if len(c.Comm) > 0 && ev.Time < o.lastComm {
+			o.commDirty = true
+		}
+		o.lastComm = ev.Time
+		c.Comm = append(c.Comm, ev)
+	}
+	for _, s := range b.Samples {
+		if err := checkCPU(s.CPU); err != nil {
+			return err
+		}
+		lc := lv.counterFor(s.Counter)
+		for int(s.CPU) >= len(lc.c.PerCPU) {
+			lc.c.PerCPU = append(lc.c.PerCPU, nil)
+			lc.last = append(lc.last, 0)
+			lc.dirty = append(lc.dirty, false)
+			lc.trees = append(lc.trees, nil)
+			lc.rateTrees = append(lc.rateTrees, nil)
+			lc.treeN = append(lc.treeN, 0)
+		}
+		if len(lc.c.PerCPU[s.CPU]) > 0 && s.Time < lc.last[s.CPU] {
+			lc.dirty[s.CPU] = true
+		}
+		lc.last[s.CPU] = s.Time
+		lc.c.PerCPU[s.CPU] = append(lc.c.PerCPU[s.CPU], s)
+		if s.CPU > lv.maxCPU {
+			lv.maxCPU = s.CPU
+		}
+		lv.growSpan(s.Time, s.Time)
+	}
+	return nil
+}
+
+// publishLocked builds a snapshot and stores it as the next epoch.
+func (lv *Live) publishLocked() (*Trace, uint64) {
+	tr := lv.snapshotLocked()
+	epoch := lv.snap.Load().epoch + 1
+	lv.snap.Store(&liveSnap{tr: tr, epoch: epoch})
+	return tr, epoch
+}
+
+// snapshotLocked finalizes the builder state into an immutable Trace,
+// through the same helpers the batch indexer runs, sharing the large
+// event and sample arrays with the builder (copy-on-write only for the
+// tables the finalization mutates).
+//
+// Cost per publish: the event and sample arrays — the bulk of a trace
+// — are shared, never copied or re-scanned, and the min/max trees
+// extend in amortized append mode, so those scale with the appended
+// data only. The task table and its id maps, however, are copied per
+// publish (exec application mutates task entries in place, and the
+// batch semantics re-apply every placement in CPU order), as are the
+// small type/region/counter tables — O(tasks) work per epoch. That is
+// the price of strict batch equivalence; per-task delta tracking could
+// amortize it, at the cost of reimplementing (rather than reusing) the
+// batch indexer's placement semantics.
+func (lv *Live) snapshotLocked() *Trace {
+	tr := &Trace{Topology: lv.topo}
+	if !lv.hasTopo {
+		tr.Topology = synthTopology(lv.maxCPU)
+	}
+
+	// Per-CPU arrays: copy the slice headers, padded to maxCPU+1 like
+	// the batch indexer. Rows of a CPU that violated per-CPU order are
+	// deep-copied and stable-sorted — the identical repair index()
+	// performs — leaving the builder's stream-order row untouched.
+	execs := make([][]execSpan, int(lv.maxCPU)+1)
+	if n := int(lv.maxCPU) + 1; n > 0 {
+		cpus := make([]CPUData, n)
+		copy(cpus, lv.cpus)
+		for i := range lv.cpus {
+			o := &lv.order[i]
+			if o.stateDirty {
+				s := append([]trace.StateEvent(nil), cpus[i].States...)
+				sort.SliceStable(s, func(a, b int) bool { return s[a].Start < s[b].Start })
+				cpus[i].States = s
+				execs[i] = collectExecs(s)
+			} else {
+				execs[i] = lv.execs[i]
+			}
+			if o.discreteDirty {
+				d := append([]trace.DiscreteEvent(nil), cpus[i].Discrete...)
+				sort.SliceStable(d, func(a, b int) bool { return d[a].Time < d[b].Time })
+				cpus[i].Discrete = d
+			}
+			if o.commDirty {
+				c := append([]trace.CommEvent(nil), cpus[i].Comm...)
+				sort.SliceStable(c, func(a, b int) bool { return c[a].Time < c[b].Time })
+				cpus[i].Comm = c
+			}
+		}
+		tr.CPUs = cpus
+	}
+
+	// Small tables: finalize copies so the builder keeps its
+	// first-touch/stream order for the next epoch.
+	tr.Types = append([]trace.TaskType(nil), lv.types...)
+	tr.typeByID = make(map[trace.TypeID]int, len(lv.typeByID))
+	finalizeTypes(tr.Types, tr.typeByID)
+
+	tr.Regions = append([]trace.MemRegion(nil), lv.regions...)
+	sortRegions(tr.Regions)
+
+	tr.taskByID = make(map[trace.TaskID]int, len(lv.taskByID))
+	for k, v := range lv.taskByID {
+		tr.taskByID[k] = v
+	}
+	tr.Tasks = applyExecs(append([]TaskInfo(nil), lv.tasks...), tr.taskByID, execs)
+
+	tr.counterByID = make(map[trace.CounterID]int, len(lv.counterByID))
+	for k, v := range lv.counterByID {
+		tr.counterByID[k] = v
+	}
+	lv.extendTreesLocked()
+	ci := NewCounterIndex(0)
+	for _, lc := range lv.counters {
+		c := &Counter{Desc: lc.c.Desc}
+		if len(lc.c.PerCPU) > 0 {
+			c.PerCPU = make([][]trace.CounterSample, len(lc.c.PerCPU))
+			copy(c.PerCPU, lc.c.PerCPU)
+			for cpu := range lc.dirty {
+				if lc.dirty[cpu] && len(c.PerCPU[cpu]) > 1 {
+					s := append([]trace.CounterSample(nil), c.PerCPU[cpu]...)
+					sort.SliceStable(s, func(a, b int) bool { return s[a].Time < s[b].Time })
+					c.PerCPU[cpu] = s
+				}
+			}
+			for cpu := range lc.trees {
+				if lc.trees[cpu] != nil && !lc.dirty[cpu] {
+					key := counterCPU{uint64(c.Desc.ID), int32(cpu), false}
+					ci.seed(key, lc.trees[cpu])
+					key.rate = true
+					ci.seed(key, lc.rateTrees[cpu])
+				}
+			}
+		}
+		tr.Counters = append(tr.Counters, c)
+	}
+	tr.counterByName = buildCounterNameIndex(tr.Counters)
+	tr.cindexOnce.Do(func() { tr.cindex = ci })
+
+	if lv.spanSet {
+		tr.Span = Interval{Start: lv.spanMin, End: lv.spanMax}
+	}
+	return tr
+}
+
+// extendTreesLocked brings the incremental min/max trees up to the
+// current sample counts via mmtree append mode: only new samples are
+// scanned, so the per-epoch index cost is proportional to the appended
+// data, not the trace size. Pairs that went dirty fall back to the
+// snapshot's lazy per-epoch rebuild.
+func (lv *Live) extendTreesLocked() {
+	for _, lc := range lv.counters {
+		for cpu := range lc.c.PerCPU {
+			if lc.dirty[cpu] {
+				lc.trees[cpu], lc.rateTrees[cpu] = nil, nil
+				continue
+			}
+			s := lc.c.PerCPU[cpu]
+			n0, m := lc.treeN[cpu], len(s)
+			if m == n0 {
+				continue
+			}
+			times := make([]int64, m-n0)
+			values := make([]int64, m-n0)
+			for i := n0; i < m; i++ {
+				times[i-n0], values[i-n0] = s[i].Time, s[i].Value
+			}
+			if lc.trees[cpu] == nil {
+				lc.trees[cpu] = mmtree.Build(times, values, mmtree.DefaultArity)
+			} else {
+				lc.trees[cpu] = lc.trees[cpu].Append(times, values)
+			}
+			// Rates: entry i spans samples (i, i+1), so appending
+			// samples [n0, m) adds the rate entries [max(n0-1,0), m-1),
+			// derived by the same helper RateTree builds from.
+			rTimes, rValues := rateSamples(s, n0-1)
+			if lc.rateTrees[cpu] == nil {
+				lc.rateTrees[cpu] = mmtree.Build(rTimes, rValues, mmtree.DefaultArity)
+			} else {
+				lc.rateTrees[cpu] = lc.rateTrees[cpu].Append(rTimes, rValues)
+			}
+			lc.treeN[cpu] = m
+		}
+	}
+}

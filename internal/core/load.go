@@ -321,6 +321,90 @@ func (sh *loadShard) run() {
 	}
 }
 
+// execSpan is one task execution interval collected from a CPU's
+// state events, in event order. Both the batch indexer and the live
+// snapshot path apply these through applyExecs.
+type execSpan struct {
+	task       trace.TaskID
+	start, end trace.Time
+}
+
+// synthTopology returns the flat single-node topology synthesized for
+// traces without a topology record.
+func synthTopology(maxCPU int32) trace.Topology {
+	n := int(maxCPU) + 1
+	if n < 1 {
+		n = 1
+	}
+	return trace.Topology{
+		Name:      "unknown",
+		NumNodes:  1,
+		NodeOfCPU: make([]int32, n),
+		Distance:  []int32{0},
+	}
+}
+
+// applyExecs applies task execution placements onto tasks in CPU and
+// event order — the sequential last-writer-wins semantics of a batch
+// load — synthesizing entries for tasks the trace carries no record
+// for (Section VI-A tolerance). byID is updated for synthesized tasks;
+// the (possibly grown) task slice is returned.
+func applyExecs(tasks []TaskInfo, byID map[trace.TaskID]int, perCPU [][]execSpan) []TaskInfo {
+	for cpu := range perCPU {
+		for _, e := range perCPU[cpu] {
+			idx, ok := byID[e.task]
+			if !ok {
+				idx = len(tasks)
+				byID[e.task] = idx
+				tasks = append(tasks, TaskInfo{ID: e.task, ExecCPU: -1})
+			}
+			ti := &tasks[idx]
+			ti.ExecCPU = int32(cpu)
+			ti.ExecStart = e.start
+			ti.ExecEnd = e.end
+		}
+	}
+	return tasks
+}
+
+// collectExecs returns the task execution intervals of a sorted state
+// array, in event order.
+func collectExecs(states []trace.StateEvent) []execSpan {
+	var out []execSpan
+	for _, s := range states {
+		if s.State == trace.StateTaskExec && s.Task != trace.NoTask {
+			out = append(out, execSpan{s.Task, s.Start, s.End})
+		}
+	}
+	return out
+}
+
+// finalizeTypes sorts the type table by ID in place and rewrites byID
+// to the sorted positions.
+func finalizeTypes(types []trace.TaskType, byID map[trace.TypeID]int) {
+	sort.Slice(types, func(a, b int) bool { return types[a].ID < types[b].ID })
+	for i, t := range types {
+		byID[t.ID] = i
+	}
+}
+
+// sortRegions sorts the region table by address in place.
+func sortRegions(regions []trace.MemRegion) {
+	sort.Slice(regions, func(a, b int) bool { return regions[a].Addr < regions[b].Addr })
+}
+
+// buildCounterNameIndex returns the name index over the counter table:
+// the first counter (in table order) wins each name.
+func buildCounterNameIndex(counters []*Counter) map[string]int {
+	byName := make(map[string]int, len(counters))
+	for i, c := range counters {
+		if _, ok := byName[c.Desc.Name]; !ok {
+			byName[c.Desc.Name] = i
+		}
+	}
+	return byName
+}
+
 // index finalizes the loaded trace: synthesizes a topology if absent,
 // repairs ordering if a producer violated it, sorts the region table,
 // derives task execution placement and computes the time span. The
@@ -329,16 +413,7 @@ func (sh *loadShard) run() {
 // outcome is identical to a sequential pass.
 func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 	if !hasTopo {
-		n := int(maxCPU) + 1
-		if n < 1 {
-			n = 1
-		}
-		tr.Topology = trace.Topology{
-			Name:      "unknown",
-			NumNodes:  1,
-			NodeOfCPU: make([]int32, n),
-			Distance:  []int32{0},
-		}
+		tr.Topology = synthTopology(maxCPU)
 	}
 	for int(maxCPU) >= len(tr.CPUs) {
 		tr.CPUs = append(tr.CPUs, CPUData{})
@@ -348,10 +423,6 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 	// guarantees per-CPU order; tolerate producers that violated it by
 	// re-sorting, cheap when already sorted), find the CPU's time
 	// bounds, and collect task execution intervals in event order.
-	type execSpan struct {
-		task       trace.TaskID
-		start, end trace.Time
-	}
 	type cpuIndex struct {
 		min, max trace.Time
 		has      bool
@@ -378,10 +449,8 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 				res.max = s.End
 			}
 			res.has = true
-			if s.State == trace.StateTaskExec && s.Task != trace.NoTask {
-				res.execs = append(res.execs, execSpan{s.Task, s.Start, s.End})
-			}
 		}
+		res.execs = collectExecs(c.States)
 	})
 
 	// Per-(counter, cpu) sample arrays are independent too.
@@ -404,7 +473,7 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 		}
 	})
 
-	sort.Slice(tr.Regions, func(a, b int) bool { return tr.Regions[a].Addr < tr.Regions[b].Addr })
+	sortRegions(tr.Regions)
 
 	// Serial merge, in CPU order: the span, and task placement derived
 	// from execution states — synthesizing tasks for traces without
@@ -426,20 +495,11 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 		}
 		first = false
 	}
+	execs := make([][]execSpan, len(perCPU))
 	for cpu := range perCPU {
-		for _, e := range perCPU[cpu].execs {
-			idx, ok := tr.taskByID[e.task]
-			if !ok {
-				idx = len(tr.Tasks)
-				tr.taskByID[e.task] = idx
-				tr.Tasks = append(tr.Tasks, TaskInfo{ID: e.task, ExecCPU: -1})
-			}
-			ti := &tr.Tasks[idx]
-			ti.ExecCPU = int32(cpu)
-			ti.ExecStart = e.start
-			ti.ExecEnd = e.end
-		}
+		execs[cpu] = perCPU[cpu].execs
 	}
+	tr.Tasks = applyExecs(tr.Tasks, tr.taskByID, execs)
 	for _, c := range tr.Counters {
 		for cpu := range c.PerCPU {
 			s := c.PerCPU[cpu]
@@ -456,14 +516,6 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 		}
 	}
 	tr.Span = Interval{Start: start, End: end}
-	sort.Slice(tr.Types, func(a, b int) bool { return tr.Types[a].ID < tr.Types[b].ID })
-	for i, t := range tr.Types {
-		tr.typeByID[t.ID] = i
-	}
-	tr.counterByName = make(map[string]int, len(tr.Counters))
-	for i, c := range tr.Counters {
-		if _, ok := tr.counterByName[c.Desc.Name]; !ok {
-			tr.counterByName[c.Desc.Name] = i
-		}
-	}
+	finalizeTypes(tr.Types, tr.typeByID)
+	tr.counterByName = buildCounterNameIndex(tr.Counters)
 }

@@ -1,0 +1,96 @@
+package mmtree
+
+// Append returns a tree over the concatenation of t's samples and the
+// given (time, value) samples — the amortized extension mode used by
+// the live streaming ingest path, which would otherwise rebuild every
+// tree from scratch on each published snapshot.
+//
+// The returned tree is structurally identical to
+// Build(allTimes, allValues, arity) over the concatenated sample
+// sequence (see TestAppendEqualsBuild): internal min/max blocks whose
+// leaves are all old are copied from t unchanged, and only the partial
+// tail block of each level plus the blocks covering new leaves are
+// recomputed, so an append of k samples costs O(k + levels·arity)
+// plus one O(n/arity) header copy per level.
+//
+// t itself remains valid and immutable: internal levels are fresh
+// arrays, and leaf storage is extended with append, which never
+// touches elements below t's length. Consequently trees must form a
+// linear chain — appending twice to the same tree would make both
+// results share tail storage. The caller keeps exactly one live chain,
+// as Build-then-Append-per-epoch naturally does.
+func (t *Tree) Append(times, values []int64) *Tree {
+	if len(times) != len(values) {
+		panic("mmtree: times and values length mismatch")
+	}
+	if len(times) == 0 {
+		return t
+	}
+	arity := t.arity
+	if arity < 2 {
+		arity = DefaultArity
+	}
+	nt := &Tree{
+		arity:  arity,
+		times:  append(t.times, times...),
+		values: append(t.values, values...),
+	}
+
+	// Rebuild the internal levels bottom-up. keepChildren counts the
+	// leading children of the current level that are identical between
+	// the old and new tree: at the leaf level every old sample, above
+	// that every block built purely from unchanged children.
+	keepChildren := len(t.values)
+	childLen := len(nt.values)
+	for level := 0; childLen > 1; level++ {
+		blocks := (childLen + arity - 1) / arity
+		keep := keepChildren / arity
+		if level >= len(t.mins) {
+			keep = 0
+		} else if keep > len(t.mins[level]) {
+			keep = len(t.mins[level])
+		}
+		mins := make([]int64, blocks)
+		maxs := make([]int64, blocks)
+		if keep > 0 {
+			copy(mins, t.mins[level][:keep])
+			copy(maxs, t.maxs[level][:keep])
+		}
+		for i := keep; i < blocks; i++ {
+			lo := i * arity
+			hi := lo + arity
+			if hi > childLen {
+				hi = childLen
+			}
+			var mn, mx int64
+			if level == 0 {
+				mn, mx = nt.values[lo], nt.values[lo]
+				for j := lo + 1; j < hi; j++ {
+					if v := nt.values[j]; v < mn {
+						mn = v
+					}
+					if v := nt.values[j]; v > mx {
+						mx = v
+					}
+				}
+			} else {
+				cm, cM := nt.mins[level-1], nt.maxs[level-1]
+				mn, mx = cm[lo], cM[lo]
+				for j := lo + 1; j < hi; j++ {
+					if cm[j] < mn {
+						mn = cm[j]
+					}
+					if cM[j] > mx {
+						mx = cM[j]
+					}
+				}
+			}
+			mins[i], maxs[i] = mn, mx
+		}
+		nt.mins = append(nt.mins, mins)
+		nt.maxs = append(nt.maxs, maxs)
+		keepChildren = keep
+		childLen = blocks
+	}
+	return nt
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"io"
 	"os"
 	"strings"
@@ -70,6 +71,29 @@ func Open(path string) (io.ReadCloser, error) {
 		return &gzipReadCloser{gz: gz, file: f}, nil
 	}
 	return &bufReadCloser{r: br, file: f}, nil
+}
+
+// openStreamFile opens path for live tailing: the raw file handle is
+// returned (so later Reads observe appended bytes), after a
+// best-effort gzip rejection. A file that does not yet hold two bytes
+// is admitted — the StreamReader's own magic check catches a gzip
+// producer as soon as the header arrives.
+func openStreamFile(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [2]byte
+	if n, _ := io.ReadFull(f, head[:]); n == 2 &&
+		head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		f.Close()
+		return nil, errors.New("trace: cannot tail a gzip-compressed trace; decompress it first")
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 // ReadFile reads all records of the trace file at path into h.

@@ -33,17 +33,24 @@ import (
 // rendered tiles, small next to the traces the paper targets.
 const defaultCacheBytes = 32 << 20
 
-// Server serves one loaded trace. A loaded trace is immutable, so the
-// server caches rendered responses (see responseCache) and is safe
-// for concurrent clients.
+// Server serves one trace — either a fully loaded immutable one, or a
+// live trace that is still being appended to. Every request queries an
+// immutable snapshot, so rendered responses are cached (see
+// responseCache) under keys versioned by the snapshot's epoch: a
+// static trace is forever epoch 0 and caches exactly as before, while
+// a live trace invalidates naturally on every published append
+// (MISS → HIT → MISS-after-append). Safe for concurrent clients.
 type Server struct {
+	// Trace is the static trace served, nil when the server follows a
+	// live trace.
 	Trace *core.Trace
 	// Name is shown in the page title.
 	Name string
 
-	counters *render.CounterIndex
-	cache    *responseCache
-	mux      *http.ServeMux
+	live    *core.Live
+	scanner *anomaly.LiveScanner
+	cache   *responseCache
+	mux     *http.ServeMux
 	// anns are annotations overlaid on rendered timelines (e.g. the
 	// top anomaly-scan findings); annsVer keys the response cache so
 	// tiles rendered against an older set are never served for a
@@ -75,11 +82,24 @@ func (s *Server) annotationsState() (*annotations.Set, int) {
 
 // NewServer creates a viewer for a loaded trace.
 func NewServer(tr *core.Trace, name string) *Server {
+	return newServer(tr, nil, name)
+}
+
+// NewLiveServer creates a viewer for a live trace. Requests always see
+// the most recently published snapshot; timelines, metrics, statistics
+// and anomaly rankings update as the trace grows, and the /live
+// endpoint reports the current epoch and ingest progress.
+func NewLiveServer(lv *core.Live, name string) *Server {
+	return newServer(nil, lv, name)
+}
+
+func newServer(tr *core.Trace, lv *core.Live, name string) *Server {
 	s := &Server{
-		Trace:    tr,
-		Name:     name,
-		counters: tr.CounterIndex(),
-		cache:    newResponseCache(defaultCacheBytes),
+		Trace:   tr,
+		Name:    name,
+		live:    lv,
+		scanner: anomaly.NewLiveScanner(),
+		cache:   newResponseCache(defaultCacheBytes),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -90,8 +110,19 @@ func NewServer(tr *core.Trace, name string) *Server {
 	mux.HandleFunc("/task", s.handleTask)
 	mux.HandleFunc("/graph.dot", s.handleGraphDOT)
 	mux.HandleFunc("/anomalies", s.handleAnomalies)
+	mux.HandleFunc("/live", s.handleLive)
 	s.mux = mux
 	return s
+}
+
+// snapshot returns the trace to answer the current request from, with
+// the epoch that versions every cache key derived from it. Static
+// traces are forever epoch 0.
+func (s *Server) snapshot() (*core.Trace, uint64) {
+	if s.live != nil {
+		return s.live.Snapshot()
+	}
+	return s.Trace, 0
 }
 
 // serveCached serves the response for key from the cache, invoking
@@ -130,9 +161,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // window parses the t0/t1 query parameters, defaulting to the full
-// span.
-func (s *Server) window(r *http.Request) (int64, int64) {
-	t0, t1 := s.Trace.Span.Start, s.Trace.Span.End
+// span of the request's snapshot.
+func window(tr *core.Trace, r *http.Request) (int64, int64) {
+	t0, t1 := tr.Span.Start, tr.Span.End
 	if v := r.FormValue("t0"); v != "" {
 		if p, err := strconv.ParseInt(v, 10, 64); err == nil {
 			t0 = p
@@ -144,17 +175,17 @@ func (s *Server) window(r *http.Request) (int64, int64) {
 		}
 	}
 	if t1 <= t0 {
-		t0, t1 = s.Trace.Span.Start, s.Trace.Span.End
+		t0, t1 = tr.Span.Start, tr.Span.End
 	}
 	return t0, t1
 }
 
 // taskFilter parses filter query parameters: types (comma-separated
 // names), mindur/maxdur (cycles).
-func (s *Server) taskFilter(r *http.Request) *filter.TaskFilter {
+func taskFilter(tr *core.Trace, r *http.Request) *filter.TaskFilter {
 	var f *filter.TaskFilter
 	if v := r.FormValue("types"); v != "" {
-		f = filter.ByTypeNames(s.Trace, strings.Split(v, ",")...)
+		f = filter.ByTypeNames(tr, strings.Split(v, ",")...)
 	}
 	min, _ := strconv.ParseInt(r.FormValue("mindur"), 10, 64)
 	max, _ := strconv.ParseInt(r.FormValue("maxdur"), 10, 64)
@@ -165,7 +196,8 @@ func (s *Server) taskFilter(r *http.Request) *filter.TaskFilter {
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
-	t0, t1 := s.window(r)
+	tr, epoch := s.snapshot()
+	t0, t1 := window(tr, r)
 	mode, err := render.ParseMode(defaultStr(r.FormValue("mode"), "state"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -177,7 +209,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		Width: width, Height: height,
 		Start: t0, End: t1,
 		Mode:    mode,
-		Filter:  s.taskFilter(r),
+		Filter:  taskFilter(tr, r),
 		Labels:  r.FormValue("labels") != "0",
 		HeatMin: int64(formInt(r, "heatmin", 0)),
 		HeatMax: int64(formInt(r, "heatmax", 0)),
@@ -187,25 +219,25 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	rate := r.FormValue("rate") != "0"
 	anns, annsVer := s.annotationsState()
 	marks := anns != nil && r.FormValue("marks") != "0"
-	key := fmt.Sprintf("render|%d|%d|%d|%dx%d|%v|%d|%d|%d|%s|%v|%v|%d|%s",
-		mode, t0, t1, width, height, cfg.Labels, cfg.HeatMin, cfg.HeatMax,
+	key := fmt.Sprintf("e%d|render|%d|%d|%d|%dx%d|%v|%d|%d|%d|%s|%v|%v|%d|%s",
+		epoch, mode, t0, t1, width, height, cfg.Labels, cfg.HeatMin, cfg.HeatMax,
 		cfg.Shades, url.QueryEscape(cname), rate, marks, annsVer, filterKey(r))
 	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
-		fb, _, err := render.Timeline(s.Trace, cfg)
+		fb, _, err := render.Timeline(tr, cfg)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
 		if cname != "" {
-			if c, ok := s.Trace.CounterByName(cname); ok {
-				render.OverlayCounter(fb, s.Trace, cfg, render.OverlayConfig{
+			if c, ok := tr.CounterByName(cname); ok {
+				render.OverlayCounter(fb, tr, cfg, render.OverlayConfig{
 					Counter: c,
 					Rate:    rate,
 					Color:   render.CategoryColor(7),
-				}, s.counters)
+				}, tr.CounterIndex())
 			}
 		}
 		if marks {
-			render.OverlayAnnotations(fb, s.Trace, cfg, anns)
+			render.OverlayAnnotations(fb, tr, cfg, anns)
 		}
 		var buf bytes.Buffer
 		if err := fb.EncodePNG(&buf); err != nil {
@@ -216,11 +248,12 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
-	t0, t1 := s.window(r)
+	tr, epoch := s.snapshot()
+	t0, t1 := window(tr, r)
 	cell := clampInt(formInt(r, "cell", 14), 4, 64)
-	key := fmt.Sprintf("matrix|%d|%d|%d", t0, t1, cell)
+	key := fmt.Sprintf("e%d|matrix|%d|%d|%d", epoch, t0, t1, cell)
 	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
-		m := stats.CommMatrixOf(s.Trace, stats.ReadsAndWrites, t0, t1)
+		m := stats.CommMatrixOf(tr, stats.ReadsAndWrites, t0, t1)
 		fb := render.RenderMatrix(m, cell)
 		var buf bytes.Buffer
 		if err := fb.EncodePNG(&buf); err != nil {
@@ -231,21 +264,22 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
+	tr, epoch := s.snapshot()
 	intervals := clampInt(formInt(r, "n", 200), 10, 2000)
 	kind := defaultStr(r.FormValue("kind"), "idle")
 	width := clampInt(formInt(r, "w", 800), 100, 4000)
 	height := clampInt(formInt(r, "h", 220), 50, 2000)
-	key := fmt.Sprintf("plot|%s|%d|%dx%d|%s", url.QueryEscape(kind), intervals, width, height, filterKey(r))
+	key := fmt.Sprintf("e%d|plot|%s|%d|%dx%d|%s", epoch, url.QueryEscape(kind), intervals, width, height, filterKey(r))
 	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
 		var series metrics.Series
 		switch kind {
 		case "idle":
-			series = metrics.WorkersInState(s.Trace, trace.StateIdle, intervals)
+			series = metrics.WorkersInState(tr, trace.StateIdle, intervals)
 		case "avgdur":
-			series = metrics.AverageTaskDuration(s.Trace, intervals, s.taskFilter(r))
+			series = metrics.AverageTaskDuration(tr, intervals, taskFilter(tr, r))
 		default:
-			if c, ok := s.Trace.CounterByName(kind); ok {
-				agg := metrics.AggregateCounter(s.Trace, c, intervals)
+			if c, ok := tr.CounterByName(kind); ok {
+				agg := metrics.AggregateCounter(tr, c, intervals)
 				series = metrics.Derivative(agg)
 			} else {
 				return nil, http.StatusBadRequest, fmt.Errorf("unknown plot kind %s", kind)
@@ -280,11 +314,12 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	t0, t1 := s.window(r)
-	key := fmt.Sprintf("stats|%d|%d|%s", t0, t1, filterKey(r))
+	tr, epoch := s.snapshot()
+	t0, t1 := window(tr, r)
+	key := fmt.Sprintf("e%d|stats|%d|%d|%s", epoch, t0, t1, filterKey(r))
 	s.serveCached(w, key, "application/json", func() ([]byte, int, error) {
-		f := s.taskFilter(r).WithWindow(t0, t1)
-		st := StatsFor(s.Trace, f, t0, t1)
+		f := taskFilter(tr, r).WithWindow(t0, t1)
+		st := StatsFor(tr, f, t0, t1)
 		body, err := json.Marshal(st)
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
@@ -338,6 +373,7 @@ type accessResponse struct {
 }
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	tr, _ := s.snapshot()
 	// Select by id, or by cpu+time (clicking the timeline).
 	var task *core.TaskInfo
 	if v := r.FormValue("id"); v != "" {
@@ -346,7 +382,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad id", http.StatusBadRequest)
 			return
 		}
-		t, ok := s.Trace.TaskByID(trace.TaskID(id))
+		t, ok := tr.TaskByID(trace.TaskID(id))
 		if !ok {
 			http.Error(w, "no such task", http.StatusNotFound)
 			return
@@ -355,9 +391,9 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	} else {
 		cpu := int32(formInt(r, "cpu", 0))
 		at, _ := strconv.ParseInt(r.FormValue("at"), 10, 64)
-		for _, ev := range s.Trace.StatesIn(cpu, at, at+1) {
+		for _, ev := range tr.StatesIn(cpu, at, at+1) {
 			if ev.State == trace.StateTaskExec {
-				if t, ok := s.Trace.TaskByID(ev.Task); ok {
+				if t, ok := tr.TaskByID(ev.Task); ok {
 					task = t
 				}
 			}
@@ -367,22 +403,22 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	tt, _ := s.Trace.TypeByID(task.Type)
+	tt, _ := tr.TypeByID(task.Type)
 	resp := taskResponse{
 		ID:       uint64(task.ID),
-		Type:     s.Trace.TypeName(task.Type),
+		Type:     tr.TypeName(task.Type),
 		TypeAddr: fmt.Sprintf("0x%x", tt.Addr),
 		CPU:      task.ExecCPU,
-		Node:     s.Trace.NodeOfCPU(task.ExecCPU),
+		Node:     tr.NodeOfCPU(task.ExecCPU),
 		Start:    task.ExecStart,
 		End:      task.ExecEnd,
 		Duration: task.Duration(),
 	}
-	for _, ev := range s.Trace.TaskComm(task) {
+	for _, ev := range tr.TaskComm(task) {
 		a := accessResponse{
 			Addr: fmt.Sprintf("0x%x", ev.Addr),
 			Size: ev.Size,
-			Node: s.Trace.NodeOfAddr(ev.Addr),
+			Node: tr.NodeOfAddr(ev.Addr),
 		}
 		switch ev.Kind {
 		case trace.CommRead:
@@ -398,7 +434,8 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
-	g := taskgraph.Reconstruct(s.Trace)
+	tr, _ := s.snapshot()
+	g := taskgraph.Reconstruct(tr)
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
 	max := formInt(r, "max", 500)
 	if err := g.WriteDOT(w, taskgraph.DOTOptions{MaxTasks: max, Label: s.Name}); err != nil {
@@ -434,17 +471,18 @@ type anomaliesResponse struct {
 // other endpoint: a loaded trace is immutable, so a repeated query is
 // a cache hit.
 func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
-	t0, t1 := s.window(r)
+	tr, epoch := s.snapshot()
+	t0, t1 := window(tr, r)
 	// Clamp to the trace span (mirroring the scan's own clamping), so
 	// the echoed window is exactly the interval that was scanned.
-	if t0 < s.Trace.Span.Start {
-		t0 = s.Trace.Span.Start
+	if t0 < tr.Span.Start {
+		t0 = tr.Span.Start
 	}
-	if t1 > s.Trace.Span.End {
-		t1 = s.Trace.Span.End
+	if t1 > tr.Span.End {
+		t1 = tr.Span.End
 	}
 	if t1 <= t0 {
-		t0, t1 = s.Trace.Span.Start, s.Trace.Span.End
+		t0, t1 = tr.Span.Start, tr.Span.End
 	}
 	n := clampInt(formInt(r, "n", 50), 1, 1000)
 	windows := clampInt(formInt(r, "windows", anomaly.DefaultWindows), 8, 4096)
@@ -468,16 +506,19 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		}
 		wantKind, haveKind = k, true
 	}
-	key := fmt.Sprintf("anomalies|%d|%d|%d|%d|%g|%s|%s",
-		t0, t1, n, windows, minScore, url.QueryEscape(kindName), filterKey(r))
+	// The scan memo key deliberately excludes n and kind: they filter
+	// the response, not the scan, so requests differing only in those
+	// parameters share one memoized scan per epoch.
+	scanKey := fmt.Sprintf("%d|%d|%d|%g|%s", t0, t1, windows, minScore, filterKey(r))
+	key := fmt.Sprintf("e%d|anomalies|%s|%d|%s", epoch, scanKey, n, url.QueryEscape(kindName))
 	s.serveCached(w, key, "application/json", func() ([]byte, int, error) {
 		cfg := anomaly.Config{
 			Windows:  windows,
 			MinScore: minScore,
-			Filter:   s.taskFilter(r),
+			Filter:   taskFilter(tr, r),
 			Window:   core.Interval{Start: t0, End: t1},
 		}
-		found := anomaly.Scan(s.Trace, cfg)
+		found := s.scanner.Scan(tr, epoch, scanKey, cfg)
 		resp := anomaliesResponse{Start: t0, End: t1, Anomalies: []anomalyItem{}}
 		for _, a := range found {
 			if haveKind && a.Kind != wantKind {
@@ -506,6 +547,61 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// liveResponse is the JSON body of /live: the ingest status of the
+// served trace. Pollers compare epoch values to detect new data; a
+// static trace reports live=false at epoch 0 forever.
+type liveResponse struct {
+	Live     bool   `json:"live"`
+	Epoch    uint64 `json:"epoch"`
+	Start    int64  `json:"start"`
+	End      int64  `json:"end"`
+	CPUs     int    `json:"cpus"`
+	Tasks    int    `json:"tasks"`
+	Types    int    `json:"types"`
+	Counters int    `json:"counters"`
+	Events   int64  `json:"events"`
+	Samples  int64  `json:"samples"`
+	// Error is the sticky ingest error, if the stream went bad: the
+	// snapshots served remain valid, but no further data will arrive,
+	// and pollers must not mistake the frozen epoch for a quiet run.
+	Error string `json:"error,omitempty"`
+}
+
+// handleLive reports the current epoch and snapshot totals. Never
+// cached: its whole point is telling pollers whether anything changed.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	tr, epoch := s.snapshot()
+	resp := liveResponse{
+		Live:     s.live != nil,
+		Epoch:    epoch,
+		Start:    tr.Span.Start,
+		End:      tr.Span.End,
+		CPUs:     tr.NumCPUs(),
+		Tasks:    len(tr.Tasks),
+		Types:    len(tr.Types),
+		Counters: len(tr.Counters),
+	}
+	if s.live != nil {
+		if err := s.live.Err(); err != nil {
+			resp.Error = err.Error()
+		}
+	}
+	for i := range tr.CPUs {
+		c := &tr.CPUs[i]
+		resp.Events += int64(len(c.States) + len(c.Discrete) + len(c.Comm))
+	}
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			resp.Samples += int64(len(c.PerCPU[cpu]))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>Aftermath - {{.Name}}</title>
 <style>
@@ -517,7 +613,7 @@ code { color: #fc9; }
 </style></head>
 <body>
 <h2>Aftermath &mdash; {{.Name}}</h2>
-<div>machine: {{.Machine}} &middot; {{.CPUs}} CPUs / {{.Nodes}} NUMA nodes &middot; {{.Tasks}} tasks &middot; span {{.Span}} cycles</div>
+<div>machine: {{.Machine}} &middot; {{.CPUs}} CPUs / {{.Nodes}} NUMA nodes &middot; {{.Tasks}} tasks &middot; span {{.Span}} cycles{{if .Live}} &middot; <b>live</b> (epoch {{.Epoch}}, reload to refresh){{end}}</div>
 <div class="controls">mode:
 {{range .Modes}}<a href="?mode={{.}}&t0={{$.T0}}&t1={{$.T1}}">{{.}}</a>{{end}}
 </div>
@@ -535,6 +631,7 @@ code { color: #fc9; }
 <a href="/matrix?t0={{.T0}}&t1={{.T1}}">communication matrix</a>
 <a href="/graph.dot">task graph (DOT)</a>
 <a href="/anomalies?t0={{.T0}}&t1={{.T1}}">anomalies (JSON)</a>
+<a href="/live">ingest status (JSON)</a>
 </div>
 </body></html>`))
 
@@ -542,6 +639,8 @@ type indexData struct {
 	Name, Machine        string
 	CPUs, Nodes, Tasks   int
 	Span                 int64
+	Live                 bool
+	Epoch                uint64
 	Mode                 string
 	Modes                []string
 	T0, T1               int64
@@ -556,16 +655,19 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	t0, t1 := s.window(r)
+	tr, epoch := s.snapshot()
+	t0, t1 := window(tr, r)
 	span := t1 - t0
 	quarter := span / 4
 	d := indexData{
 		Name:    s.Name,
-		Machine: s.Trace.Topology.Name,
-		CPUs:    s.Trace.NumCPUs(),
-		Nodes:   s.Trace.NumNodes(),
-		Tasks:   len(s.Trace.Tasks),
-		Span:    s.Trace.Span.Duration(),
+		Machine: tr.Topology.Name,
+		CPUs:    tr.NumCPUs(),
+		Nodes:   tr.NumNodes(),
+		Tasks:   len(tr.Tasks),
+		Span:    tr.Span.Duration(),
+		Live:    s.live != nil,
+		Epoch:   epoch,
 		Mode:    defaultStr(r.FormValue("mode"), "state"),
 		T0:      t0, T1: t1,
 		ZoomInT0: t0 + quarter, ZoomInT1: t1 - quarter,
