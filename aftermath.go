@@ -37,6 +37,7 @@ import (
 	"github.com/openstream/aftermath/internal/hw"
 	"github.com/openstream/aftermath/internal/metrics"
 	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/query"
 	"github.com/openstream/aftermath/internal/regress"
 	"github.com/openstream/aftermath/internal/render"
 	"github.com/openstream/aftermath/internal/stats"
@@ -46,6 +47,126 @@ import (
 	"github.com/openstream/aftermath/internal/trace"
 	"github.com/openstream/aftermath/internal/ui"
 )
+
+// ---- Unified source/query API ----
+//
+// Every analysis surface in this package is built on two concepts:
+//
+//   - TraceSource yields epoch-versioned immutable *Trace snapshots.
+//     A loaded batch trace is a source forever at epoch 0 (Static);
+//     a LiveTrace is a source whose epoch advances on every publish.
+//     Metrics, statistics, rendering, anomaly scanning and export all
+//     accept any source through the Query* entry points.
+//   - Query is a composable description of what to compute — window,
+//     task filter, resolution, mode, counter and anomaly selection —
+//     built fluently:
+//
+//	q := aftermath.NewQuery().Window(t0, t1).Types("seidel_block").Intervals(200)
+//	series, epoch, err := aftermath.QuerySeries(src, q.Metric("avgdur"))
+//
+// Query.Canonical() is a deterministic, order-independent encoding of
+// the query; together with the source's epoch it is the cache key the
+// serving layer (NewViewer, NewHub) uses, so equivalent requests share
+// one cache entry.
+//
+// The flat convenience functions below (IdleWorkers, DurationHistogram,
+// ScanAnomalies, ...) remain supported and delegate to this layer.
+
+// TraceSource yields epoch-versioned immutable trace snapshots.
+// *LiveTrace implements it directly; Static adapts a loaded trace.
+type TraceSource = query.Source
+
+// Query describes one computation over a snapshot: window, filter,
+// resolution, mode/counter and anomaly selections. Its Canonical form
+// doubles as the cache key of the serving layer.
+type Query = query.Query
+
+// IntervalStats is the schema-stable statistics summary for a window
+// (the viewer's /stats body and QueryStats result).
+type IntervalStats = query.StatsResult
+
+// NewQuery returns an empty query: full span, no filter, defaults.
+func NewQuery() *Query { return query.New() }
+
+// Static adapts a loaded batch trace into a TraceSource forever at
+// epoch 0.
+func Static(tr *Trace) TraceSource { return query.NewStatic(tr) }
+
+// QuerySeries computes the derived metric series a query selects
+// ("idle", "avgdur", or a counter name) over the source's current
+// snapshot, returning the snapshot epoch alongside.
+func QuerySeries(src TraceSource, q *Query) (Series, uint64, error) {
+	tr, epoch := src.Snapshot()
+	s, err := query.SeriesOf(tr, q)
+	return s, epoch, err
+}
+
+// QueryStats computes the statistics-panel summary for the query's
+// window and filter.
+func QueryStats(src TraceSource, q *Query) (IntervalStats, uint64) {
+	tr, epoch := src.Snapshot()
+	return query.StatsOf(tr, q), epoch
+}
+
+// QueryTimeline renders the timeline a query describes (window, mode,
+// filter, dimensions, optional counter overlay).
+func QueryTimeline(src TraceSource, q *Query) (*Framebuffer, uint64, error) {
+	tr, epoch := src.Snapshot()
+	fb, _, err := query.TimelineOf(tr, q)
+	return fb, epoch, err
+}
+
+// QueryHistogram bins the durations of the tasks a query selects.
+func QueryHistogram(src TraceSource, q *Query) (*Histogram, uint64) {
+	tr, epoch := src.Snapshot()
+	return query.HistogramOf(tr, q), epoch
+}
+
+// QueryCommMatrix accumulates the communication matrix over the
+// query's window (kinds selected with Query.Comm, default reads and
+// writes).
+func QueryCommMatrix(src TraceSource, q *Query) (*CommMatrix, uint64) {
+	tr, epoch := src.Snapshot()
+	return query.CommMatrixOf(tr, q), epoch
+}
+
+// QueryAnomalies scans the source's current snapshot and returns the
+// ranked findings the query selects (window, filter, AnomalyWindows,
+// MinScore, AnomalyKind, Limit).
+func QueryAnomalies(src TraceSource, q *Query) ([]Anomaly, uint64, error) {
+	tr, epoch := src.Snapshot()
+	found, err := query.AnomaliesOf(tr, q)
+	return found, epoch, err
+}
+
+// QueryTasks returns the tasks a query selects.
+func QueryTasks(src TraceSource, q *Query) ([]*TaskInfo, uint64) {
+	tr, epoch := src.Snapshot()
+	return query.TasksOf(tr, q), epoch
+}
+
+// QueryTasksCSV writes the tasks a query selects (with counter
+// attribution) as CSV.
+func QueryTasksCSV(w io.Writer, src TraceSource, q *Query, counters []*Counter) (uint64, error) {
+	tr, epoch := src.Snapshot()
+	return epoch, query.TasksCSVTo(w, tr, q, counters)
+}
+
+// ---- Multi-trace Hub server ----
+
+// Hub serves many named trace sources — batch and live mixed — from
+// one process: an index at /, a JSON listing at /traces, and the full
+// single-trace viewer under /t/<name>/. All traces share one LRU
+// response cache keyed by (trace, epoch, canonical query).
+type Hub = ui.Hub
+
+// NewHub returns an empty hub. Register sources with Add:
+//
+//	hub := aftermath.NewHub()
+//	hub.Add("seidel", aftermath.Static(tr))
+//	hub.Add("run-live", liveTrace)
+//	http.ListenAndServe(":8080", hub)
+func NewHub() *Hub { return ui.NewHub() }
 
 // ---- Trace model ----
 
@@ -140,7 +261,10 @@ func FilterByTypes(tr *Trace, names ...string) *TaskFilter {
 }
 
 // FilterTasks returns the tasks matching f (nil matches all).
-func FilterTasks(tr *Trace, f *TaskFilter) []*TaskInfo { return filter.Tasks(tr, f) }
+func FilterTasks(tr *Trace, f *TaskFilter) []*TaskInfo {
+	tasks, _ := QueryTasks(Static(tr), NewQuery().WithFilter(f))
+	return tasks
+}
 
 // TaskDurations returns the execution durations of matching tasks.
 func TaskDurations(tr *Trace, f *TaskFilter) []float64 { return filter.Durations(tr, f) }
@@ -156,7 +280,11 @@ type TaskDelta = metrics.TaskDelta
 // IdleWorkers returns the average number of idle workers per interval
 // (paper Figure 3).
 func IdleWorkers(tr *Trace, intervals int) Series {
-	return metrics.WorkersInState(tr, trace.StateIdle, intervals)
+	if intervals < 1 {
+		intervals = 1 // the historical clamp of the metrics layer
+	}
+	s, _, _ := QuerySeries(Static(tr), NewQuery().Metric("idle").Intervals(intervals))
+	return s
 }
 
 // WorkersInState generalizes IdleWorkers to any state.
@@ -167,7 +295,11 @@ func WorkersInState(tr *Trace, s WorkerState, intervals int) Series {
 // AverageTaskDuration returns the mean duration of tasks running in
 // each interval (paper Figure 8).
 func AverageTaskDuration(tr *Trace, intervals int, f *TaskFilter) Series {
-	return metrics.AverageTaskDuration(tr, intervals, f)
+	if intervals < 1 {
+		intervals = 1 // the historical clamp of the metrics layer
+	}
+	s, _, _ := QuerySeries(Static(tr), NewQuery().Metric("avgdur").Intervals(intervals).WithFilter(f))
+	return s
 }
 
 // AggregateCounter sums a counter across CPUs at interval boundaries.
@@ -205,7 +337,11 @@ const (
 
 // DurationHistogram bins the durations of matching tasks (Figure 16).
 func DurationHistogram(tr *Trace, f *TaskFilter, bins int) *Histogram {
-	return stats.DurationHistogram(tr, f, bins)
+	if bins < 1 {
+		bins = 1 // the historical clamp of the stats layer
+	}
+	h, _ := QueryHistogram(Static(tr), NewQuery().WithFilter(f).Bins(bins))
+	return h
 }
 
 // NewHistogram bins arbitrary values.
@@ -216,7 +352,8 @@ func NewHistogram(values []float64, bins int, min, max float64) *Histogram {
 // CommMatrixOf accumulates the node-to-node communication matrix over
 // a window (Figure 15).
 func CommMatrixOf(tr *Trace, kinds CommKinds, t0, t1 Time) *CommMatrix {
-	return stats.CommMatrixOf(tr, kinds, t0, t1)
+	m, _ := QueryCommMatrix(Static(tr), NewQuery().Window(t0, t1).Comm(kinds))
+	return m
 }
 
 // LocalityFraction returns the fraction of bytes accessed locally.
@@ -283,9 +420,20 @@ const (
 type RenderStats = render.Stats
 
 // RenderTimeline renders the timeline with the paper's optimized
-// algorithms (Section VI-B).
+// algorithms (Section VI-B). The configuration maps one-to-one onto a
+// Query (see QueryTimeline); rendering through either path is
+// byte-identical.
 func RenderTimeline(tr *Trace, cfg TimelineConfig) (*Framebuffer, RenderStats, error) {
-	return render.Timeline(tr, cfg)
+	q := NewQuery().
+		Window(cfg.Start, cfg.End).
+		Mode(cfg.Mode).
+		WithFilter(cfg.Filter).
+		CPUs(cfg.CPUs...).
+		Size(cfg.Width, cfg.Height).
+		Labels(cfg.Labels).
+		Heat(cfg.HeatMin, cfg.HeatMax).
+		Shades(cfg.Shades)
+	return query.TimelineRawOf(tr, q)
 }
 
 // ASCIITimeline renders the state timeline as text for terminals.
@@ -320,6 +468,11 @@ type Viewer = ui.Server
 // the ranked /anomalies endpoint.
 func NewViewer(tr *Trace, name string) *Viewer { return ui.NewServer(tr, name) }
 
+// NewSourceViewer returns the interactive HTTP viewer for any trace
+// source — batch (Static) or live — through the one TraceSource entry
+// point.
+func NewSourceViewer(src TraceSource, name string) *Viewer { return ui.NewSourceServer(src, name) }
+
 // ---- Anomaly detection ----
 
 // Anomaly is one ranked finding of the anomaly detection engine.
@@ -346,7 +499,19 @@ type AnomalyDetector = anomaly.Detector
 // ScanAnomalies runs every registered detector over the trace in
 // parallel and returns the merged findings ranked by severity,
 // deterministically across runs and worker counts.
-func ScanAnomalies(tr *Trace, cfg AnomalyConfig) []Anomaly { return anomaly.Scan(tr, cfg) }
+func ScanAnomalies(tr *Trace, cfg AnomalyConfig) []Anomaly {
+	q := NewQuery().
+		WithFilter(cfg.Filter).
+		AnomalyWindows(cfg.Windows).
+		MinScore(cfg.MinScore).
+		MaxPerKind(cfg.MaxPerKind).
+		Workers(cfg.Workers)
+	if cfg.Window.Duration() > 0 {
+		q.Window(cfg.Window.Start, cfg.Window.End)
+	}
+	found, _, _ := QueryAnomalies(Static(tr), q)
+	return found
+}
 
 // RegisterDetector adds a detector to the default scan set.
 func RegisterDetector(d AnomalyDetector) { anomaly.Register(d) }
@@ -362,7 +527,8 @@ func AnomalyAnnotations(found []Anomaly, author string, max int) *AnnotationSet 
 // ExportTasksCSV writes per-task data (with counter attribution) as
 // CSV for external statistics tools (paper Section V).
 func ExportTasksCSV(w io.Writer, tr *Trace, f *TaskFilter, counters []*Counter) error {
-	return export.TasksCSV(w, tr, f, counters)
+	_, err := QueryTasksCSV(w, Static(tr), NewQuery().WithFilter(f), counters)
+	return err
 }
 
 // ExportSeriesCSV writes derived metric series as CSV.

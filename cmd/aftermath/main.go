@@ -5,6 +5,11 @@
 // file is polled for appended records and the viewer's timelines,
 // statistics and anomaly rankings update continuously.
 //
+// With -serve many traces — whole directories of them — are served
+// from one process as a multi-trace hub: every trace gets the full
+// viewer under /t/<name>/, all behind one shared response cache, and
+// -follow upgrades uncompressed traces to live tailing.
+//
 // Usage:
 //
 //	aftermath trace.atm.gz                   # summary + ASCII timeline
@@ -12,6 +17,8 @@
 //	aftermath -dot graph.dot trace.atm.gz    # export the task graph
 //	aftermath -anomalies trace.atm.gz        # ranked anomaly report
 //	aftermath -follow -http :8080 trace.atm  # tail a growing trace
+//	aftermath -serve -http :8080 runs/       # hub over every trace in runs/
+//	aftermath -serve -follow -http :8080 done.atm.gz running.atm
 package main
 
 import (
@@ -19,6 +26,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	aftermath "github.com/openstream/aftermath"
@@ -38,9 +48,15 @@ func main() {
 		annOut   = flag.String("annotations", "", "write the top anomalies as an annotation JSON file")
 		follow   = flag.Bool("follow", false, "tail a trace that is still being written and serve it live (requires -http; uncompressed traces only)")
 		pollIv   = flag.Duration("poll", 500*time.Millisecond, "poll interval for -follow mode")
+		serve    = flag.Bool("serve", false, "serve a multi-trace hub over the given trace files and directories (requires -http; with -follow, uncompressed traces are tailed live)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *serve && flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: aftermath -serve -http :8080 <trace-or-dir>...")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !*serve && flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: aftermath [flags] trace.atm[.gz]")
 		flag.Usage()
 		os.Exit(2)
@@ -52,9 +68,12 @@ func main() {
 		follow: *follow, pollEvery: *pollIv,
 	}
 	var err error
-	if opts.follow {
+	switch {
+	case *serve:
+		err = runServe(flag.Args(), opts)
+	case opts.follow:
 		err = runFollow(flag.Arg(0), opts)
-	} else {
+	default:
 		err = run(flag.Arg(0), opts)
 	}
 	if err != nil {
@@ -74,6 +93,146 @@ type runOptions struct {
 	pollEvery                time.Duration
 }
 
+// expandTraceArgs resolves trace files and directories into the list
+// of trace paths to serve: directories contribute every *.atm and
+// *.atm.gz entry, sorted; files are taken as given.
+func expandTraceArgs(args []string) ([]string, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		var found []string
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if n := e.Name(); strings.HasSuffix(n, ".atm") || strings.HasSuffix(n, ".atm.gz") {
+				found = append(found, filepath.Join(arg, n))
+			}
+		}
+		sort.Strings(found)
+		paths = append(paths, found...)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no trace files (*.atm, *.atm.gz) among the given arguments")
+	}
+	return paths, nil
+}
+
+// hubName derives a unique registration name for a trace path,
+// replacing the characters Hub.Add rejects ('/', '?', '#') so one
+// oddly-named file cannot abort serving the rest.
+func hubName(path string, taken map[string]bool) string {
+	name := strings.TrimSuffix(strings.TrimSuffix(filepath.Base(path), ".gz"), ".atm")
+	name = strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '?', '#':
+			return '-'
+		}
+		return r
+	}, name)
+	if name == "" || name == "." || name == ".." {
+		name = "trace"
+	}
+	for base, i := name, 2; taken[name]; i++ {
+		name = fmt.Sprintf("%s-%d", base, i)
+	}
+	taken[name] = true
+	return name
+}
+
+// runServe loads every given trace into one multi-trace hub and
+// serves it: each trace's full viewer mounts under /t/<name>/ behind
+// one shared response cache. With -follow, uncompressed traces are
+// tailed live — batch and live traces mix freely in one hub.
+func runServe(args []string, o runOptions) error {
+	if o.httpAddr == "" {
+		return fmt.Errorf("-serve requires -http")
+	}
+	if o.anomalies || o.annOut != "" || o.dotOut != "" || o.nmPath != "" {
+		return fmt.Errorf("-serve runs the multi-trace hub only; -anomalies/-annotations/-dot/-nm are one-shot analyses — query /t/<name>/anomalies on the hub, or run them per trace without -serve")
+	}
+	if o.pollEvery <= 0 {
+		o.pollEvery = 500 * time.Millisecond
+	}
+	paths, err := expandTraceArgs(args)
+	if err != nil {
+		return err
+	}
+	hub := aftermath.NewHub()
+	taken := make(map[string]bool)
+	for _, path := range paths {
+		name := hubName(path, taken)
+		if o.follow && !strings.HasSuffix(path, ".gz") {
+			lv, err := followTrace(path, o.pollEvery)
+			if err != nil {
+				return err
+			}
+			if err := hub.Add(name, lv); err != nil {
+				return err
+			}
+			fmt.Printf("  /t/%s/ <- %s (live, polling every %s)\n", name, path, o.pollEvery)
+			continue
+		}
+		tr, err := aftermath.Open(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		// Warm the shared counter min/max trees before accepting
+		// traffic, so the first overlay request is already fast.
+		tr.BuildCounterIndex(0)
+		if err := hub.Add(name, aftermath.Static(tr)); err != nil {
+			return err
+		}
+		fmt.Printf("  /t/%s/ <- %s (%d tasks, %d CPUs)\n", name, path, len(tr.Tasks), tr.NumCPUs())
+	}
+	fmt.Printf("serving %d traces on http://%s (index at /, JSON listing at /traces)\n",
+		len(hub.Names()), o.httpAddr)
+	return http.ListenAndServe(o.httpAddr, hub)
+}
+
+// followTrace opens a trace file for live tailing and starts its poll
+// loop: the returned LiveTrace publishes a new epoch whenever appended
+// records arrive.
+func followTrace(path string, pollEvery time.Duration) (*aftermath.LiveTrace, error) {
+	rc, err := aftermath.OpenTraceStream(path)
+	if err != nil {
+		return nil, err
+	}
+	lv := aftermath.NewLiveTrace()
+	sr := aftermath.NewStreamReader(rc)
+	if _, err := lv.Feed(sr); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	go func() {
+		tick := time.NewTicker(pollEvery)
+		defer tick.Stop()
+		for range tick.C {
+			if _, err := lv.Feed(sr); err != nil {
+				// Sticky: stop polling. The hub keeps serving the
+				// snapshots already published, and /live reports the
+				// error so pollers can tell "dead ingest" from "quiet
+				// run".
+				fmt.Fprintf(os.Stderr, "aftermath: %s: stream: %v\n", path, err)
+				rc.Close()
+				return
+			}
+		}
+	}()
+	return lv, nil
+}
+
 // runFollow tails a growing trace file and serves it live: every poll
 // appends newly written records, publishes a snapshot and bumps the
 // epoch, so the viewer's timelines, statistics and anomaly rankings
@@ -88,35 +247,14 @@ func runFollow(path string, o runOptions) error {
 	if o.pollEvery <= 0 {
 		o.pollEvery = 500 * time.Millisecond
 	}
-	rc, err := aftermath.OpenTraceStream(path)
+	lv, err := followTrace(path, o.pollEvery)
 	if err != nil {
-		return err
-	}
-	defer rc.Close()
-	lv := aftermath.NewLiveTrace()
-	sr := aftermath.NewStreamReader(rc)
-	if _, err := lv.Feed(sr); err != nil {
 		return err
 	}
 	tr, epoch := lv.Snapshot()
 	fmt.Printf("following %s: epoch %d, %d tasks, %d CPUs, span %d cycles so far\n",
 		path, epoch, len(tr.Tasks), tr.NumCPUs(), tr.Span.Duration())
-
 	viewer := aftermath.NewLiveViewer(lv, path)
-	go func() {
-		tick := time.NewTicker(o.pollEvery)
-		defer tick.Stop()
-		for range tick.C {
-			if _, err := lv.Feed(sr); err != nil {
-				// Sticky: stop polling. The viewer keeps serving the
-				// snapshots already published, and /live reports the
-				// error so pollers can tell "dead ingest" from "quiet
-				// run".
-				fmt.Fprintln(os.Stderr, "aftermath: stream:", err)
-				return
-			}
-		}
-	}()
 	fmt.Printf("serving live viewer on http://%s (polling every %s; /live reports ingest status)\n",
 		o.httpAddr, o.pollEvery)
 	return http.ListenAndServe(o.httpAddr, viewer)

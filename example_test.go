@@ -1,0 +1,78 @@
+package aftermath_test
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+
+	aftermath "github.com/openstream/aftermath"
+)
+
+// A Query is built fluently; its canonical serialized form is
+// deterministic and order-independent, and doubles as the cache key
+// of the serving layer. Equivalent queries — however they were built —
+// canonicalize identically.
+func ExampleNewQuery() {
+	q := aftermath.NewQuery().
+		Window(1000, 2000).
+		Types("seidel_block").
+		Intervals(200)
+	fmt.Println(q.Canonical())
+
+	// Type names deduplicate and sort: this differently-spelled query
+	// is the same query, and shares the same cache entry.
+	p := aftermath.NewQuery().
+		Intervals(200).
+		Types("seidel_block", "seidel_block").
+		Window(1000, 2000)
+	fmt.Println(p.Canonical() == q.Canonical())
+	// Output:
+	// t0=1000&t1=2000&types=seidel_block&n=200
+	// true
+}
+
+// Every analysis entry point accepts any TraceSource — a batch trace
+// (Static, epoch forever 0) or a LiveTrace (epoch advancing on every
+// publish) — through the same query.
+func ExampleStatic() {
+	tr, _, err := aftermath.SimulateToTrace(mustSeidel(), aftermath.DefaultSimConfig(aftermath.SmallMachine(2, 2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := aftermath.Static(tr)
+	q := aftermath.NewQuery().Types(aftermath.SeidelBlockType).Metric("avgdur").Intervals(100)
+	series, epoch, err := aftermath.QuerySeries(src, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(series.Len(), epoch)
+	// Output: 100 0
+}
+
+// A Hub serves many named traces — batch and live mixed — from one
+// process, each under /t/<name>/, behind one shared response cache
+// keyed by (trace, epoch, canonical query).
+func ExampleNewHub() {
+	tr, _, err := aftermath.SimulateToTrace(mustSeidel(), aftermath.DefaultSimConfig(aftermath.SmallMachine(2, 2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	live := aftermath.NewLiveTrace() // fed by a StreamReader elsewhere
+
+	hub := aftermath.NewHub()
+	hub.Add("seidel", aftermath.Static(tr))
+	hub.Add("run-live", live)
+	fmt.Println(hub.Names())
+
+	// http.ListenAndServe(":8080", hub)
+	_ = http.Handler(hub)
+	// Output: [seidel run-live]
+}
+
+func mustSeidel() *aftermath.Program {
+	prog, err := aftermath.BuildSeidel(aftermath.ScaledSeidelConfig(4, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prog
+}

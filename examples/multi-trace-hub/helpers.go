@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	aftermath "github.com/openstream/aftermath"
+)
+
+// traceBuffer collects the simulated trace in memory.
+type traceBuffer struct{ data []byte }
+
+func (t *traceBuffer) Write(p []byte) (int, error) {
+	t.data = append(t.data, p...)
+	return len(p), nil
+}
+
+// halfReader exposes data[:limit] with io.EOF at the limit — a trace
+// stream that is still being written.
+type halfReader struct {
+	data  []byte
+	limit int
+	off   int
+}
+
+func (h *halfReader) Read(p []byte) (int, error) {
+	if h.off >= h.limit {
+		return 0, io.EOF
+	}
+	n := copy(p, h.data[h.off:h.limit])
+	h.off += n
+	return n, nil
+}
+
+// feeder returns a function that feeds the buffered stream into lv in
+// halves: feed(1) delivers the first half, feed(2) the rest, each
+// publishing a new epoch.
+func (t *traceBuffer) feeder(lv *aftermath.LiveTrace) func(stage int) {
+	r := &halfReader{data: t.data}
+	sr := aftermath.NewStreamReader(r)
+	return func(stage int) {
+		r.limit = len(t.data) * stage / 2
+		if _, err := lv.Feed(sr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// probe requests a hub path and prints the cache disposition.
+func probe(base, path string) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	disp := resp.Header.Get("X-Cache")
+	if disp == "" {
+		disp = "uncached"
+	}
+	fmt.Printf("GET %-22s -> %d (%s)\n", path, resp.StatusCode, disp)
+}

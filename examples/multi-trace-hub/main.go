@@ -1,0 +1,106 @@
+// Multi-trace hub: serving many traces — batch and live mixed — from
+// one process.
+//
+// The paper's workflow is one analyst, one trace. The hub is the
+// multi-tenant counterpart: named trace sources register under one
+// server, each gets the full interactive viewer under /t/<name>/, and
+// every response caches in ONE shared LRU keyed by
+// (trace, epoch, canonical query) — a hot trace can use the whole
+// memory budget while idle traces keep only their hottest tiles, and
+// a live trace invalidates per published epoch without disturbing its
+// neighbours.
+//
+// The same hub backs the CLI:
+//
+//	aftermath -serve -http :8080 runs/
+//	aftermath -serve -follow -http :8080 done.atm.gz running.atm
+//
+// Run with: go run ./examples/multi-trace-hub
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	aftermath "github.com/openstream/aftermath"
+)
+
+func main() {
+	// 1. A finished run: the seidel stencil, loaded as an immutable
+	//    batch trace. Static adapts it to the TraceSource interface —
+	//    a source whose epoch is forever 0.
+	seidelProg, err := aftermath.BuildSeidel(aftermath.ScaledSeidelConfig(6, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seidelTr, _, err := aftermath.SimulateToTrace(seidelProg, aftermath.DefaultSimConfig(aftermath.SmallMachine(4, 4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A run still executing: k-means streamed into a LiveTrace.
+	//    LiveTrace is itself a TraceSource — its epoch advances on
+	//    every publish, invalidating exactly its own cache entries.
+	kmProg, err := aftermath.BuildKMeans(aftermath.ScaledKMeansConfig(8, 64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf traceBuffer
+	if _, err := aftermath.Simulate(kmProg, aftermath.DefaultSimConfig(aftermath.SmallMachine(4, 4)), &buf); err != nil {
+		log.Fatal(err)
+	}
+	live := aftermath.NewLiveTrace()
+	feed := buf.feeder(live) // appends the stream in halves, below
+
+	// 3. One hub, both traces.
+	hub := aftermath.NewHub()
+	if err := hub.Add("seidel", aftermath.Static(seidelTr)); err != nil {
+		log.Fatal(err)
+	}
+	if err := hub.Add("kmeans-live", live); err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+	fmt.Printf("hub serving %v at %s\n", hub.Names(), srv.URL)
+
+	// 4. Query both tenants through one server. The first request
+	//    computes (X-Cache: MISS), the repeat is served from the
+	//    shared LRU (HIT) — and the two traces' entries never collide,
+	//    because every key carries the trace identity.
+	feed(1) // first half of the k-means stream -> epoch 1
+	for _, path := range []string{
+		"/t/seidel/stats",
+		"/t/seidel/stats",
+		"/t/kmeans-live/stats",
+		"/t/kmeans-live/live",
+	} {
+		probe(srv.URL, path)
+	}
+
+	// 5. More data arrives on the live trace only: its epoch bumps, so
+	//    its cached responses re-compute (MISS) while the batch
+	//    trace's entries stay warm (HIT).
+	feed(2)
+	time.Sleep(10 * time.Millisecond)
+	for _, path := range []string{
+		"/t/kmeans-live/stats",
+		"/t/seidel/stats",
+	} {
+		probe(srv.URL, path)
+	}
+
+	// 6. The fluent query API works against any source the hub
+	//    serves, with the canonical form doubling as the cache key.
+	q := aftermath.NewQuery().Types(aftermath.KMeansDistanceType).Intervals(100).Metric("avgdur")
+	series, epoch, err := aftermath.QuerySeries(live, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live avgdur series: %d points at epoch %d (key %q)\n",
+		series.Len(), epoch, q.Canonical())
+	entries, bytes := hub.CacheStats()
+	fmt.Printf("shared cache: %d entries, %d bytes\n", entries, bytes)
+}

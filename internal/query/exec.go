@@ -1,0 +1,297 @@
+// Executors: run a Query against one immutable snapshot. These are
+// the single entry points the HTTP viewer, the Hub server, the CLI and
+// the flat public API all delegate to, so parameter semantics (window
+// defaulting, filter construction, metric kinds, anomaly selection)
+// are defined exactly once.
+package query
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/openstream/aftermath/internal/anomaly"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/export"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/render"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// WindowOf resolves the query window against the snapshot: unset
+// bounds default to the trace span; set bounds pass through verbatim
+// (the URL layer, not this resolver, owns the t0=0&t1=0-means-unset
+// convention — see FromValues — so the flat API's explicit windows
+// keep their exact historical semantics).
+func WindowOf(tr *core.Trace, q *Query) (t0, t1 trace.Time) {
+	t0, t1 = tr.Span.Start, tr.Span.End
+	if q.hasT0 {
+		t0 = q.t0
+	}
+	if q.hasT1 {
+		t1 = q.t1
+	}
+	return t0, t1
+}
+
+// FilterOf builds the task filter the query describes: the explicit
+// filter (WithFilter) combined by conjunction with the declarative
+// criteria (Types resolved against the snapshot's type table,
+// Durations) — when both restrict the type set, the sets intersect.
+// Returns nil when the query filters nothing (matching every task).
+func FilterOf(tr *core.Trace, q *Query) *filter.TaskFilter {
+	f := q.filt
+	if len(q.types) > 0 {
+		byName := filter.ByTypeNames(tr, q.types...)
+		if f == nil {
+			f = byName
+		} else {
+			g := *f
+			if g.Types == nil {
+				g.Types = byName.Types
+			} else {
+				inter := make(map[trace.TypeID]bool)
+				for id := range byName.Types {
+					if byName.Types[id] && g.Types[id] {
+						inter[id] = true
+					}
+				}
+				g.Types = inter
+			}
+			f = &g
+		}
+	}
+	if q.minDur > 0 || q.maxDur > 0 {
+		// Conjunction with the explicit filter's own bounds: the
+		// tighter minimum and the tighter (non-zero) maximum win.
+		min, max := q.minDur, q.maxDur
+		if f != nil {
+			if f.MinDuration > min {
+				min = f.MinDuration
+			}
+			if f.MaxDuration > 0 && (max == 0 || f.MaxDuration < max) {
+				max = f.MaxDuration
+			}
+		}
+		f = f.WithDuration(min, max)
+	}
+	return f
+}
+
+// SeriesOf computes the derived metric series the query selects:
+// "idle" (idle workers per interval), "avgdur" (mean duration of
+// running tasks), or a counter name (machine-wide rate). An empty
+// metric defaults to "idle"; an unknown one is an error.
+func SeriesOf(tr *core.Trace, q *Query) (metrics.Series, error) {
+	n := q.intervals
+	if n <= 0 {
+		n = 200
+	}
+	switch m := q.metric; m {
+	case "", "idle":
+		return metrics.WorkersInState(tr, trace.StateIdle, n), nil
+	case "avgdur":
+		return metrics.AverageTaskDuration(tr, n, FilterOf(tr, q)), nil
+	default:
+		if c, ok := tr.CounterByName(m); ok {
+			return metrics.Derivative(metrics.AggregateCounter(tr, c, n)), nil
+		}
+		return metrics.Series{}, fmt.Errorf("unknown metric %q (want idle, avgdur or a counter name)", m)
+	}
+}
+
+// StatsResult is the statistics-panel summary for one window: the
+// values of the paper's interface group 2, with a stable JSON schema.
+type StatsResult struct {
+	// Start and End echo the summarized window.
+	Start trace.Time `json:"start"`
+	End   trace.Time `json:"end"`
+	// Tasks is the number of matching tasks overlapping the window.
+	Tasks int `json:"tasks"`
+	// AvgParallelism is the mean number of concurrently executing
+	// tasks.
+	AvgParallelism float64 `json:"avg_parallelism"`
+	// StateCycles aggregates per-state time across CPUs; states with
+	// zero time are omitted.
+	StateCycles map[string]int64 `json:"state_cycles"`
+	// LocalFraction is the fraction of accessed bytes that were
+	// NUMA-node-local.
+	LocalFraction float64 `json:"local_fraction"`
+	// DurationHist bins the durations of matching tasks; HistMin and
+	// HistMax are the bin range.
+	DurationHist []int   `json:"duration_hist"`
+	HistMin      float64 `json:"hist_min"`
+	HistMax      float64 `json:"hist_max"`
+}
+
+// StatsOf computes the statistics panel for the query's window and
+// filter.
+func StatsOf(tr *core.Trace, q *Query) StatsResult {
+	t0, t1 := WindowOf(tr, q)
+	f := FilterOf(tr, q).WithWindow(t0, t1)
+	return StatsOver(tr, f, t0, t1)
+}
+
+// StatsOver is StatsOf with an explicit prebuilt filter and window
+// (the form the viewer's /stats handler and the CLI use).
+func StatsOver(tr *core.Trace, f *filter.TaskFilter, t0, t1 trace.Time) StatsResult {
+	resp := StatsResult{
+		Start: t0, End: t1,
+		Tasks:          len(filter.Tasks(tr, f)),
+		AvgParallelism: stats.AverageParallelism(tr, t0, t1),
+		StateCycles:    map[string]int64{},
+		LocalFraction:  stats.LocalityFraction(tr, stats.ReadsAndWrites, t0, t1),
+	}
+	times := stats.StateTimes(tr, t0, t1)
+	for st, v := range times {
+		if v > 0 {
+			resp.StateCycles[trace.WorkerState(st).String()] = v
+		}
+	}
+	bins := 20
+	h := stats.DurationHistogram(tr, f, bins)
+	resp.DurationHist = h.Counts
+	resp.HistMin, resp.HistMax = h.Min, h.Max
+	return resp
+}
+
+// TimelineConfigOf translates the query into a timeline rendering
+// configuration against the snapshot. An unset mode renders state
+// mode.
+func TimelineConfigOf(tr *core.Trace, q *Query) render.TimelineConfig {
+	t0, t1 := WindowOf(tr, q)
+	mode := render.ModeState
+	if q.modeSet {
+		mode = q.mode
+	}
+	return render.TimelineConfig{
+		Width: q.width, Height: q.height,
+		Start: t0, End: t1,
+		CPUs:    q.cpus,
+		Mode:    mode,
+		HeatMin: q.heatMin, HeatMax: q.heatMax,
+		Shades: q.shades,
+		Filter: FilterOf(tr, q),
+		Labels: !q.labelsOff,
+	}
+}
+
+// TimelineRawOf renders the timeline the query describes, without
+// overlays, returning the renderer's work statistics. Byte-identical
+// to render.Timeline with the equivalent configuration.
+func TimelineRawOf(tr *core.Trace, q *Query) (*render.Framebuffer, render.Stats, error) {
+	return render.Timeline(tr, TimelineConfigOf(tr, q))
+}
+
+// TimelineOf renders the timeline the query describes, including the
+// counter overlay when one is selected.
+func TimelineOf(tr *core.Trace, q *Query) (*render.Framebuffer, render.Stats, error) {
+	cfg := TimelineConfigOf(tr, q)
+	fb, st, err := render.Timeline(tr, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	if q.counter != "" {
+		if c, ok := tr.CounterByName(q.counter); ok {
+			render.OverlayCounter(fb, tr, cfg, render.OverlayConfig{
+				Counter: c,
+				Rate:    !q.rateOff,
+				Color:   render.CategoryColor(7),
+			}, tr.CounterIndex())
+		}
+	}
+	return fb, st, nil
+}
+
+// HistogramOf bins the durations of matching tasks.
+func HistogramOf(tr *core.Trace, q *Query) *stats.Histogram {
+	bins := q.bins
+	if bins <= 0 {
+		bins = 20
+	}
+	return stats.DurationHistogram(tr, FilterOf(tr, q), bins)
+}
+
+// CommMatrixOf accumulates the node-to-node communication matrix over
+// the query window.
+func CommMatrixOf(tr *core.Trace, q *Query) *stats.CommMatrix {
+	t0, t1 := WindowOf(tr, q)
+	kinds := stats.ReadsAndWrites
+	if q.kindsSet {
+		kinds = q.kinds
+	}
+	return stats.CommMatrixOf(tr, kinds, t0, t1)
+}
+
+// AnomalyConfigOf translates the query into an anomaly scan
+// configuration. The window is attached only when the query sets one,
+// preserving the scan's own "zero window means full span" defaulting.
+func AnomalyConfigOf(tr *core.Trace, q *Query) anomaly.Config {
+	cfg := anomaly.Config{
+		Windows:    q.windows,
+		MinScore:   q.minScore,
+		MaxPerKind: q.maxPerKind,
+		Workers:    q.workers,
+		Filter:     FilterOf(tr, q),
+	}
+	if q.hasT0 || q.hasT1 {
+		t0, t1 := WindowOf(tr, q)
+		cfg.Window = core.Interval{Start: t0, End: t1}
+	}
+	return cfg
+}
+
+// SelectAnomalies applies the query's result selection (AnomalyKind,
+// Limit) to ranked scan findings.
+func SelectAnomalies(found []anomaly.Anomaly, q *Query) ([]anomaly.Anomaly, error) {
+	var wantKind anomaly.Kind
+	haveKind := false
+	if q.anomKind != "" {
+		k, ok := anomaly.ParseKind(q.anomKind)
+		if !ok {
+			return nil, &BadParamError{Param: "kind", Reason: fmt.Sprintf("unknown anomaly kind %q", q.anomKind)}
+		}
+		wantKind, haveKind = k, true
+	}
+	out := make([]anomaly.Anomaly, 0, len(found))
+	for _, a := range found {
+		if haveKind && a.Kind != wantKind {
+			continue
+		}
+		if q.limit > 0 && len(out) >= q.limit {
+			break
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AnomaliesOf scans the snapshot and returns the ranked findings the
+// query selects.
+func AnomaliesOf(tr *core.Trace, q *Query) ([]anomaly.Anomaly, error) {
+	found := anomaly.Scan(tr, AnomalyConfigOf(tr, q))
+	return SelectAnomalies(found, q)
+}
+
+// TasksOf returns the tasks matching the query's filter. A window set
+// on the query restricts to tasks overlapping it.
+func TasksOf(tr *core.Trace, q *Query) []*core.TaskInfo {
+	f := FilterOf(tr, q)
+	if q.hasT0 || q.hasT1 {
+		t0, t1 := WindowOf(tr, q)
+		f = f.WithWindow(t0, t1)
+	}
+	return filter.Tasks(tr, f)
+}
+
+// TasksCSVTo writes the matching tasks (with counter attribution for
+// the given counters) as CSV.
+func TasksCSVTo(w io.Writer, tr *core.Trace, q *Query, counters []*core.Counter) error {
+	f := FilterOf(tr, q)
+	if q.hasT0 || q.hasT1 {
+		t0, t1 := WindowOf(tr, q)
+		f = f.WithWindow(t0, t1)
+	}
+	return export.TasksCSV(w, tr, f, counters)
+}

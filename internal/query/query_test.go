@@ -1,0 +1,312 @@
+package query
+
+import (
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/render"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// TestCanonicalOrderIndependence: equivalent queries canonicalize
+// byte-identically regardless of builder call order, type-name order
+// or duplication — the property that makes Canonical a cache key.
+func TestCanonicalOrderIndependence(t *testing.T) {
+	a := New().Window(1000, 2000).Types("b", "a").Intervals(200).Durations(5, 50)
+	b := New().Durations(5, 50).Intervals(200).Types("a", "b", "a", "").Window(1000, 2000)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("equivalent queries canonicalize differently:\n%q\n%q", a.Canonical(), b.Canonical())
+	}
+	if a.Canonical() == "" {
+		t.Fatal("non-empty query canonicalizes to empty string")
+	}
+	if New().Canonical() != "" {
+		t.Fatalf("zero query canonical = %q, want empty", New().Canonical())
+	}
+}
+
+// TestCanonicalDistinguishes: queries that differ semantically must
+// not collide, including raw-fragment aliasing via reserved
+// characters in user-controlled strings.
+func TestCanonicalDistinguishes(t *testing.T) {
+	cases := []struct{ a, b *Query }{
+		{New().Window(0, 10), New().Window(0, 11)},
+		{New().Types("a"), New().Types("b")},
+		{New().Types("a", "b"), New().Types("a,b")},
+		{New().Types("a").Durations(2, 0), New().Types("a&mindur=2")},
+		{New().Metric("idle"), New().Metric("avgdur")},
+		{New().Counter("cycles"), New().Counter("cycles").Rate(false)},
+		{New().Mode(render.ModeHeat), New().Mode(render.ModeType)},
+		{New().Limit(5), New().Limit(6)},
+		{New().WithFilter(&filter.TaskFilter{MinDuration: 3}), New().WithFilter(&filter.TaskFilter{MinDuration: 4})},
+	}
+	for i, c := range cases {
+		if c.a.Canonical() == c.b.Canonical() {
+			t.Errorf("case %d: distinct queries collide on %q", i, c.a.Canonical())
+		}
+	}
+}
+
+// TestCanonicalFilterDeterminism: an explicit filter's canonical
+// encoding is stable across map iteration orders.
+func TestCanonicalFilterDeterminism(t *testing.T) {
+	f := &filter.TaskFilter{
+		Types: map[trace.TypeID]bool{7: true, 3: true, 9: true},
+		CPUs:  map[int32]bool{4: true, 1: true},
+	}
+	want := New().WithFilter(f).Canonical()
+	for i := 0; i < 50; i++ {
+		g := &filter.TaskFilter{
+			Types: map[trace.TypeID]bool{9: true, 3: true, 7: true},
+			CPUs:  map[int32]bool{1: true, 4: true},
+		}
+		if got := New().WithFilter(g).Canonical(); got != want {
+			t.Fatalf("filter canonical unstable: %q vs %q", got, want)
+		}
+	}
+	if !strings.Contains(want, "ty:3,7,9") {
+		t.Errorf("filter canonical %q missing sorted type ids", want)
+	}
+}
+
+// TestFromValuesPermutations: URL parameter order, duplication and
+// redundant spellings all parse to one canonical query.
+func TestFromValuesPermutations(t *testing.T) {
+	canon := func(raw string) string {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := FromValues(v)
+		if err != nil {
+			t.Fatalf("%s: %v", raw, err)
+		}
+		return q.Canonical()
+	}
+	want := canon("t0=0&t1=500000&types=a,b&mindur=7")
+	for _, raw := range []string{
+		"t1=500000&mindur=7&types=a,b&t0=0",
+		"types=b,a&t0=0&t1=500000&mindur=7",
+		"t0=0&t0=0&t1=500000&types=a,b,a&mindur=007",
+		"mindur=7&maxdur=0&t0=0&t1=500000&types=a,b",
+	} {
+		if got := canon(raw); got != want {
+			t.Errorf("%s: canonical %q, want %q", raw, got, want)
+		}
+	}
+}
+
+// TestFromValuesErrors: malformed parameters are rejected with a
+// BadParamError naming the parameter, not silently ignored.
+func TestFromValuesErrors(t *testing.T) {
+	cases := []struct{ raw, param string }{
+		{"t0=abc", "t0"},
+		{"t1=1e9", "t1"},
+		{"t0=10&t1=5", "t1"},
+		{"mindur=1|2", "mindur"},
+		{"mindur=-1", "mindur"},
+		{"maxdur=-5", "maxdur"},
+		{"mode=bogus", "mode"},
+	}
+	for _, c := range cases {
+		v, err := url.ParseQuery(c.raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = FromValues(v)
+		bp, ok := err.(*BadParamError)
+		if !ok {
+			t.Errorf("%s: error %v, want *BadParamError", c.raw, err)
+			continue
+		}
+		if bp.Param != c.param {
+			t.Errorf("%s: error names param %q, want %q", c.raw, bp.Param, c.param)
+		}
+	}
+	// t0=0&t1=0 — the render-config convention for "everything", and
+	// what pre-data live viewer links carry — parses as an unset
+	// window, sharing the unwindowed request's canonical form.
+	v, _ := url.ParseQuery("t0=0&t1=0")
+	q, err := FromValues(v)
+	if err != nil {
+		t.Fatalf("t0=0&t1=0 rejected at parse time: %v", err)
+	}
+	if q.HasWindow() {
+		t.Error("t0=0&t1=0 did not parse as an unset window")
+	}
+	// Other equal-bounds windows parse too; the serving layer's
+	// resolution step judges them against the trace span.
+	v, _ = url.ParseQuery("t0=7&t1=7")
+	if _, err := FromValues(v); err != nil {
+		t.Errorf("t0=7&t1=7 rejected at parse time: %v", err)
+	}
+}
+
+// TestExecutorsMatchDirectCalls: the query executors compute exactly
+// what the direct package calls compute — the delegation contract of
+// the flat public API.
+func TestExecutorsMatchDirectCalls(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	q := New().Types("seidel_block").Intervals(64)
+
+	got, err := SeriesOf(tr, q.Clone().Metric("avgdur"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metrics.AverageTaskDuration(tr, 64, filter.ByTypeNames(tr, "seidel_block"))
+	if !reflect.DeepEqual(got, want) {
+		t.Error("SeriesOf(avgdur) differs from metrics.AverageTaskDuration")
+	}
+
+	gotIdle, err := SeriesOf(tr, New().Intervals(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotIdle, metrics.WorkersInState(tr, trace.StateIdle, 64)) {
+		t.Error("SeriesOf(idle) differs from metrics.WorkersInState")
+	}
+
+	if _, err := SeriesOf(tr, New().Metric("bogus")); err == nil {
+		t.Error("SeriesOf accepted unknown metric")
+	}
+
+	h := HistogramOf(tr, q)
+	hw := stats.DurationHistogram(tr, filter.ByTypeNames(tr, "seidel_block"), 20)
+	if !reflect.DeepEqual(h, hw) {
+		t.Error("HistogramOf differs from stats.DurationHistogram")
+	}
+
+	t0, t1 := tr.Span.Start, tr.Span.End
+	m := CommMatrixOf(tr, New().Window(t0, t1))
+	mw := stats.CommMatrixOf(tr, stats.ReadsAndWrites, t0, t1)
+	if !reflect.DeepEqual(m, mw) {
+		t.Error("CommMatrixOf differs from stats.CommMatrixOf")
+	}
+	// An explicitly set zero CommKinds passes through verbatim (counts
+	// nothing) — only a never-set selection defaults to reads+writes.
+	mz := CommMatrixOf(tr, New().Window(t0, t1).Comm(0))
+	if !reflect.DeepEqual(mz, stats.CommMatrixOf(tr, 0, t0, t1)) {
+		t.Error("Comm(0) did not pass through to stats.CommMatrixOf")
+	}
+
+	st := StatsOf(tr, New())
+	if st.Tasks != len(filter.Tasks(tr, (&filter.TaskFilter{}).WithWindow(t0, t1))) {
+		t.Errorf("StatsOf tasks = %d", st.Tasks)
+	}
+	if st.Start != t0 || st.End != t1 {
+		t.Errorf("StatsOf window = [%d,%d), want [%d,%d)", st.Start, st.End, t0, t1)
+	}
+
+	// The renderer's nil-vs-empty CPUs distinction survives the query
+	// round trip: nil means all CPUs, non-nil empty means none (an
+	// error).
+	if _, _, err := TimelineRawOf(tr, New().Size(300, 120).CPUs([]int32{}...)); err == nil {
+		t.Error("explicitly empty CPU selection did not error")
+	}
+	if _, _, err := TimelineRawOf(tr, New().Size(300, 120).CPUs([]int32(nil)...).Clone()); err != nil {
+		t.Errorf("nil CPU selection errored: %v", err)
+	}
+
+	fbQ, _, err := TimelineRawOf(tr, New().Mode(render.ModeHeat).Size(300, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbD, _, err := render.Timeline(tr, render.TimelineConfig{
+		Width: 300, Height: 120, Start: t0, End: t1,
+		Mode: render.ModeHeat, Labels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fbQ, fbD) {
+		t.Error("TimelineRawOf differs from render.Timeline")
+	}
+}
+
+// TestScanOnlyProjection: the scan memo key keeps exactly the fields
+// an anomaly scan depends on — view-only and selection parameters
+// must not fragment the memo.
+func TestScanOnlyProjection(t *testing.T) {
+	base := New().Window(0, 1000).Types("a").Durations(2, 9).AnomalyWindows(64).MinScore(0.5)
+	want := base.ScanOnly().Canonical()
+	noisy := base.Clone().
+		Mode(render.ModeHeat).Counter("cycles").Rate(false).
+		Size(300, 100).Metric("idle").Intervals(50).Bins(7).
+		Limit(5).AnomalyKind("numa-remote")
+	if got := noisy.ScanOnly().Canonical(); got != want {
+		t.Errorf("view/selection parameters leaked into the scan key:\n%q\n%q", got, want)
+	}
+	if base.ScanOnly().Canonical() == New().ScanOnly().Canonical() {
+		t.Error("scan-relevant fields were dropped from the projection")
+	}
+}
+
+// TestWindowAndFilterResolution: unset bounds default to the span,
+// declarative criteria layer onto an explicit filter.
+func TestWindowAndFilterResolution(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	if t0, t1 := WindowOf(tr, New()); t0 != tr.Span.Start || t1 != tr.Span.End {
+		t.Errorf("default window = [%d,%d), want span", t0, t1)
+	}
+	if t0, t1 := WindowOf(tr, New().From(42)); t0 != 42 || t1 != tr.Span.End {
+		t.Errorf("From window = [%d,%d)", t0, t1)
+	}
+	// Programmatic windows pass through verbatim — the flat API's
+	// historical semantics (an explicit [0,0) selects nothing); only
+	// the URL layer maps t0=0&t1=0 to "unset".
+	if t0, t1 := WindowOf(tr, New().Window(0, 0)); t0 != 0 || t1 != 0 {
+		t.Errorf("Window(0,0) = [%d,%d), want [0,0) verbatim", t0, t1)
+	}
+	if f := FilterOf(tr, New()); f != nil {
+		t.Error("empty query built a non-nil filter")
+	}
+	explicit := &filter.TaskFilter{CPUs: map[int32]bool{0: true}}
+	f := FilterOf(tr, New().WithFilter(explicit).Types("seidel_block").Durations(3, 0))
+	if f.CPUs == nil || f.Types == nil || f.MinDuration != 3 {
+		t.Errorf("layered filter lost criteria: %+v", f)
+	}
+	if explicit.Types != nil || explicit.MinDuration != 0 {
+		t.Error("FilterOf mutated the caller's explicit filter")
+	}
+	// When both the explicit filter and the declarative Types restrict
+	// the type set, the sets intersect (conjunction), never widen.
+	initOnly := filter.ByTypeNames(tr, "seidel_init")
+	inter := FilterOf(tr, New().WithFilter(initOnly).Types("seidel_block"))
+	for id, on := range inter.Types {
+		if on {
+			t.Errorf("disjoint type restrictions left type %d enabled", id)
+		}
+	}
+	both := FilterOf(tr, New().WithFilter(filter.ByTypeNames(tr, "seidel_init", "seidel_block")).Types("seidel_block"))
+	want := filter.ByTypeNames(tr, "seidel_block").Types
+	if !reflect.DeepEqual(both.Types, want) {
+		t.Errorf("type intersection = %v, want %v", both.Types, want)
+	}
+	// Duration bounds combine by conjunction too: the tighter minimum
+	// and the tighter non-zero maximum win.
+	durBase := (&filter.TaskFilter{}).WithDuration(100, 0)
+	durBoth := FilterOf(tr, New().WithFilter(durBase).Durations(50, 500))
+	if durBoth.MinDuration != 100 || durBoth.MaxDuration != 500 {
+		t.Errorf("duration conjunction = [%d,%d], want [100,500]", durBoth.MinDuration, durBoth.MaxDuration)
+	}
+	if durBase.MaxDuration != 0 {
+		t.Error("duration conjunction mutated the explicit filter")
+	}
+	// Source adapters: a static source snapshots at epoch 0 forever
+	// and exposes its trace through StaticSource.
+	src := NewStatic(tr)
+	snap, epoch := src.Snapshot()
+	if snap != tr || epoch != 0 {
+		t.Errorf("static source snapshot = (%p, %d), want (%p, 0)", snap, epoch, tr)
+	}
+	if st, ok := src.(StaticSource); !ok || st.StaticTrace() != tr {
+		t.Error("static source does not expose its trace via StaticSource")
+	}
+}

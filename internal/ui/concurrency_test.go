@@ -71,15 +71,22 @@ func TestViewerCacheHits(t *testing.T) {
 		t.Errorf("different window X-Cache = %q, want MISS", hc)
 	}
 	// Semantically different filters must not collide on a cache key
-	// even when their raw fragments concatenate identically
-	// (types="a|1",mindur=2 vs types="a",mindur="1|2").
-	resp, _ = get(t, srv, "/stats?t0=0&t1=500000&types=a%7C1&mindur=2")
+	// even when their raw fragments concatenate identically: a single
+	// type literally named "a&mindur=2" would, unescaped, canonicalize
+	// to the same bytes as (types=a, mindur=2).
+	resp, _ = get(t, srv, "/stats?t0=0&t1=500000&types=a&mindur=2")
 	if hc := resp.Header.Get("X-Cache"); hc != "MISS" {
 		t.Errorf("collision probe 1 X-Cache = %q, want MISS", hc)
 	}
-	resp, _ = get(t, srv, "/stats?t0=0&t1=500000&types=a&mindur=1%7C2")
+	resp, _ = get(t, srv, "/stats?t0=0&t1=500000&types=a%26mindur%3D2")
 	if hc := resp.Header.Get("X-Cache"); hc != "MISS" {
 		t.Errorf("collision probe 2 X-Cache = %q, want MISS (key collision)", hc)
+	}
+	// Malformed filter values are rejected with a structured 400, not
+	// silently parsed into a guessed key.
+	resp, _ = get(t, srv, "/stats?t0=0&t1=500000&types=a&mindur=1%7C2")
+	if resp.StatusCode != 400 {
+		t.Errorf("malformed mindur status = %d, want 400", resp.StatusCode)
 	}
 	// Error responses are never cached.
 	resp, _ = get(t, srv, "/plot?kind=bogus")

@@ -2,13 +2,17 @@ package ui
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"github.com/openstream/aftermath/internal/annotations"
 	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/trace"
 )
 
 // TestEndpointContentTypes: every endpoint declares the right content
@@ -67,6 +71,96 @@ func TestEndpointBadParameters(t *testing.T) {
 	}
 }
 
+// decodeError asserts a response is a structured JSON error with the
+// given status, returning the named parameter.
+func decodeError(t *testing.T, path string, resp *http.Response, body []byte, status int) string {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Errorf("%s: status %d, want %d", path, resp.StatusCode, status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s: error content type %q, want application/json", path, ct)
+	}
+	var e struct {
+		Error  string `json:"error"`
+		Param  string `json:"param"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Errorf("%s: error body is not JSON: %s", path, body)
+		return ""
+	}
+	if e.Error == "" || e.Status != status {
+		t.Errorf("%s: malformed error body: %s", path, body)
+	}
+	return e.Param
+}
+
+// TestStructuredErrors: invalid window/filter/mode parameters return
+// the same structured JSON 400 on every endpoint — batch, live and
+// hub alike — naming the offending parameter; formerly several were
+// silently clamped or ignored.
+func TestStructuredErrors(t *testing.T) {
+	cases := []struct{ path, param string }{
+		{"/render?t0=abc", "t0"},
+		{"/render?t0=5&t1=5", "t1"},
+		{"/render?mode=bogus", "mode"},
+		{"/render?w=abc", "w"},
+		{"/render?heatmin=x", "heatmin"},
+		{"/stats?t0=99999999999999", "t0"}, // one-sided window beyond the span: empty once resolved
+		{"/matrix?t1=-5", "t1"},            // the bound the request set gets the blame
+		{"/stats?mindur=-1", "mindur"},
+		{"/stats?maxdur=1x", "maxdur"},
+		{"/plot?n=ten", "n"},
+		{"/matrix?cell=big", "cell"},
+		{"/anomalies?windows=x", "windows"},
+		{"/anomalies?t0=99999999999999", "t0"}, // window handling is consistent with /stats & friends
+		{"/anomalies?minscore=-1", "minscore"},
+		{"/anomalies?kind=bogus", "kind"},
+		{"/task?id=abc", "id"},
+		{"/task?cpu=x", "cpu"},
+		{"/graph.dot?max=lots", "max"},
+		{"/?t1=oops", "t1"},
+	}
+
+	check := func(t *testing.T, srv *httptest.Server, prefix string) {
+		for _, c := range cases {
+			resp, body := get(t, srv, prefix+c.path)
+			if param := decodeError(t, prefix+c.path, resp, body, 400); param != c.param {
+				t.Errorf("%s: error names param %q, want %q", prefix+c.path, param, c.param)
+			}
+		}
+		// Not-found responses are structured JSON too — including
+		// unknown sub-paths falling through to the index handler.
+		for _, p := range []string{"/task?id=999999", "/bogus"} {
+			resp, body := get(t, srv, prefix+p)
+			decodeError(t, prefix+p, resp, body, 404)
+		}
+	}
+
+	t.Run("batch", func(t *testing.T) {
+		check(t, newTestServer(t), "")
+	})
+	t.Run("live", func(t *testing.T) {
+		data := liveTraceBytes(t)
+		sr := trace.NewStreamReader(&growingTraceReader{data: data, limit: len(data)})
+		lv := core.NewLive()
+		if _, err := lv.Feed(sr); err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(NewLiveServer(lv, "live-errors"))
+		t.Cleanup(srv.Close)
+		check(t, srv, "")
+	})
+	t.Run("hub", func(t *testing.T) {
+		h, _, _ := newTestHub(t)
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		check(t, srv, "/t/batch")
+		check(t, srv, "/t/live")
+	})
+}
+
 // TestEndpointCacheHit: the second identical request is served from
 // the LRU response cache.
 func TestEndpointCacheHit(t *testing.T) {
@@ -91,6 +185,67 @@ func TestEndpointCacheHit(t *testing.T) {
 		if string(first) != string(second) {
 			t.Errorf("%s: cached body differs from computed body", path)
 		}
+	}
+	// Plots cache under the series-only projection: parameters that do
+	// not change the plotted series (the window; the filter, for
+	// filter-insensitive metrics) must not fragment the cache.
+	for _, path := range []string{
+		"/plot?kind=idle&w=300&h=100&t0=0&t1=400000",
+		"/plot?kind=idle&w=300&h=100&types=seidel_block",
+	} {
+		resp, _ := get(t, srv, path)
+		if xc := resp.Header.Get("X-Cache"); xc != "HIT" {
+			t.Errorf("%s: X-Cache = %q, want HIT (series unchanged)", path, xc)
+		}
+	}
+	// Likewise /stats, /matrix, /render and /anomalies cache under
+	// verb-only projections: parameters the verb ignores must share
+	// the entry warmed by the loop above.
+	for _, path := range []string{
+		"/stats?t0=0&t1=500000&mode=heatmap&counter=cycles",
+		"/render?mode=state&w=300&h=100&rate=0", // rate is overlay-only; no counter set
+		"/anomalies?n=10&mode=heatmap&counter=cycles&rate=0",
+	} {
+		resp, _ := get(t, srv, path)
+		if xc := resp.Header.Get("X-Cache"); xc != "HIT" {
+			t.Errorf("%s: X-Cache = %q, want HIT (verb ignores the extras)", path, xc)
+		}
+	}
+	// The resolved window canonicalizes into the key: an explicit
+	// full-span request shares the unwindowed request's entry, and
+	// marks without an attached annotation set is a no-op.
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	wsrv := httptest.NewServer(NewServer(tr, "window-canon"))
+	t.Cleanup(wsrv.Close)
+	for _, probe := range []struct{ warm, same string }{
+		{"/stats", fmt.Sprintf("/stats?t0=%d&t1=%d", tr.Span.Start, tr.Span.End)},
+		{"/render?mode=state&w=300&h=100", "/render?mode=state&w=300&h=100&marks=0"},
+	} {
+		if resp, _ := get(t, wsrv, probe.warm); resp.Header.Get("X-Cache") != "MISS" {
+			t.Fatalf("%s: warm-up not a MISS", probe.warm)
+		}
+		if resp, _ := get(t, wsrv, probe.same); resp.Header.Get("X-Cache") != "HIT" {
+			t.Errorf("%s: X-Cache = %q, want HIT (equivalent to %s)", probe.same, resp.Header.Get("X-Cache"), probe.warm)
+		}
+	}
+
+	resp, _ := get(t, srv, "/matrix?cell=20")
+	if xc := resp.Header.Get("X-Cache"); xc != "MISS" {
+		t.Errorf("matrix warm-up X-Cache = %q, want MISS", xc)
+	}
+	resp, _ = get(t, srv, "/matrix?cell=20&types=seidel_block&mode=heatmap")
+	if xc := resp.Header.Get("X-Cache"); xc != "HIT" {
+		t.Errorf("matrix with ignored params X-Cache = %q, want HIT", xc)
+	}
+
+	// The filter does change an avgdur plot: distinct entries.
+	resp, _ = get(t, srv, "/plot?kind=avgdur&w=300&h=100")
+	if xc := resp.Header.Get("X-Cache"); xc != "MISS" {
+		t.Errorf("avgdur first X-Cache = %q, want MISS", xc)
+	}
+	resp, _ = get(t, srv, "/plot?kind=avgdur&w=300&h=100&types=seidel_block")
+	if xc := resp.Header.Get("X-Cache"); xc != "MISS" {
+		t.Errorf("avgdur filtered X-Cache = %q, want MISS (filter-sensitive)", xc)
 	}
 }
 

@@ -1,0 +1,215 @@
+// The Hub: one process, many traces. A Hub registers named trace
+// sources — batch and live mixed — and mounts the full single-trace
+// viewer for each under /t/<name>/, behind ONE shared LRU response
+// cache whose keys are (trace, epoch, canonical query). This is the
+// multi-tenant serving shape the ROADMAP's production goal needs:
+// memory is bounded globally rather than per trace, a hot trace may
+// use the whole budget while idle traces keep only their hottest
+// tiles, and live traces invalidate per-epoch without touching their
+// neighbours' entries.
+package ui
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"net/url"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/openstream/aftermath/internal/query"
+)
+
+// Hub serves many named trace sources from one process:
+//
+//	/                   HTML index of the registered traces
+//	/traces             JSON listing (name, live, epoch, totals)
+//	/t/<name>/...       the full single-trace viewer for that source
+//
+// Safe for concurrent clients and concurrent Add.
+type Hub struct {
+	mu      sync.RWMutex
+	servers map[string]*Server
+	names   []string // registration order
+	cache   *responseCache
+}
+
+// NewHub returns an empty hub with a shared response cache.
+func NewHub() *Hub {
+	return &Hub{
+		servers: make(map[string]*Server),
+		cache:   newResponseCache(defaultCacheBytes),
+	}
+}
+
+// Add registers a trace source under a name, routing /t/<name>/... to
+// its viewer. Batch traces (query.NewStatic) and live traces may be
+// mixed freely. Names must be non-empty, free of '/' and unique.
+func (h *Hub) Add(name string, src query.Source) error {
+	if name == "" {
+		return fmt.Errorf("hub: trace name must not be empty")
+	}
+	if strings.ContainsAny(name, "/?#") {
+		return fmt.Errorf("hub: trace name %q must not contain '/', '?' or '#'", name)
+	}
+	if name == "." || name == ".." {
+		// Browsers normalize /t/./ and /t/../ away from the mount,
+		// leaving the trace unreachable through the UI.
+		return fmt.Errorf("hub: trace name %q is not routable", name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.servers[name]; dup {
+		return fmt.Errorf("hub: trace %q already registered", name)
+	}
+	// The scope prefixes every cache key of this trace's server, so
+	// all registered traces share the hub's one LRU without colliding:
+	// effective keys are (trace, epoch, canonical query).
+	scope := "t=" + url.QueryEscape(name) + "|"
+	h.servers[name] = newServer(src, name, h.cache, scope)
+	h.names = append(h.names, name)
+	return nil
+}
+
+// Server returns the mounted viewer for a registered trace (for
+// attaching annotations, etc.).
+func (h *Hub) Server(name string) (*Server, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.servers[name]
+	return s, ok
+}
+
+// Names returns the registered trace names in registration order.
+func (h *Hub) Names() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]string(nil), h.names...)
+}
+
+// CacheStats returns the shared cache's entry count and byte size.
+func (h *Hub) CacheStats() (entries, bytes int) {
+	return h.cache.stats()
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/":
+		h.handleIndex(w, r)
+	case r.URL.Path == "/traces":
+		h.handleTraces(w, r)
+	case strings.HasPrefix(r.URL.Path, "/t/"):
+		// r.URL.Path is already percent-decoded by net/http; do not
+		// decode again, or names containing literal escape sequences
+		// become unreachable (or alias another trace).
+		rest := strings.TrimPrefix(r.URL.Path, "/t/")
+		name, sub, found := strings.Cut(rest, "/")
+		srv, ok := h.Server(name)
+		if !ok {
+			errorf(w, http.StatusNotFound, "no trace %q registered", name)
+			return
+		}
+		if !found {
+			// /t/<name> -> /t/<name>/ so the viewer's relative links
+			// resolve under the trace's mount point; the query string
+			// (window, mode, ...) rides along, and the path keeps its
+			// original escaping.
+			target := r.URL.EscapedPath() + "/"
+			if r.URL.RawQuery != "" {
+				target += "?" + r.URL.RawQuery
+			}
+			http.Redirect(w, r, target, http.StatusMovedPermanently)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		// Clean the sub-path before delegating: the inner ServeMux
+		// would otherwise answer non-clean paths (//stats, ./stats)
+		// with a path-cleaning redirect whose Location has lost the
+		// /t/<name> mount prefix.
+		r2.URL.Path = path.Clean("/" + sub)
+		srv.ServeHTTP(w, r2)
+	default:
+		errorf(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+	}
+}
+
+// hubTrace is one entry of the /traces JSON listing.
+type hubTrace struct {
+	Name string `json:"name"`
+	liveResponse
+}
+
+// listing snapshots every registered trace's status, sorted by name
+// for a deterministic response.
+func (h *Hub) listing() []hubTrace {
+	h.mu.RLock()
+	names := append([]string(nil), h.names...)
+	servers := make([]*Server, len(names))
+	for i, n := range names {
+		servers[i] = h.servers[n]
+	}
+	h.mu.RUnlock()
+	out := make([]hubTrace, len(names))
+	for i, srv := range servers {
+		out[i] = hubTrace{Name: names[i], liveResponse: srv.liveStatus()}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// handleTraces lists the registered traces as JSON. Never cached: it
+// reports live epochs.
+func (h *Hub) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := json.NewEncoder(w).Encode(h.listing()); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+var hubTmpl = template.Must(template.New("hub").Parse(`<!DOCTYPE html>
+<html><head><title>Aftermath Hub</title>
+<style>
+body { font-family: sans-serif; background: #1a1a1a; color: #ddd; margin: 1em; }
+a { color: #8cf; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+td, th { border: 1px solid #444; padding: 0.3em 0.8em; text-align: left; }
+</style></head>
+<body>
+<h2>Aftermath &mdash; {{len .}} trace{{if ne (len .) 1}}s{{end}}</h2>
+<table>
+<tr><th>trace</th><th>status</th><th>epoch</th><th>CPUs</th><th>tasks</th><th>span (cycles)</th></tr>
+{{range .}}<tr>
+<td><a href="/t/{{.NameEscaped}}/">{{.Name}}</a></td>
+<td>{{if .Live}}live{{if .Error}} (ingest error){{end}}{{else}}batch{{end}}</td>
+<td>{{.Epoch}}</td><td>{{.CPUs}}</td><td>{{.Tasks}}</td><td>{{.SpanCycles}}</td>
+</tr>{{end}}
+</table>
+<div><a href="/traces">listing (JSON)</a></div>
+</body></html>`))
+
+// hubIndexRow adds the template-derived fields to a listing entry.
+type hubIndexRow struct {
+	hubTrace
+	// NameEscaped is the path-escaped name for the mount link, so
+	// names with spaces or literal escape sequences round-trip
+	// through net/http's one decode.
+	NameEscaped string
+	SpanCycles  int64
+}
+
+func (h *Hub) handleIndex(w http.ResponseWriter, r *http.Request) {
+	traces := h.listing()
+	rows := make([]hubIndexRow, len(traces))
+	for i, t := range traces {
+		rows[i] = hubIndexRow{hubTrace: t, NameEscaped: url.PathEscape(t.Name), SpanCycles: t.End - t.Start}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := hubTmpl.Execute(w, rows); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}

@@ -112,6 +112,35 @@ func TestLiveEndpointStatus(t *testing.T) {
 	}
 }
 
+// TestLiveEmptyTraceViewer: a live viewer registered before any data
+// arrives (span still [0,0)) must serve its index and JSON endpoints,
+// and the index's own self-generated t0=0&t1=0 links must not 400.
+// The timeline image itself cannot exist for a zero-span trace — the
+// renderer rejects the empty interval, exactly as before this layer
+// existed — but that must come back as the structured error shape,
+// and the page recovers on reload once the first records arrive.
+func TestLiveEmptyTraceViewer(t *testing.T) {
+	srv := httptest.NewServer(NewLiveServer(core.NewLive(), "pre-data"))
+	t.Cleanup(srv.Close)
+	for _, path := range []string{"/", "/?mode=state&t0=0&t1=0", "/stats?t0=0&t1=0", "/anomalies?t0=0&t1=0&windows=16", "/live"} {
+		resp, body := get(t, srv, path)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d on empty live trace: %s", path, resp.StatusCode, body)
+		}
+	}
+	resp, body := get(t, srv, "/render?w=200&h=80&t0=0&t1=0")
+	decodeError(t, "/render (empty span)", resp, body, 400)
+	// And on a trace with data, the pre-data page's stale t0=0&t1=0
+	// links resolve to the full span instead of a 400.
+	full := newTestServer(t)
+	for _, path := range []string{"/?mode=state&t0=0&t1=0", "/render?w=200&h=80&t0=0&t1=0", "/stats?t0=0&t1=0"} {
+		resp, body := get(t, full, path)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d on loaded trace: %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
 // TestLiveEndpointIngestError: a corrupted stream surfaces as a sticky
 // error in /live, so pollers can tell a dead ingest from a quiet run;
 // already-published snapshots keep serving.

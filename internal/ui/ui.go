@@ -5,6 +5,14 @@
 // filters (3), detailed information for a selected task (4) and
 // derived metric overlays (5). Zooming, scrolling and filtering
 // re-render server-side through the optimized rendering engine.
+//
+// Every handler is a thin shell over the query layer
+// (internal/query): request parameters parse into one canonical Query,
+// the Query executes against an immutable epoch-versioned snapshot,
+// and the response caches under (trace, epoch, canonical query) — so
+// equivalent requests share one cache entry however their parameters
+// were spelled or ordered. A Server serves one trace; a Hub (hub.go)
+// serves many from one process behind one shared cache.
 package ui
 
 import (
@@ -22,9 +30,8 @@ import (
 	"github.com/openstream/aftermath/internal/anomaly"
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/filter"
-	"github.com/openstream/aftermath/internal/metrics"
+	"github.com/openstream/aftermath/internal/query"
 	"github.com/openstream/aftermath/internal/render"
-	"github.com/openstream/aftermath/internal/stats"
 	"github.com/openstream/aftermath/internal/taskgraph"
 	"github.com/openstream/aftermath/internal/trace"
 )
@@ -33,7 +40,7 @@ import (
 // rendered tiles, small next to the traces the paper targets.
 const defaultCacheBytes = 32 << 20
 
-// Server serves one trace — either a fully loaded immutable one, or a
+// Server serves one trace source — a fully loaded immutable trace or a
 // live trace that is still being appended to. Every request queries an
 // immutable snapshot, so rendered responses are cached (see
 // responseCache) under keys versioned by the snapshot's epoch: a
@@ -42,15 +49,19 @@ const defaultCacheBytes = 32 << 20
 // (MISS → HIT → MISS-after-append). Safe for concurrent clients.
 type Server struct {
 	// Trace is the static trace served, nil when the server follows a
-	// live trace.
+	// live source.
 	Trace *core.Trace
 	// Name is shown in the page title.
 	Name string
 
-	live    *core.Live
+	src     query.Source
 	scanner *anomaly.LiveScanner
 	cache   *responseCache
-	mux     *http.ServeMux
+	// scope prefixes every cache key; a Hub gives each registered
+	// trace a distinct scope so many traces share one LRU without
+	// colliding.
+	scope string
+	mux   *http.ServeMux
 	// anns are annotations overlaid on rendered timelines (e.g. the
 	// top anomaly-scan findings); annsVer keys the response cache so
 	// tiles rendered against an older set are never served for a
@@ -58,6 +69,14 @@ type Server struct {
 	annsMu  sync.RWMutex
 	anns    *annotations.Set
 	annsVer int
+
+	// statusSnap/statusResp memoize the ingest-status totals (an
+	// O(counters x CPUs) sweep) per immutable snapshot, so the hub's
+	// landing page and /traces don't recompute them for every
+	// registered trace on every hit. statusMu guards both.
+	statusMu   sync.Mutex
+	statusSnap *core.Trace
+	statusResp liveResponse
 }
 
 // SetAnnotations attaches an annotation set overlaid on every rendered
@@ -82,7 +101,7 @@ func (s *Server) annotationsState() (*annotations.Set, int) {
 
 // NewServer creates a viewer for a loaded trace.
 func NewServer(tr *core.Trace, name string) *Server {
-	return newServer(tr, nil, name)
+	return newServer(query.NewStatic(tr), name, newResponseCache(defaultCacheBytes), "")
 }
 
 // NewLiveServer creates a viewer for a live trace. Requests always see
@@ -90,16 +109,26 @@ func NewServer(tr *core.Trace, name string) *Server {
 // and anomaly rankings update as the trace grows, and the /live
 // endpoint reports the current epoch and ingest progress.
 func NewLiveServer(lv *core.Live, name string) *Server {
-	return newServer(nil, lv, name)
+	return newServer(lv, name, newResponseCache(defaultCacheBytes), "")
 }
 
-func newServer(tr *core.Trace, lv *core.Live, name string) *Server {
+// NewSourceServer creates a viewer for any trace source: batch traces
+// (query.NewStatic) and live traces alike, through the one Source
+// entry point.
+func NewSourceServer(src query.Source, name string) *Server {
+	return newServer(src, name, newResponseCache(defaultCacheBytes), "")
+}
+
+func newServer(src query.Source, name string, cache *responseCache, scope string) *Server {
 	s := &Server{
-		Trace:   tr,
 		Name:    name,
-		live:    lv,
+		src:     src,
 		scanner: anomaly.NewLiveScanner(),
-		cache:   newResponseCache(defaultCacheBytes),
+		cache:   cache,
+		scope:   scope,
+	}
+	if st, ok := src.(query.StaticSource); ok {
+		s.Trace = st.StaticTrace()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -119,10 +148,45 @@ func newServer(tr *core.Trace, lv *core.Live, name string) *Server {
 // the epoch that versions every cache key derived from it. Static
 // traces are forever epoch 0.
 func (s *Server) snapshot() (*core.Trace, uint64) {
-	if s.live != nil {
-		return s.live.Snapshot()
+	return s.src.Snapshot()
+}
+
+// errorBody is the structured JSON error every endpoint returns for
+// invalid requests: machine-readable status and, for parameter errors,
+// the offending parameter name.
+type errorBody struct {
+	Error  string `json:"error"`
+	Param  string `json:"param,omitempty"`
+	Status int    `json:"status"`
+}
+
+// writeError reports a request failure as structured JSON — the one
+// error shape shared by batch, live and hub endpoints.
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := errorBody{Error: err.Error(), Status: status}
+	var bp *query.BadParamError
+	if e, ok := err.(*query.BadParamError); ok {
+		bp = e
 	}
-	return s.Trace, 0
+	if bp != nil {
+		body.Param = bp.Param
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// errorf is a writeError convenience for ad-hoc messages.
+func errorf(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeError(w, status, fmt.Errorf(format, args...))
+}
+
+// key builds the cache key for a verb: scope (hub trace identity),
+// epoch, verb, canonical query. Everything the response depends on is
+// in the canonical encoding, so permuted-but-equivalent requests hit
+// one entry.
+func (s *Server) key(epoch uint64, verb string, q *query.Query) string {
+	return fmt.Sprintf("%se%d|%s|%s", s.scope, epoch, verb, q.Canonical())
 }
 
 // serveCached serves the response for key from the cache, invoking
@@ -137,7 +201,7 @@ func (s *Server) serveCached(w http.ResponseWriter, key, contentType string, bui
 	}
 	body, status, err := build()
 	if err != nil {
-		http.Error(w, err.Error(), status)
+		writeError(w, status, err)
 		return
 	}
 	s.cache.put(key, contentType, body)
@@ -146,98 +210,140 @@ func (s *Server) serveCached(w http.ResponseWriter, key, contentType string, bui
 	w.Write(body)
 }
 
-// filterKey is the cache-key fragment of the filter query parameters.
-// User-controlled strings are escaped and numeric bounds normalized to
-// their parsed values, so distinct filters can never collide on a key.
-func filterKey(r *http.Request) string {
-	min, _ := strconv.ParseInt(r.FormValue("mindur"), 10, 64)
-	max, _ := strconv.ParseInt(r.FormValue("maxdur"), 10, 64)
-	return fmt.Sprintf("%s|%d|%d", url.QueryEscape(r.FormValue("types")), min, max)
-}
-
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// window parses the t0/t1 query parameters, defaulting to the full
-// span of the request's snapshot.
-func window(tr *core.Trace, r *http.Request) (int64, int64) {
-	t0, t1 := tr.Span.Start, tr.Span.End
-	if v := r.FormValue("t0"); v != "" {
-		if p, err := strconv.ParseInt(v, 10, 64); err == nil {
-			t0 = p
-		}
+// parseQuery parses the shared request parameters into a canonical
+// Query, reporting malformed values as a structured 400. Returns nil
+// after writing the error. Callers parse the URL once and pass the
+// values through every helper.
+func parseQuery(w http.ResponseWriter, v url.Values) *query.Query {
+	q, err := query.FromValues(v)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil
 	}
-	if v := r.FormValue("t1"); v != "" {
-		if p, err := strconv.ParseInt(v, 10, 64); err == nil {
-			t1 = p
+	return q
+}
+
+// intParam parses and clamps an integer parameter, writing a
+// structured 400 for syntax errors (ok=false).
+func intParam(w http.ResponseWriter, v url.Values, key string, def, lo, hi int) (int, bool) {
+	p, err := query.IntParam(v, key, def)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, false
+	}
+	return clampInt(p, lo, hi), true
+}
+
+// resolveWindow resolves the query window against the snapshot,
+// rejecting windows that are empty after resolution — e.g. a
+// one-sided t0 beyond the trace end — with a structured 400 (ok=false).
+// Queries with no explicit bounds always pass, and so does everything
+// on an empty-span trace (a live source before data arrives), whose
+// windows all degenerate.
+func resolveWindow(w http.ResponseWriter, tr *core.Trace, q *query.Query) (int64, int64, bool) {
+	return resolveWindowClamped(w, tr, q, false)
+}
+
+// resolveWindowClamped is resolveWindow with the anomaly scan's
+// additional contract: the window is clamped to the trace span before
+// the emptiness check, so a valid-but-overhanging window serves the
+// overlapping part and a non-overlapping one is rejected. Both
+// variants share one policy site for the rejection and its
+// empty-span carve-out.
+func resolveWindowClamped(w http.ResponseWriter, tr *core.Trace, q *query.Query, clamp bool) (int64, int64, bool) {
+	t0, t1 := query.WindowOf(tr, q)
+	if clamp {
+		if t0 < tr.Span.Start {
+			t0 = tr.Span.Start
+		}
+		if t1 > tr.Span.End {
+			t1 = tr.Span.End
 		}
 	}
 	if t1 <= t0 {
+		if q.HasWindow() && tr.Span.End > tr.Span.Start {
+			// Blame the window's end when the request set it, else
+			// the start — the bound whose value emptied the window.
+			param := "t0"
+			if q.HasEnd() {
+				param = "t1"
+			}
+			writeError(w, http.StatusBadRequest, &query.BadParamError{
+				Param:  param,
+				Reason: fmt.Sprintf("window [%d,%d) is empty once resolved against the trace span [%d,%d)", t0, t1, tr.Span.Start, tr.Span.End),
+			})
+			return 0, 0, false
+		}
+		// No explicit bounds (or nothing to serve at all): the full
+		// span, however degenerate, is the honest answer.
 		t0, t1 = tr.Span.Start, tr.Span.End
 	}
-	return t0, t1
-}
-
-// taskFilter parses filter query parameters: types (comma-separated
-// names), mindur/maxdur (cycles).
-func taskFilter(tr *core.Trace, r *http.Request) *filter.TaskFilter {
-	var f *filter.TaskFilter
-	if v := r.FormValue("types"); v != "" {
-		f = filter.ByTypeNames(tr, strings.Split(v, ",")...)
-	}
-	min, _ := strconv.ParseInt(r.FormValue("mindur"), 10, 64)
-	max, _ := strconv.ParseInt(r.FormValue("maxdur"), 10, 64)
-	if min > 0 || max > 0 {
-		f = f.WithDuration(min, max)
-	}
-	return f
+	return t0, t1, true
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	tr, epoch := s.snapshot()
-	t0, t1 := window(tr, r)
-	mode, err := render.ParseMode(defaultStr(r.FormValue("mode"), "state"))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	v := r.URL.Query()
+	q := parseQuery(w, v)
+	if q == nil {
 		return
 	}
-	width := clampInt(formInt(r, "w", 1000), 100, 4000)
-	height := clampInt(formInt(r, "h", 400), 50, 2000)
-	cfg := render.TimelineConfig{
-		Width: width, Height: height,
-		Start: t0, End: t1,
-		Mode:    mode,
-		Filter:  taskFilter(tr, r),
-		Labels:  r.FormValue("labels") != "0",
-		HeatMin: int64(formInt(r, "heatmin", 0)),
-		HeatMax: int64(formInt(r, "heatmax", 0)),
-		Shades:  formInt(r, "shades", 10),
+	t0, t1, ok := resolveWindow(w, tr, q)
+	if !ok {
+		return
 	}
-	cname := r.FormValue("counter")
-	rate := r.FormValue("rate") != "0"
+	// Canonicalize the resolved window into the key, so an explicit
+	// full-span request and an unwindowed one share one entry.
+	q.Window(t0, t1)
+	width, ok := intParam(w, v, "w", 1000, 100, 4000)
+	if !ok {
+		return
+	}
+	height, ok := intParam(w, v, "h", 400, 50, 2000)
+	if !ok {
+		return
+	}
+	heatMin, err := query.Int64Param(v, "heatmin", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	heatMax, err := query.Int64Param(v, "heatmax", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	shades, ok := intParam(w, v, "shades", 10, 2, 64)
+	if !ok {
+		return
+	}
+	q.Size(width, height).Heat(heatMin, heatMax).Shades(shades)
+	q.Labels(query.FlagParam(v, "labels", true))
+	if v.Get("counter") == "" {
+		// rate only modifies a counter overlay; without one it must
+		// not fragment the cache key.
+		q.Rate(true)
+	}
 	anns, annsVer := s.annotationsState()
-	marks := anns != nil && r.FormValue("marks") != "0"
-	key := fmt.Sprintf("e%d|render|%d|%d|%d|%dx%d|%v|%d|%d|%d|%s|%v|%v|%d|%s",
-		epoch, mode, t0, t1, width, height, cfg.Labels, cfg.HeatMin, cfg.HeatMax,
-		cfg.Shades, url.QueryEscape(cname), rate, marks, annsVer, filterKey(r))
+	marks := query.FlagParam(v, "marks", true)
+	if anns != nil {
+		// marks only modifies rendering when an annotation set is
+		// attached; without one it must not fragment the cache key.
+		q.Marks(marks)
+	}
+	key := fmt.Sprintf("%s|a%d", s.key(epoch, "render", q), annsVer)
 	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
-		fb, _, err := render.Timeline(tr, cfg)
+		fb, _, err := query.TimelineOf(tr, q)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
-		if cname != "" {
-			if c, ok := tr.CounterByName(cname); ok {
-				render.OverlayCounter(fb, tr, cfg, render.OverlayConfig{
-					Counter: c,
-					Rate:    rate,
-					Color:   render.CategoryColor(7),
-				}, tr.CounterIndex())
-			}
-		}
-		if marks {
-			render.OverlayAnnotations(fb, tr, cfg, anns)
+		if marks && anns != nil {
+			render.OverlayAnnotations(fb, tr, query.TimelineConfigOf(tr, q), anns)
 		}
 		var buf bytes.Buffer
 		if err := fb.EncodePNG(&buf); err != nil {
@@ -249,11 +355,26 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	tr, epoch := s.snapshot()
-	t0, t1 := window(tr, r)
-	cell := clampInt(formInt(r, "cell", 14), 4, 64)
-	key := fmt.Sprintf("e%d|matrix|%d|%d|%d", epoch, t0, t1, cell)
-	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
-		m := stats.CommMatrixOf(tr, stats.ReadsAndWrites, t0, t1)
+	v := r.URL.Query()
+	q := parseQuery(w, v)
+	if q == nil {
+		return
+	}
+	t0, t1, ok := resolveWindow(w, tr, q)
+	if !ok {
+		return
+	}
+	q.Window(t0, t1)
+	cell, ok := intParam(w, v, "cell", 14, 4, 64)
+	if !ok {
+		return
+	}
+	// Cache under the matrix-only projection (window + cell): filter,
+	// mode and counter parameters do not change the matrix and must
+	// not fragment the LRU.
+	q = q.MatrixOnly(cell)
+	s.serveCached(w, s.key(epoch, "matrix", q), "image/png", func() ([]byte, int, error) {
+		m := query.CommMatrixOf(tr, q)
 		fb := render.RenderMatrix(m, cell)
 		var buf bytes.Buffer
 		if err := fb.EncodePNG(&buf); err != nil {
@@ -265,25 +386,32 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 	tr, epoch := s.snapshot()
-	intervals := clampInt(formInt(r, "n", 200), 10, 2000)
-	kind := defaultStr(r.FormValue("kind"), "idle")
-	width := clampInt(formInt(r, "w", 800), 100, 4000)
-	height := clampInt(formInt(r, "h", 220), 50, 2000)
-	key := fmt.Sprintf("e%d|plot|%s|%d|%dx%d|%s", epoch, url.QueryEscape(kind), intervals, width, height, filterKey(r))
-	s.serveCached(w, key, "image/png", func() ([]byte, int, error) {
-		var series metrics.Series
-		switch kind {
-		case "idle":
-			series = metrics.WorkersInState(tr, trace.StateIdle, intervals)
-		case "avgdur":
-			series = metrics.AverageTaskDuration(tr, intervals, taskFilter(tr, r))
-		default:
-			if c, ok := tr.CounterByName(kind); ok {
-				agg := metrics.AggregateCounter(tr, c, intervals)
-				series = metrics.Derivative(agg)
-			} else {
-				return nil, http.StatusBadRequest, fmt.Errorf("unknown plot kind %s", kind)
-			}
+	v := r.URL.Query()
+	q := parseQuery(w, v)
+	if q == nil {
+		return
+	}
+	intervals, ok := intParam(w, v, "n", 200, 10, 2000)
+	if !ok {
+		return
+	}
+	width, ok := intParam(w, v, "w", 800, 100, 4000)
+	if !ok {
+		return
+	}
+	height, ok := intParam(w, v, "h", 220, 50, 2000)
+	if !ok {
+		return
+	}
+	q.Metric(defaultStr(v.Get("kind"), "idle")).Intervals(intervals)
+	// Cache under the series-only projection: the window (and, for
+	// filter-insensitive metrics, the filter) does not change the
+	// plotted series, so it must not fragment the LRU.
+	q = q.SeriesOnly(width, height)
+	s.serveCached(w, s.key(epoch, "plot", q), "image/png", func() ([]byte, int, error) {
+		series, err := query.SeriesOf(tr, q)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
 		}
 		fb, err := render.PlotSeries(render.PlotConfig{
 			Width: width, Height: height,
@@ -300,26 +428,22 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsResponse is the JSON body of /stats.
-type statsResponse struct {
-	Start          int64            `json:"start"`
-	End            int64            `json:"end"`
-	Tasks          int              `json:"tasks"`
-	AvgParallelism float64          `json:"avg_parallelism"`
-	StateCycles    map[string]int64 `json:"state_cycles"`
-	LocalFraction  float64          `json:"local_fraction"`
-	DurationHist   []int            `json:"duration_hist"`
-	HistMin        float64          `json:"hist_min"`
-	HistMax        float64          `json:"hist_max"`
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	tr, epoch := s.snapshot()
-	t0, t1 := window(tr, r)
-	key := fmt.Sprintf("e%d|stats|%d|%d|%s", epoch, t0, t1, filterKey(r))
-	s.serveCached(w, key, "application/json", func() ([]byte, int, error) {
-		f := taskFilter(tr, r).WithWindow(t0, t1)
-		st := StatsFor(tr, f, t0, t1)
+	q := parseQuery(w, r.URL.Query())
+	if q == nil {
+		return
+	}
+	t0, t1, ok := resolveWindow(w, tr, q)
+	if !ok {
+		return
+	}
+	q.Window(t0, t1)
+	// Cache under the stats-only projection (window + filter): mode
+	// and counter parameters do not change the summary.
+	q = q.StatsOnly()
+	s.serveCached(w, s.key(epoch, "stats", q), "application/json", func() ([]byte, int, error) {
+		st := query.StatsOf(tr, q)
 		body, err := json.Marshal(st)
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
@@ -329,25 +453,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsFor computes the statistics-panel values for a window (exposed
-// for tests and the CLI).
-func StatsFor(tr *core.Trace, f *filter.TaskFilter, t0, t1 int64) interface{} {
-	resp := statsResponse{
-		Start: t0, End: t1,
-		Tasks:          len(filter.Tasks(tr, f)),
-		AvgParallelism: stats.AverageParallelism(tr, t0, t1),
-		StateCycles:    map[string]int64{},
-		LocalFraction:  stats.LocalityFraction(tr, stats.ReadsAndWrites, t0, t1),
-	}
-	times := stats.StateTimes(tr, t0, t1)
-	for st, v := range times {
-		if v > 0 {
-			resp.StateCycles[trace.WorkerState(st).String()] = v
-		}
-	}
-	h := stats.DurationHistogram(tr, f, 20)
-	resp.DurationHist = h.Counts
-	resp.HistMin, resp.HistMax = h.Min, h.Max
-	return resp
+// for tests and the CLI). The result is the schema-stable typed
+// summary query.StatsResult.
+func StatsFor(tr *core.Trace, f *filter.TaskFilter, t0, t1 int64) query.StatsResult {
+	return query.StatsOver(tr, f, t0, t1)
 }
 
 // taskResponse is the JSON body of /task — the detailed text view of
@@ -374,24 +483,33 @@ type accessResponse struct {
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	tr, _ := s.snapshot()
+	v := r.URL.Query()
 	// Select by id, or by cpu+time (clicking the timeline).
 	var task *core.TaskInfo
-	if v := r.FormValue("id"); v != "" {
-		id, err := strconv.ParseUint(v, 10, 64)
+	if idStr := v.Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
 		if err != nil {
-			http.Error(w, "bad id", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, &query.BadParamError{Param: "id", Reason: "not a task id"})
 			return
 		}
 		t, ok := tr.TaskByID(trace.TaskID(id))
 		if !ok {
-			http.Error(w, "no such task", http.StatusNotFound)
+			errorf(w, http.StatusNotFound, "no task with id %d", id)
 			return
 		}
 		task = t
 	} else {
-		cpu := int32(formInt(r, "cpu", 0))
-		at, _ := strconv.ParseInt(r.FormValue("at"), 10, 64)
-		for _, ev := range tr.StatesIn(cpu, at, at+1) {
+		cpu, err := query.IntParam(v, "cpu", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		at, err := query.Int64Param(v, "at", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		for _, ev := range tr.StatesIn(int32(cpu), at, at+1) {
 			if ev.State == trace.StateTaskExec {
 				if t, ok := tr.TaskByID(ev.Task); ok {
 					task = t
@@ -399,7 +517,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if task == nil {
-			http.Error(w, "no task at that position", http.StatusNotFound)
+			errorf(w, http.StatusNotFound, "no task at that position")
 			return
 		}
 	}
@@ -429,17 +547,21 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
 func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
 	tr, _ := s.snapshot()
+	max, err := query.IntParam(r.URL.Query(), "max", 500)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	g := taskgraph.Reconstruct(tr)
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
-	max := formInt(r, "max", 500)
 	if err := g.WriteDOT(w, taskgraph.DOTOptions{MaxTasks: max, Label: s.Name}); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
@@ -472,61 +594,62 @@ type anomaliesResponse struct {
 // a cache hit.
 func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 	tr, epoch := s.snapshot()
-	t0, t1 := window(tr, r)
-	// Clamp to the trace span (mirroring the scan's own clamping), so
-	// the echoed window is exactly the interval that was scanned.
-	if t0 < tr.Span.Start {
-		t0 = tr.Span.Start
+	v := r.URL.Query()
+	q := parseQuery(w, v)
+	if q == nil {
+		return
 	}
-	if t1 > tr.Span.End {
-		t1 = tr.Span.End
+	// Windows that are empty once resolved are rejected like on every
+	// other endpoint; valid ones clamp to the trace span (mirroring
+	// the scan's own clamping), so the echoed window — and the
+	// canonical cache key — is exactly the interval that was scanned.
+	t0, t1, ok := resolveWindowClamped(w, tr, q, true)
+	if !ok {
+		return
 	}
-	if t1 <= t0 {
-		t0, t1 = tr.Span.Start, tr.Span.End
+	q.Window(t0, t1)
+	n, ok := intParam(w, v, "n", 50, 1, 1000)
+	if !ok {
+		return
 	}
-	n := clampInt(formInt(r, "n", 50), 1, 1000)
-	windows := clampInt(formInt(r, "windows", anomaly.DefaultWindows), 8, 4096)
-	minScore := 0.0
-	if v := r.FormValue("minscore"); v != "" {
-		p, err := strconv.ParseFloat(v, 64)
-		if err != nil || p < 0 {
-			http.Error(w, "bad minscore", http.StatusBadRequest)
-			return
-		}
-		minScore = p
+	windows, ok := intParam(w, v, "windows", anomaly.DefaultWindows, 8, 4096)
+	if !ok {
+		return
 	}
-	kindName := r.FormValue("kind")
-	var wantKind anomaly.Kind
-	haveKind := false
-	if kindName != "" {
-		k, ok := anomaly.ParseKind(kindName)
-		if !ok {
-			http.Error(w, fmt.Sprintf("unknown anomaly kind %q", kindName), http.StatusBadRequest)
-			return
-		}
-		wantKind, haveKind = k, true
+	minScore, err := query.FloatParam(v, "minscore", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
-	// The scan memo key deliberately excludes n and kind: they filter
-	// the response, not the scan, so requests differing only in those
-	// parameters share one memoized scan per epoch.
-	scanKey := fmt.Sprintf("%d|%d|%d|%g|%s", t0, t1, windows, minScore, filterKey(r))
-	key := fmt.Sprintf("e%d|anomalies|%s|%d|%s", epoch, scanKey, n, url.QueryEscape(kindName))
-	s.serveCached(w, key, "application/json", func() ([]byte, int, error) {
-		cfg := anomaly.Config{
-			Windows:  windows,
-			MinScore: minScore,
-			Filter:   taskFilter(tr, r),
-			Window:   core.Interval{Start: t0, End: t1},
-		}
+	if minScore < 0 {
+		writeError(w, http.StatusBadRequest, &query.BadParamError{Param: "minscore", Reason: "must be non-negative"})
+		return
+	}
+	q.AnomalyWindows(windows).MinScore(minScore)
+	// Project to the scan-relevant fields plus the result selection:
+	// view parameters (mode, counter, ...) change neither the scan
+	// nor the response, so they must not fragment the cache.
+	q = q.ScanOnly().Limit(n).AnomalyKind(v.Get("kind"))
+	// Validate the kind selection up front — through its one
+	// definition site — so an invalid kind cannot trigger a scan.
+	if _, err := query.SelectAnomalies(nil, q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The scan memo key is the scan-only projection of the query:
+	// result selection (n, kind) and view-only parameters do not
+	// change what is scanned, so requests differing only in those
+	// share one memoized scan per epoch.
+	scanKey := q.ScanOnly().Canonical()
+	s.serveCached(w, s.key(epoch, "anomalies", q), "application/json", func() ([]byte, int, error) {
+		cfg := query.AnomalyConfigOf(tr, q)
 		found := s.scanner.Scan(tr, epoch, scanKey, cfg)
+		selected, err := query.SelectAnomalies(found, q)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
 		resp := anomaliesResponse{Start: t0, End: t1, Anomalies: []anomalyItem{}}
-		for _, a := range found {
-			if haveKind && a.Kind != wantKind {
-				continue
-			}
-			if len(resp.Anomalies) >= n {
-				break
-			}
+		for _, a := range selected {
 			resp.Anomalies = append(resp.Anomalies, anomalyItem{
 				Kind:        a.Kind.String(),
 				Score:       a.Score,
@@ -567,41 +690,62 @@ type liveResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
-// handleLive reports the current epoch and snapshot totals. Never
-// cached: its whole point is telling pollers whether anything changed.
-func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+// liveStatus builds the ingest-status summary for the current
+// snapshot (shared by /live and the hub's trace listing). The event
+// and sample totals are memoized per snapshot — snapshots are
+// immutable, so they only need recomputing when the epoch publishes a
+// new one. The sticky ingest error is refreshed on every call: it can
+// appear without a publish.
+func (s *Server) liveStatus() liveResponse {
 	tr, epoch := s.snapshot()
-	resp := liveResponse{
-		Live:     s.live != nil,
-		Epoch:    epoch,
-		Start:    tr.Span.Start,
-		End:      tr.Span.End,
-		CPUs:     tr.NumCPUs(),
-		Tasks:    len(tr.Tasks),
-		Types:    len(tr.Types),
-		Counters: len(tr.Counters),
+	ls, isLive := s.src.(query.LiveSource)
+	s.statusMu.Lock()
+	if s.statusSnap != tr {
+		resp := liveResponse{
+			Epoch:    epoch,
+			Start:    tr.Span.Start,
+			End:      tr.Span.End,
+			CPUs:     tr.NumCPUs(),
+			Tasks:    len(tr.Tasks),
+			Types:    len(tr.Types),
+			Counters: len(tr.Counters),
+		}
+		for i := range tr.CPUs {
+			c := &tr.CPUs[i]
+			resp.Events += int64(len(c.States) + len(c.Discrete) + len(c.Comm))
+		}
+		for _, c := range tr.Counters {
+			for cpu := range c.PerCPU {
+				resp.Samples += int64(len(c.PerCPU[cpu]))
+			}
+		}
+		s.statusSnap, s.statusResp = tr, resp
 	}
-	if s.live != nil {
-		if err := s.live.Err(); err != nil {
+	resp := s.statusResp
+	s.statusMu.Unlock()
+	resp.Live = isLive
+	if isLive {
+		if err := ls.Err(); err != nil {
 			resp.Error = err.Error()
 		}
 	}
-	for i := range tr.CPUs {
-		c := &tr.CPUs[i]
-		resp.Events += int64(len(c.States) + len(c.Discrete) + len(c.Comm))
-	}
-	for _, c := range tr.Counters {
-		for cpu := range c.PerCPU {
-			resp.Samples += int64(len(c.PerCPU[cpu]))
-		}
-	}
+	return resp
+}
+
+// handleLive reports the current epoch and snapshot totals. Never
+// cached: its whole point is telling pollers whether anything changed.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	resp := s.liveStatus()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Cache-Control", "no-store")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
+// The index template links relatively ("render?...", not "/render?..."),
+// so the same page works served standalone at "/" and hub-mounted at
+// "/t/<name>/".
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>Aftermath - {{.Name}}</title>
 <style>
@@ -624,14 +768,14 @@ code { color: #fc9; }
 <a href="?mode={{.Mode}}&t0={{.RightT0}}&t1={{.RightT1}}">pan &rarr;</a>
 <a href="?mode={{.Mode}}">reset</a>
 </div>
-<img src="/render?mode={{.Mode}}&t0={{.T0}}&t1={{.T1}}&w=1100&h=420" alt="timeline">
-<img src="/plot?kind=idle&w=1100&h=180" alt="idle workers">
+<img src="render?mode={{.Mode}}&t0={{.T0}}&t1={{.T1}}&w=1100&h=420" alt="timeline">
+<img src="plot?kind=idle&w=1100&h=180" alt="idle workers">
 <div class="controls">
-<a href="/stats?t0={{.T0}}&t1={{.T1}}">interval statistics (JSON)</a>
-<a href="/matrix?t0={{.T0}}&t1={{.T1}}">communication matrix</a>
-<a href="/graph.dot">task graph (DOT)</a>
-<a href="/anomalies?t0={{.T0}}&t1={{.T1}}">anomalies (JSON)</a>
-<a href="/live">ingest status (JSON)</a>
+<a href="stats?t0={{.T0}}&t1={{.T1}}">interval statistics (JSON)</a>
+<a href="matrix?t0={{.T0}}&t1={{.T1}}">communication matrix</a>
+<a href="graph.dot">task graph (DOT)</a>
+<a href="anomalies?t0={{.T0}}&t1={{.T1}}">anomalies (JSON)</a>
+<a href="live">ingest status (JSON)</a>
 </div>
 </body></html>`))
 
@@ -652,13 +796,22 @@ type indexData struct {
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
-		http.NotFound(w, r)
+		errorf(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
 		return
 	}
 	tr, epoch := s.snapshot()
-	t0, t1 := window(tr, r)
+	v := r.URL.Query()
+	q := parseQuery(w, v)
+	if q == nil {
+		return
+	}
+	t0, t1, ok := resolveWindow(w, tr, q)
+	if !ok {
+		return
+	}
 	span := t1 - t0
 	quarter := span / 4
+	_, isLive := s.src.(query.LiveSource)
 	d := indexData{
 		Name:    s.Name,
 		Machine: tr.Topology.Name,
@@ -666,9 +819,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		Nodes:   tr.NumNodes(),
 		Tasks:   len(tr.Tasks),
 		Span:    tr.Span.Duration(),
-		Live:    s.live != nil,
+		Live:    isLive,
 		Epoch:   epoch,
-		Mode:    defaultStr(r.FormValue("mode"), "state"),
+		Mode:    defaultStr(v.Get("mode"), "state"),
 		T0:      t0, T1: t1,
 		ZoomInT0: t0 + quarter, ZoomInT1: t1 - quarter,
 		ZoomOutT0: t0 - span/2, ZoomOutT1: t1 + span/2,
@@ -680,16 +833,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := indexTmpl.Execute(w, d); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, err)
 	}
-}
-
-func formInt(r *http.Request, key string, def int) int {
-	v, err := strconv.Atoi(r.FormValue(key))
-	if err != nil {
-		return def
-	}
-	return v
 }
 
 func clampInt(v, lo, hi int) int {

@@ -45,7 +45,9 @@ func TestIndexPage(t *testing.T) {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	s := string(body)
-	for _, want := range []string{"seidel-test", "state", "heatmap", "numa-read", "/render?mode="} {
+	// Links are relative so the same page works standalone and mounted
+	// under a hub's /t/<name>/ prefix.
+	for _, want := range []string{"seidel-test", "state", "heatmap", "numa-read", `src="render?mode=`} {
 		if !strings.Contains(s, want) {
 			t.Errorf("index missing %q", want)
 		}

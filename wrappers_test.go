@@ -1,0 +1,53 @@
+package aftermath_test
+
+import (
+	"testing"
+
+	aftermath "github.com/openstream/aftermath"
+)
+
+// TestFlatWrapperCompatibility: the flat convenience functions now
+// delegate to the query layer; their behavior — including degenerate
+// arguments, which historically hit the lower layers' own clamps —
+// must be unchanged.
+func TestFlatWrapperCompatibility(t *testing.T) {
+	prog, err := aftermath.BuildSeidel(aftermath.ScaledSeidelConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := aftermath.SimulateToTrace(prog, aftermath.DefaultSimConfig(aftermath.SmallMachine(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// bins < 1 clamps to one bin (as stats.NewHistogram always did),
+	// not to the query layer's unset-default of 20.
+	if h := aftermath.DurationHistogram(tr, nil, 0); len(h.Counts) != 1 {
+		t.Errorf("DurationHistogram(tr, nil, 0) -> %d bins, want 1", len(h.Counts))
+	}
+	if h := aftermath.DurationHistogram(tr, nil, 5); len(h.Counts) != 5 {
+		t.Errorf("DurationHistogram(tr, nil, 5) -> %d bins, want 5", len(h.Counts))
+	}
+	// intervals < 1 clamps to one interval (the metrics layer's
+	// historical behavior), not to the unset-default of 200.
+	if s := aftermath.IdleWorkers(tr, 0); s.Len() != 1 {
+		t.Errorf("IdleWorkers(tr, 0) -> %d points, want 1", s.Len())
+	}
+	if s := aftermath.AverageTaskDuration(tr, -3, nil); s.Len() != 1 {
+		t.Errorf("AverageTaskDuration(tr, -3, nil) -> %d points, want 1", s.Len())
+	}
+	// An explicit zero CommKinds counts nothing, exactly as the stats
+	// layer always treated it.
+	if m := aftermath.CommMatrixOf(tr, 0, tr.Span.Start, tr.Span.End); m.Total() != 0 {
+		t.Errorf("CommMatrixOf(tr, 0, ...) counted %d bytes, want 0", m.Total())
+	}
+	if m := aftermath.CommMatrixOf(tr, aftermath.ReadsAndWrites, tr.Span.Start, tr.Span.End+1); m.Total() == 0 {
+		t.Error("CommMatrixOf(tr, ReadsAndWrites, ...) counted nothing")
+	}
+	// An explicit empty window selects nothing, exactly as the stats
+	// layer always treated it — no URL-level (0,0) convention leaks
+	// into the programmatic API.
+	if m := aftermath.CommMatrixOf(tr, aftermath.ReadsAndWrites, 0, 0); m.Total() != 0 {
+		t.Errorf("CommMatrixOf(tr, kinds, 0, 0) counted %d bytes, want 0", m.Total())
+	}
+}
