@@ -9,6 +9,7 @@
 package aftermath
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -182,6 +183,52 @@ func BenchmarkAblationRenderStateNaive(b *testing.B) {
 		if _, _, err := render.NaiveTimelineState(tr, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTimelineDenseWindow measures state-timeline rendering of a
+// window holding ~10k events per pixel — the regime where the
+// multi-resolution dominance index (internal/mragg) makes the cost
+// O(pixels·log events) while the per-pixel event scan stays
+// O(events). The "indexed" and "scan" sub-benchmarks render
+// byte-identical framebuffers (asserted in setup); their ratio is the
+// index's headline speedup. CI parses this benchmark's output into
+// BENCH_timeline.json (cmd/benchjson).
+func BenchmarkTimelineDenseWindow(b *testing.B) {
+	const nCPU, events, width = 2, 1 << 20, 100
+	tr := denseStateTrace(nCPU, events)
+	cfg := render.TimelineConfig{Width: width, Height: 8, Mode: render.ModeState}
+	scanCfg := cfg
+	scanCfg.NoIndex = true
+
+	// Golden self-check: both paths must agree pixel for pixel (the
+	// broader property test is TestTimelineIndexMatchesScan). This
+	// also warms the lazily built index before timing starts.
+	fbIdx, _, err := render.Timeline(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fbScan, _, err := render.Timeline(tr, scanCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !bytes.Equal(fbIdx.Img.Pix, fbScan.Img.Pix) {
+		b.Fatal("indexed and scan renderings differ")
+	}
+
+	for _, sub := range []struct {
+		name string
+		cfg  render.TimelineConfig
+	}{{"indexed", cfg}, {"scan", scanCfg}} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := render.Timeline(tr, sub.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(events)/float64(width), "events/pixel")
+		})
 	}
 }
 

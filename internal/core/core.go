@@ -95,6 +95,9 @@ type Trace struct {
 
 	cindexOnce sync.Once
 	cindex     *CounterIndex
+
+	domOnce sync.Once
+	dom     *DomIndex
 }
 
 // NumCPUs returns the number of CPUs.

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/openstream/aftermath/internal/mragg"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// DomIndex holds the multi-resolution dominance pyramids over each
+// CPU's state intervals (internal/mragg) — the state-interval
+// counterpart of the counter min/max tree index. It answers the
+// renderer's per-pixel questions ("which state/task-execution
+// interval covers the largest part of this pixel?") and the derived
+// metrics' window sums ("how long was this CPU in state s during
+// this window?") in O(log events) instead of scanning every
+// overlapping event, with answers exactly equal to the sequential
+// scans they replace.
+//
+// Safe for concurrent use: each CPU's pyramid is built exactly once,
+// on first request, and different CPUs build in parallel. Batch loads
+// build every CPU eagerly at index time; live snapshots are seeded
+// with incrementally extended pyramids (mragg append mode). A CPU
+// whose state intervals violate the format's disjoint-sorted
+// guarantee gets no pyramid — queries then report unindexed and
+// callers fall back to the plain event scan, so malformed traces
+// degrade in speed, never in correctness.
+//
+// CPU resolves one CPU's pyramids behind a single lock acquisition;
+// query loops (one per pixel, one per metric window) should resolve
+// once per CPU and query the returned DomCPU lock-free.
+type DomIndex struct {
+	mu      sync.Mutex
+	entries map[int32]*DomCPU
+}
+
+// DomCPU is one CPU's built pyramids; its query methods are lock-free
+// and safe for concurrent use. A nil all set marks the CPU
+// unindexable (disordered or overlapping state intervals): queries
+// report indexed == false and callers must scan.
+type DomCPU struct {
+	once sync.Once
+	// states is the CPU's sorted state array the pyramids were built
+	// over (dominant leaves resolve back into it).
+	states []trace.StateEvent
+	// all spans every state interval; leaf i is states[i].
+	all *mragg.Set
+	// byState[s] spans only the intervals in state s, with refs back
+	// into the states array; byState[StateTaskExec] doubles as the
+	// task-execution dominance set.
+	byState [trace.NumWorkerStates]*mragg.Set
+}
+
+// NewDomIndex returns an empty index; entries build lazily per CPU.
+func NewDomIndex() *DomIndex {
+	return &DomIndex{entries: make(map[int32]*DomCPU)}
+}
+
+// entry returns the guarded slot for a CPU, creating it under the map
+// lock; the pyramids build outside the lock so CPUs build in parallel.
+func (di *DomIndex) entry(cpu int32) *DomCPU {
+	di.mu.Lock()
+	e, ok := di.entries[cpu]
+	if !ok {
+		e = &DomCPU{}
+		di.entries[cpu] = e
+	}
+	di.mu.Unlock()
+	return e
+}
+
+// seed installs a prebuilt entry for a CPU. The batch indexer uses it
+// to publish the eagerly built pyramids; the live ingest path uses it
+// to hand each snapshot the incrementally extended ones.
+func (di *DomIndex) seed(cpu int32, e *DomCPU) {
+	slot := di.entry(cpu)
+	slot.once.Do(func() {
+		slot.states = e.states
+		slot.all = e.all
+		slot.byState = e.byState
+	})
+}
+
+// CPU returns the built pyramids for a CPU (building them from the
+// trace's sorted state array on first use — one lock acquisition;
+// the returned DomCPU queries lock-free). CPUs outside the trace
+// yield an empty, indexed entry, mirroring StatesIn's nil result.
+func (di *DomIndex) CPU(tr *Trace, cpu int32) *DomCPU {
+	e := di.entry(cpu)
+	e.once.Do(func() {
+		if int(cpu) < len(tr.CPUs) {
+			e.build(tr.CPUs[cpu].States)
+		} else {
+			e.build(nil)
+		}
+	})
+	return e
+}
+
+// build constructs the entry's pyramids from a sorted state array.
+func (e *DomCPU) build(states []trace.StateEvent) {
+	e.states = states
+	n := len(states)
+	starts := make([]int64, n)
+	ends := make([]int64, n)
+	for i := range states {
+		starts[i], ends[i] = states[i].Start, states[i].End
+	}
+	e.all = mragg.Build(starts, ends, nil, 0)
+	if e.all == nil {
+		return
+	}
+	perStarts, perEnds, perRefs := perStateIntervals(states, 0)
+	for k := range e.byState {
+		// Subsets of a disjoint sorted set stay disjoint and sorted,
+		// so these builds cannot fail.
+		e.byState[k] = mragg.Build(perStarts[k], perEnds[k], perRefs[k], 0)
+	}
+}
+
+// perStateIntervals splits states[from:] into per-worker-state
+// interval triples, with refs giving each interval's index in the
+// full array. Out-of-range states are dropped (their events still
+// participate in the all-states set, just not in per-state queries).
+// Shared by the batch entry build and the live incremental extension
+// so the two classify events identically.
+func perStateIntervals(states []trace.StateEvent, from int) (starts, ends [trace.NumWorkerStates][]int64, refs [trace.NumWorkerStates][]int32) {
+	for i := from; i < len(states); i++ {
+		k := int(states[i].State)
+		if k >= trace.NumWorkerStates {
+			continue
+		}
+		starts[k] = append(starts[k], states[i].Start)
+		ends[k] = append(ends[k], states[i].End)
+		refs[k] = append(refs[k], int32(i))
+	}
+	return starts, ends, refs
+}
+
+// DominantState returns the state event covering the largest part of
+// [t0, t1). indexed is false when the CPU has no pyramid (malformed
+// interval order) and the caller must scan instead; when indexed,
+// the result is exactly the scan's (first strictly-greater cover
+// wins).
+func (e *DomCPU) DominantState(t0, t1 trace.Time) (ev trace.StateEvent, ok, indexed bool) {
+	if e.all == nil {
+		return trace.StateEvent{}, false, false
+	}
+	idx, _, ok := e.all.Dominant(t0, t1)
+	if !ok {
+		return trace.StateEvent{}, false, true
+	}
+	return e.states[idx], true, true
+}
+
+// DominantExec is DominantState restricted to task-execution
+// intervals (unfiltered; filtered queries must scan, as the filter
+// match set is not known to the index).
+func (e *DomCPU) DominantExec(t0, t1 trace.Time) (ev trace.StateEvent, ok, indexed bool) {
+	set := e.byState[trace.StateTaskExec]
+	if set == nil {
+		return trace.StateEvent{}, false, false
+	}
+	idx, _, ok := set.Dominant(t0, t1)
+	if !ok {
+		return trace.StateEvent{}, false, true
+	}
+	return e.states[set.Ref(idx)], true, true
+}
+
+// StateCover returns the total time the CPU spent in state within
+// [t0, t1). indexed is false when the CPU has no pyramid or the
+// state is out of range; when indexed, the sum equals the clipped
+// event scan exactly.
+func (e *DomCPU) StateCover(state trace.WorkerState, t0, t1 trace.Time) (cover trace.Time, indexed bool) {
+	if int(state) >= trace.NumWorkerStates {
+		return 0, false
+	}
+	set := e.byState[state]
+	if set == nil {
+		return 0, false
+	}
+	return set.Cover(t0, t1), true
+}
+
+// DomIndex returns the trace's shared dominance index, creating it on
+// first use. Safe for concurrent callers. Batch loads seed it eagerly
+// at index time; live snapshots seed it with incrementally extended
+// pyramids; hand-built traces get a lazily filled one.
+func (tr *Trace) DomIndex() *DomIndex {
+	tr.domOnce.Do(func() {
+		tr.dom = NewDomIndex()
+	})
+	return tr.dom
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// bruteDominant reimplements the renderer's sequential scan (first
+// strictly-greater cover wins) over StatesIn, optionally restricted
+// to task-execution states.
+func bruteDominant(tr *Trace, cpu int32, t0, t1 trace.Time, execOnly bool) (trace.StateEvent, bool) {
+	var best trace.StateEvent
+	var bestCover trace.Time
+	for _, ev := range tr.StatesIn(cpu, t0, t1) {
+		if execOnly && ev.State != trace.StateTaskExec {
+			continue
+		}
+		s, e := ev.Start, ev.End
+		if s < t0 {
+			s = t0
+		}
+		if e > t1 {
+			e = t1
+		}
+		if cover := e - s; cover > bestCover {
+			bestCover, best = cover, ev
+		}
+	}
+	return best, bestCover > 0
+}
+
+func bruteCover(tr *Trace, cpu int32, state trace.WorkerState, t0, t1 trace.Time) trace.Time {
+	var in trace.Time
+	for _, ev := range tr.StatesIn(cpu, t0, t1) {
+		if ev.State != state {
+			continue
+		}
+		s, e := ev.Start, ev.End
+		if s < t0 {
+			s = t0
+		}
+		if e > t1 {
+			e = t1
+		}
+		if e > s {
+			in += e - s
+		}
+	}
+	return in
+}
+
+// checkDomAgainstScan compares every DomIndex answer on a snapshot
+// against the brute-force scans, over randomized windows.
+func checkDomAgainstScan(t *testing.T, ctx string, tr *Trace, rng *rand.Rand, queries int) {
+	t.Helper()
+	if tr.Span.Duration() <= 0 {
+		return
+	}
+	di := tr.DomIndex()
+	span := tr.Span.Duration()
+	for q := 0; q < queries; q++ {
+		cpu := int32(rng.Intn(tr.NumCPUs() + 1)) // +1: out-of-range CPU
+		dc := di.CPU(tr, cpu)
+		t0 := tr.Span.Start - 10 + rng.Int63n(span+20)
+		t1 := t0 + rng.Int63n(span/3+2)
+		ev, ok, indexed := dc.DominantState(t0, t1)
+		wantEv, wantOK := bruteDominant(tr, cpu, t0, t1, false)
+		if indexed && (ok != wantOK || (ok && ev != wantEv)) {
+			t.Fatalf("%s: DominantState(%d, %d, %d) = (%+v, %v), scan wants (%+v, %v)",
+				ctx, cpu, t0, t1, ev, ok, wantEv, wantOK)
+		}
+		ev, ok, indexed = dc.DominantExec(t0, t1)
+		wantEv, wantOK = bruteDominant(tr, cpu, t0, t1, true)
+		if indexed && (ok != wantOK || (ok && ev != wantEv)) {
+			t.Fatalf("%s: DominantExec(%d, %d, %d) = (%+v, %v), scan wants (%+v, %v)",
+				ctx, cpu, t0, t1, ev, ok, wantEv, wantOK)
+		}
+		st := trace.WorkerState(rng.Intn(trace.NumWorkerStates))
+		cover, indexed := dc.StateCover(st, t0, t1)
+		if want := bruteCover(tr, cpu, st, t0, t1); indexed && cover != want {
+			t.Fatalf("%s: StateCover(%d, %v, %d, %d) = %d, scan wants %d", ctx, cpu, st, t0, t1, cover, want)
+		}
+	}
+}
+
+// TestDomIndexBatchMatchesScan: the eagerly built index of a batch
+// load answers exactly like the event scans.
+func TestDomIndexBatchMatchesScan(t *testing.T) {
+	tr := loadLive(t) // cold batch load of the live test stream
+	rng := rand.New(rand.NewSource(3))
+	checkDomAgainstScan(t, "batch", tr, rng, 600)
+}
+
+// loadLive cold-loads the liveTestBytes stream as a batch trace.
+func loadLive(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := FromReader(bytes.NewReader(liveTestBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestDomIndexLiveMatchesScan drives the incremental append path: a
+// Live trace fed in random batch sizes, with every published
+// snapshot's (seeded, mragg-append-extended) index checked against
+// brute-force scans, and against a cold load of the same prefix.
+func TestDomIndexLiveMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	lv := NewLive()
+	var pending []trace.StateEvent
+	nextStart := make([]int64, 4)
+	for i := 0; i < 3000; i++ {
+		cpu := rng.Intn(4)
+		st := trace.WorkerState(rng.Intn(trace.NumWorkerStates))
+		d := int64(rng.Intn(20))
+		ev := trace.StateEvent{CPU: int32(cpu), State: st, Start: nextStart[cpu], End: nextStart[cpu] + d}
+		if st == trace.StateTaskExec {
+			ev.Task = trace.TaskID(i + 1)
+		}
+		nextStart[cpu] += d + int64(rng.Intn(3))
+		pending = append(pending, ev)
+		if len(pending) >= rng.Intn(400)+50 || i == 2999 {
+			b := &trace.RecordBatch{States: pending, MaxCPU: 3}
+			if err := lv.Append(b); err != nil {
+				t.Fatal(err)
+			}
+			pending = nil
+			snap, _ := lv.Publish()
+			checkDomAgainstScan(t, "live", snap, rng, 120)
+		}
+	}
+}
+
+// TestDomIndexLiveOutOfOrder: a producer that violates per-CPU order
+// dirties the CPU; its snapshots must still answer correctly (lazy
+// rebuild over the repaired arrays or scan fallback).
+func TestDomIndexLiveOutOfOrder(t *testing.T) {
+	lv := NewLive()
+	b1 := &trace.RecordBatch{MaxCPU: 0, States: []trace.StateEvent{
+		{CPU: 0, State: trace.StateIdle, Start: 100, End: 200},
+		{CPU: 0, State: trace.StateTaskExec, Task: 1, Start: 200, End: 260},
+	}}
+	if err := lv.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	lv.Publish()
+	// Out of order: starts before the previous tail.
+	b2 := &trace.RecordBatch{MaxCPU: 0, States: []trace.StateEvent{
+		{CPU: 0, State: trace.StateSync, Start: 0, End: 50},
+	}}
+	if err := lv.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := lv.Publish()
+	rng := rand.New(rand.NewSource(5))
+	checkDomAgainstScan(t, "out-of-order", snap, rng, 300)
+	// The repaired snapshot is sorted, so its lazily built index must
+	// actually be used (indexed == true) and agree.
+	ev, ok, indexed := snap.DomIndex().CPU(snap, 0).DominantState(0, 300)
+	if !indexed || !ok {
+		t.Fatalf("repaired snapshot unindexable: ok=%v indexed=%v", ok, indexed)
+	}
+	if ev.State != trace.StateIdle {
+		t.Errorf("dominant over [0,300) = %v, want idle", ev.State)
+	}
+
+	// A third batch after the dirty flag: the dead chain must not be
+	// extended incorrectly either.
+	b3 := &trace.RecordBatch{MaxCPU: 0, States: []trace.StateEvent{
+		{CPU: 0, State: trace.StateIdle, Start: 300, End: 400},
+	}}
+	if err := lv.Append(b3); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = lv.Publish()
+	checkDomAgainstScan(t, "out-of-order-2", snap, rng, 300)
+}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"github.com/openstream/aftermath/internal/mmtree"
+	"github.com/openstream/aftermath/internal/mragg"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -44,6 +45,7 @@ type Live struct {
 	cpus  []CPUData
 	order []cpuOrder
 	execs [][]execSpan
+	doms  []domChain
 
 	types    []trace.TaskType
 	typeByID map[trace.TypeID]int
@@ -85,6 +87,20 @@ type cpuOrder struct {
 	stateDirty    bool
 	discreteDirty bool
 	commDirty     bool
+}
+
+// domChain tracks one CPU's incrementally extended dominance
+// pyramids: the mragg counterpart of liveCounter's min/max trees.
+// Pyramids cover the first n state events; publish extends them in
+// mragg append mode, so the per-epoch index cost is proportional to
+// the appended events. A CPU that violates per-CPU state order (or
+// delivers overlapping intervals) goes dead: its snapshots fall back
+// to the lazy per-epoch build (or, if still invalid, to event scans).
+type domChain struct {
+	all     *mragg.Set
+	byState [trace.NumWorkerStates]*mragg.Set
+	n       int
+	dead    bool
 }
 
 // liveCounter wraps one counter with per-CPU order tracking and the
@@ -195,6 +211,7 @@ func (lv *Live) cpu(id int32) (*CPUData, *cpuOrder) {
 		lv.cpus = append(lv.cpus, CPUData{})
 		lv.order = append(lv.order, cpuOrder{})
 		lv.execs = append(lv.execs, nil)
+		lv.doms = append(lv.doms, domChain{})
 	}
 	if id > lv.maxCPU {
 		lv.maxCPU = id
@@ -447,10 +464,71 @@ func (lv *Live) snapshotLocked() *Trace {
 	tr.counterByName = buildCounterNameIndex(tr.Counters)
 	tr.cindexOnce.Do(func() { tr.cindex = ci })
 
+	// Dominance pyramids: extend the per-CPU chains by the appended
+	// events and seed the snapshot's index with them; dirty CPUs fall
+	// back to the snapshot's lazy build over its repaired arrays.
+	lv.extendDomsLocked()
+	di := NewDomIndex()
+	for cpu := range lv.doms {
+		ch := &lv.doms[cpu]
+		if !ch.dead && ch.all != nil {
+			di.seed(int32(cpu), &DomCPU{states: tr.CPUs[cpu].States, all: ch.all, byState: ch.byState})
+		}
+	}
+	tr.domOnce.Do(func() { tr.dom = di })
+
 	if lv.spanSet {
 		tr.Span = Interval{Start: lv.spanMin, End: lv.spanMax}
 	}
 	return tr
+}
+
+// extendDomsLocked brings the per-CPU dominance pyramids up to the
+// current state-event counts in mragg append mode: only appended
+// events are scanned. A CPU that went dirty (out-of-order producer)
+// or whose intervals overlap goes dead and is never extended again —
+// its snapshots rebuild (or scan) instead.
+func (lv *Live) extendDomsLocked() {
+	for cpu := range lv.doms {
+		ch := &lv.doms[cpu]
+		if ch.dead || lv.order[cpu].stateDirty {
+			// Dead chains free their pyramids: no snapshot will ever
+			// be seeded with them again.
+			ch.dead, ch.all = true, nil
+			ch.byState = [trace.NumWorkerStates]*mragg.Set{}
+			continue
+		}
+		states := lv.cpus[cpu].States
+		n0, m := ch.n, len(states)
+		if m == n0 {
+			continue
+		}
+		starts := make([]int64, m-n0)
+		ends := make([]int64, m-n0)
+		for i := n0; i < m; i++ {
+			starts[i-n0], ends[i-n0] = states[i].Start, states[i].End
+		}
+		if ch.all == nil {
+			ch.all = mragg.Build(starts, ends, nil, 0)
+		} else {
+			ch.all = ch.all.Append(starts, ends, nil)
+		}
+		if ch.all == nil {
+			// Sorted starts but overlapping intervals: unindexable.
+			ch.dead = true
+			ch.byState = [trace.NumWorkerStates]*mragg.Set{}
+			continue
+		}
+		perStarts, perEnds, perRefs := perStateIntervals(states, n0)
+		for k := range ch.byState {
+			if ch.byState[k] == nil {
+				ch.byState[k] = mragg.Build(perStarts[k], perEnds[k], perRefs[k], 0)
+			} else {
+				ch.byState[k] = ch.byState[k].Append(perStarts[k], perEnds[k], perRefs[k])
+			}
+		}
+		ch.n = m
+	}
 }
 
 // extendTreesLocked brings the incremental min/max trees up to the

@@ -427,6 +427,7 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 		min, max trace.Time
 		has      bool
 		execs    []execSpan
+		dom      *DomCPU
 	}
 	perCPU := make([]cpuIndex, len(tr.CPUs))
 	par.Do(workers, len(tr.CPUs), func(i int) {
@@ -451,6 +452,11 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 			res.has = true
 		}
 		res.execs = collectExecs(c.States)
+		// Build the dominance pyramid over the freshly sorted states
+		// (Section VI-B: rendering cost proportional to pixels, not
+		// events), eagerly so the first viewer request pays nothing.
+		res.dom = &DomCPU{}
+		res.dom.build(c.States)
 	})
 
 	// Per-(counter, cpu) sample arrays are independent too.
@@ -518,4 +524,12 @@ func (tr *Trace) index(hasTopo bool, maxCPU int32, workers int) {
 	tr.Span = Interval{Start: start, End: end}
 	finalizeTypes(tr.Types, tr.typeByID)
 	tr.counterByName = buildCounterNameIndex(tr.Counters)
+
+	di := NewDomIndex()
+	for i := range perCPU {
+		if perCPU[i].dom != nil {
+			di.seed(int32(i), perCPU[i].dom)
+		}
+	}
+	tr.domOnce.Do(func() { tr.dom = di })
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/filter"
 	"github.com/openstream/aftermath/internal/par"
+	"github.com/openstream/aftermath/internal/tmath"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -49,6 +50,8 @@ func (s Series) MinMax() (min, max float64) {
 }
 
 // boundaries returns n+1 interval boundaries covering the trace span.
+// The 128-bit multiply keeps the boundaries exact for spans where
+// span*n exceeds 2^63 (large cycle-count timestamps).
 func boundaries(tr *core.Trace, n int) []trace.Time {
 	if n < 1 {
 		n = 1
@@ -56,9 +59,26 @@ func boundaries(tr *core.Trace, n int) []trace.Time {
 	ts := make([]trace.Time, n+1)
 	span := tr.Span.Duration()
 	for i := 0; i <= n; i++ {
-		ts[i] = tr.Span.Start + span*int64(i)/int64(n)
+		ts[i] = tr.Span.Start + tmath.MulDiv(span, int64(i), int64(n))
 	}
 	return ts
+}
+
+// stateTime returns the time cpu spent in state within [t0, t1): from
+// the CPU's resolved dominance/cover pyramids in O(log events) when
+// indexable, by scanning the overlapping events otherwise. Both paths
+// sum the same clipped integer covers, so the result is identical.
+func stateTime(tr *core.Trace, dc *core.DomCPU, cpu int32, state trace.WorkerState, t0, t1 trace.Time) trace.Time {
+	if cover, ok := dc.StateCover(state, t0, t1); ok {
+		return cover
+	}
+	var in trace.Time
+	for _, ev := range tr.StatesIn(cpu, t0, t1) {
+		if ev.State == state {
+			in += clip(ev.Start, ev.End, t0, t1)
+		}
+	}
+	return in
 }
 
 // WorkersInState computes the average number of workers simultaneously
@@ -77,26 +97,24 @@ func workersInState(tr *core.Trace, state trace.WorkerState, n, workers int) Ser
 		Times:  bs[:len(bs)-1],
 		Values: make([]float64, len(bs)-1),
 	}
-	// The per-CPU interval scans are independent; fan them out and
-	// accumulate integer in-state times per CPU. The float merge then
-	// runs serially in CPU order, so the result is bit-identical to a
-	// sequential pass.
+	// The per-CPU interval queries are independent; fan them out and
+	// accumulate integer in-state times per CPU (served from the
+	// dominance/cover pyramids, so each window costs O(log events)
+	// rather than a scan). The float merge then runs serially in CPU
+	// order, so the result is bit-identical to a sequential pass.
 	nCPU := tr.NumCPUs()
+	dom := tr.DomIndex()
 	inState := make([][]trace.Time, nCPU)
 	par.Do(workers, nCPU, func(c int) {
 		cpu := int32(c)
+		dc := dom.CPU(tr, cpu)
 		in := make([]trace.Time, len(bs)-1)
 		for i := 0; i < len(bs)-1; i++ {
 			t0, t1 := bs[i], bs[i+1]
 			if t1 <= t0 {
 				continue
 			}
-			for _, ev := range tr.StatesIn(cpu, t0, t1) {
-				if ev.State != state {
-					continue
-				}
-				in[i] += clip(ev.Start, ev.End, t0, t1)
-			}
+			in[i] = stateTime(tr, dc, cpu, state, t0, t1)
 		}
 		inState[c] = in
 	})
@@ -137,22 +155,18 @@ func inStateFractions(tr *core.Trace, state trace.WorkerState, n int, t0, t1 tra
 		return out
 	}
 	span := t1 - t0
+	dom := tr.DomIndex()
 	par.Do(workers, nCPU, func(c int) {
 		cpu := int32(c)
+		dc := dom.CPU(tr, cpu)
 		row := make([]float64, n)
 		for w := 0; w < n; w++ {
-			w0 := t0 + span*int64(w)/int64(n)
-			w1 := t0 + span*int64(w+1)/int64(n)
+			w0 := t0 + tmath.MulDiv(span, int64(w), int64(n))
+			w1 := t0 + tmath.MulDiv(span, int64(w+1), int64(n))
 			if w1 <= w0 {
 				continue
 			}
-			var in trace.Time
-			for _, ev := range tr.StatesIn(cpu, w0, w1) {
-				if ev.State == state {
-					in += clip(ev.Start, ev.End, w0, w1)
-				}
-			}
-			row[w] = float64(in) / float64(w1-w0)
+			row[w] = float64(stateTime(tr, dc, cpu, state, w0, w1)) / float64(w1-w0)
 		}
 		out[c] = row
 	})

@@ -1,0 +1,380 @@
+// Package mragg implements a multi-resolution dominance index over
+// disjoint time intervals — the state-interval counterpart of the
+// min/max sample trees in internal/mmtree. The renderer's per-pixel
+// question is "which interval covers the largest part of [t0, t1)?";
+// answering it by scanning every overlapping event makes dense pixels
+// cost O(events per pixel). This package answers it from a mip-level
+// pyramid instead: each level stores, per bucket of arity children,
+// the maximum interval duration below the bucket and the leftmost
+// interval achieving it, so a query touches O(arity · log_arity n)
+// buckets however many events the window covers.
+//
+// The decomposition is exact, not approximate: for a query window,
+// only the first and last overlapping intervals can be clipped by the
+// window; every other overlapping interval contributes its full
+// duration. The dominant interval is therefore the best of (clipped
+// first, pyramid range-max over the fully-contained middle, clipped
+// last), tie-broken toward the lowest index — precisely the result of
+// the sequential first-strictly-greater scan the renderer used, which
+// is why replacing the scan keeps framebuffers byte-identical.
+//
+// A Set also carries prefix sums of interval durations, answering
+// "how much of [t0, t1) is covered?" (per worker state: the derived
+// metrics of paper Section III-A) in O(log n) with the same exactness
+// argument.
+//
+// The index requires its intervals to be disjoint and sorted — the
+// ordering the trace format guarantees per CPU and per event family.
+// Build and Append verify the invariant and return nil when a
+// producer violated it; callers keep the plain scan as fallback, so a
+// malformed trace degrades to the old cost instead of a wrong answer.
+package mragg
+
+import "sort"
+
+// DefaultArity is the pyramid fan-out. Smaller than mmtree's 100: a
+// dominance query scans up to 2·arity buckets per level, and state
+// pyramids are built eagerly at load time, so the balance tilts
+// toward cheaper queries; the overhead stays ~2·16/(64·16) ≈ 3% of
+// the leaf data.
+const DefaultArity = 64
+
+// Set is an immutable dominance/cover index over disjoint intervals
+// sorted by start time.
+type Set struct {
+	arity  int
+	starts []int64
+	ends   []int64
+	// refs optionally maps leaf i to an index in the caller's source
+	// array (used for subset indexes, e.g. task-execution intervals
+	// within a CPU's full state array); nil means identity.
+	refs []int32
+	// prefix[i] is the total duration of intervals [0, i).
+	prefix []int64
+	// maxs[l][b] is the maximum duration among the leaves below
+	// bucket b of level l; args[l][b] is the lowest leaf index
+	// achieving it. Level 0 buckets cover arity leaves.
+	maxs [][]int64
+	args [][]int32
+}
+
+// ordered reports whether appending (starts, ends) after an interval
+// ending at prevEnd (with start prevStart) keeps the disjoint-sorted
+// invariant: starts non-decreasing, ends non-decreasing, no interval
+// beginning before the previous one ended, and no negative-length
+// intervals.
+func ordered(prevStart, prevEnd int64, has bool, starts, ends []int64) bool {
+	for i := range starts {
+		if ends[i] < starts[i] {
+			return false
+		}
+		if has && (starts[i] < prevStart || ends[i] < prevEnd || starts[i] < prevEnd) {
+			return false
+		}
+		prevStart, prevEnd, has = starts[i], ends[i], true
+	}
+	return true
+}
+
+// Build constructs a Set over intervals [starts[i], ends[i]), which
+// must be disjoint and sorted by start; nil is returned otherwise
+// (callers fall back to scanning). refs may be nil (identity) or give
+// the source index of each leaf. Arity values below 2 fall back to
+// DefaultArity. The input slices are retained, not copied.
+func Build(starts, ends []int64, refs []int32, arity int) *Set {
+	if len(starts) != len(ends) || (refs != nil && len(refs) != len(starts)) {
+		panic("mragg: slice length mismatch")
+	}
+	if !ordered(0, 0, false, starts, ends) {
+		return nil
+	}
+	if arity < 2 {
+		arity = DefaultArity
+	}
+	s := &Set{arity: arity, starts: starts, ends: ends, refs: refs}
+	s.prefix = make([]int64, len(starts)+1)
+	for i := range starts {
+		s.prefix[i+1] = s.prefix[i] + (ends[i] - starts[i])
+	}
+	s.grow(0)
+	return s
+}
+
+// grow (re)builds the pyramid levels above the leaves, reusing the
+// first keepLeaves leaves' worth of existing buckets at every level
+// (Build passes 0; Append passes the old leaf count).
+func (s *Set) grow(keepLeaves int) {
+	arity := s.arity
+	childLen := len(s.starts)
+	old := s.maxs
+	oldArgs := s.args
+	s.maxs, s.args = nil, nil
+	keep := keepLeaves
+	for level := 0; childLen > 1; level++ {
+		blocks := (childLen + arity - 1) / arity
+		keep /= arity
+		if level >= len(old) {
+			keep = 0
+		} else if keep > len(old[level]) {
+			keep = len(old[level])
+		}
+		maxs := make([]int64, blocks)
+		args := make([]int32, blocks)
+		if keep > 0 {
+			copy(maxs, old[level][:keep])
+			copy(args, oldArgs[level][:keep])
+		}
+		for b := keep; b < blocks; b++ {
+			lo := b * arity
+			hi := lo + arity
+			if hi > childLen {
+				hi = childLen
+			}
+			var mx int64
+			var arg int32
+			if level == 0 {
+				mx, arg = s.ends[lo]-s.starts[lo], int32(lo)
+				for j := lo + 1; j < hi; j++ {
+					if d := s.ends[j] - s.starts[j]; d > mx {
+						mx, arg = d, int32(j)
+					}
+				}
+			} else {
+				cm, ca := s.maxs[level-1], s.args[level-1]
+				mx, arg = cm[lo], ca[lo]
+				for j := lo + 1; j < hi; j++ {
+					if cm[j] > mx {
+						mx, arg = cm[j], ca[j]
+					}
+				}
+			}
+			maxs[b], args[b] = mx, arg
+		}
+		s.maxs = append(s.maxs, maxs)
+		s.args = append(s.args, args)
+		childLen = blocks
+	}
+}
+
+// Append returns a Set over the concatenation of s's intervals and
+// the given ones — the amortized extension mode of the live streaming
+// ingest path, mirroring mmtree.Tree.Append. Returns nil if the
+// appended intervals break the disjoint-sorted invariant (the caller
+// then rebuilds or falls back to scanning).
+//
+// s itself stays valid and immutable: pyramid levels are fresh
+// arrays, and leaf storage is extended with append, which never
+// touches elements below s's length. As with mmtree, sets must form a
+// linear chain — append once per epoch to the latest set only.
+func (s *Set) Append(starts, ends []int64, refs []int32) *Set {
+	if len(starts) != len(ends) {
+		panic("mragg: slice length mismatch")
+	}
+	if len(starts) == 0 {
+		return s
+	}
+	if len(s.starts) == 0 {
+		// An empty set adopts the incoming data (and refs presence)
+		// wholesale; this is how per-class chains bootstrap.
+		return Build(starts, ends, refs, s.arity)
+	}
+	if (s.refs == nil) != (refs == nil) || (refs != nil && len(refs) != len(starts)) {
+		panic("mragg: refs presence mismatch with existing set")
+	}
+	n := len(s.starts)
+	var ps, pe int64
+	if n > 0 {
+		ps, pe = s.starts[n-1], s.ends[n-1]
+	}
+	if !ordered(ps, pe, n > 0, starts, ends) {
+		return nil
+	}
+	ns := &Set{
+		arity:  s.arity,
+		starts: append(s.starts, starts...),
+		ends:   append(s.ends, ends...),
+		prefix: s.prefix,
+		maxs:   s.maxs,
+		args:   s.args,
+	}
+	if s.refs != nil {
+		ns.refs = append(s.refs, refs...)
+	}
+	ns.prefix = append(ns.prefix, make([]int64, len(starts))...)
+	for i := range starts {
+		ns.prefix[n+1+i] = ns.prefix[n+i] + (ends[i] - starts[i])
+	}
+	ns.grow(n)
+	return ns
+}
+
+// Len returns the number of intervals.
+func (s *Set) Len() int { return len(s.starts) }
+
+// Start and End return the bounds of interval i.
+func (s *Set) Start(i int) int64 { return s.starts[i] }
+
+// End returns the end of interval i.
+func (s *Set) End(i int) int64 { return s.ends[i] }
+
+// Ref returns the source index of leaf i (identity when the set was
+// built without refs).
+func (s *Set) Ref(i int) int {
+	if s.refs == nil {
+		return i
+	}
+	return int(s.refs[i])
+}
+
+// OverheadBytes returns the memory consumed by the pyramid levels and
+// prefix sums beyond the leaf interval data.
+func (s *Set) OverheadBytes() int64 {
+	n := int64(len(s.prefix)) * 8
+	for l := range s.maxs {
+		n += int64(len(s.maxs[l]))*8 + int64(len(s.args[l]))*4
+	}
+	return n
+}
+
+// span returns the leaf index range [lo, hi) of intervals overlapping
+// [t0, t1) — identical to the binary searches of core.Trace.StatesIn.
+func (s *Set) span(t0, t1 int64) (int, int) {
+	lo := sort.Search(len(s.ends), func(i int) bool { return s.ends[i] > t0 })
+	hi := sort.Search(len(s.starts), func(i int) bool { return s.starts[i] >= t1 })
+	return lo, hi
+}
+
+// clip returns the length of interval i's overlap with [t0, t1).
+func (s *Set) clip(i int, t0, t1 int64) int64 {
+	a, b := s.starts[i], s.ends[i]
+	if a < t0 {
+		a = t0
+	}
+	if b > t1 {
+		b = t1
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}
+
+// Dominant returns the leaf index of the interval covering the
+// largest part of [t0, t1) and that cover. Ties break toward the
+// lowest index, and ok is false when no interval covers a positive
+// amount — exactly the semantics of a sequential scan that keeps the
+// first interval with a strictly greater cover.
+func (s *Set) Dominant(t0, t1 int64) (idx int, cover int64, ok bool) {
+	lo, hi := s.span(t0, t1)
+	if lo >= hi {
+		return 0, 0, false
+	}
+	if hi-lo <= s.arity {
+		// Exact-scan fallback for narrow windows: few enough leaves
+		// that walking them beats setting up the pyramid walk.
+		return s.scan(lo, hi, t0, t1)
+	}
+	best, bestIdx := int64(0), -1
+	take := func(cover int64, i int) {
+		if cover > best || (cover == best && bestIdx >= 0 && i < bestIdx) {
+			best, bestIdx = cover, i
+		}
+	}
+	// Only the first and last overlapping intervals can be clipped by
+	// the window; the middle contributes full durations, answered by
+	// the pyramid.
+	mlo, mhi := lo, hi
+	if s.starts[lo] < t0 {
+		take(s.clip(lo, t0, t1), lo)
+		mlo = lo + 1
+	}
+	if s.ends[hi-1] > t1 {
+		take(s.clip(hi-1, t0, t1), hi-1)
+		mhi = hi - 1
+	}
+	if mlo < mhi {
+		mx, arg := s.rangeMax(mlo, mhi)
+		take(mx, arg)
+	}
+	if best <= 0 {
+		return 0, 0, false
+	}
+	return bestIdx, best, true
+}
+
+// scan is the exact per-leaf evaluation over [lo, hi), used for
+// narrow windows and as the reference the pyramid path must match.
+func (s *Set) scan(lo, hi int, t0, t1 int64) (int, int64, bool) {
+	best, bestIdx := int64(0), 0
+	for i := lo; i < hi; i++ {
+		if c := s.clip(i, t0, t1); c > best {
+			best, bestIdx = c, i
+		}
+	}
+	return bestIdx, best, best > 0
+}
+
+// rangeMax returns the maximum duration among leaves [lo, hi) and the
+// lowest leaf index achieving it, walking the pyramid like
+// mmtree.MinMaxIndex: unaligned head and tail nodes are consumed at
+// each level, then the aligned middle ascends to its parents.
+func (s *Set) rangeMax(lo, hi int) (int64, int) {
+	var best int64
+	bestIdx := -1
+	take := func(mx int64, arg int) {
+		if bestIdx < 0 || mx > best || (mx == best && arg < bestIdx) {
+			best, bestIdx = mx, arg
+		}
+	}
+	l, r := lo, hi-1 // inclusive node indexes at the current level
+	level := -1      // -1 = leaves, >= 0 = s.maxs[level]
+	for l <= r {
+		for l <= r && l%s.arity != 0 {
+			s.takeNode(level, l, take)
+			l++
+		}
+		for l <= r && (r+1)%s.arity != 0 {
+			s.takeNode(level, r, take)
+			r--
+		}
+		if l > r {
+			break
+		}
+		l /= s.arity
+		r /= s.arity
+		level++
+		if level >= len(s.maxs) {
+			for i := l; i <= r; i++ {
+				s.takeNode(level-1, i, take)
+			}
+			break
+		}
+	}
+	return best, bestIdx
+}
+
+func (s *Set) takeNode(level, i int, take func(int64, int)) {
+	if level < 0 {
+		take(s.ends[i]-s.starts[i], i)
+		return
+	}
+	take(s.maxs[level][i], int(s.args[level][i]))
+}
+
+// Cover returns the total time of [t0, t1) covered by the set's
+// intervals: prefix sums over the fully-contained middle plus the
+// clipped first and last interval. Exact, O(log n).
+func (s *Set) Cover(t0, t1 int64) int64 {
+	lo, hi := s.span(t0, t1)
+	if lo >= hi {
+		return 0
+	}
+	total := s.prefix[hi] - s.prefix[lo]
+	if s.starts[lo] < t0 {
+		total -= t0 - s.starts[lo]
+	}
+	if s.ends[hi-1] > t1 {
+		total -= s.ends[hi-1] - t1
+	}
+	return total
+}

@@ -171,9 +171,10 @@ func TimelineConfigOf(tr *core.Trace, q *Query) render.TimelineConfig {
 		CPUs:    q.cpus,
 		Mode:    mode,
 		HeatMin: q.heatMin, HeatMax: q.heatMax,
-		Shades: q.shades,
-		Filter: FilterOf(tr, q),
-		Labels: !q.labelsOff,
+		Shades:  q.shades,
+		Filter:  FilterOf(tr, q),
+		Labels:  !q.labelsOff,
+		NoIndex: q.noIndex,
 	}
 }
 

@@ -103,6 +103,7 @@ type Query struct {
 	heatMin, heatMax trace.Time
 	shades           int
 	marksOff         bool
+	noIndex          bool
 	cell             int
 
 	bins     int
@@ -230,6 +231,13 @@ func (q *Query) Shades(n int) *Query { q.shades = n; return q }
 
 // Marks toggles annotation markers on rendered timelines (default on).
 func (q *Query) Marks(on bool) *Query { q.marksOff = !on; return q }
+
+// NoIndex disables the multi-resolution dominance index for timeline
+// renderings, forcing per-pixel event scans — the Section VI-B
+// ablation/debug switch. Output is byte-identical; only the cost
+// changes, so it is still part of the canonical form (an ablation
+// request must not share a cache entry's timing with an indexed one).
+func (q *Query) NoIndex(on bool) *Query { q.noIndex = on; return q }
 
 // Cell sets the communication-matrix cell size in pixels.
 func (q *Query) Cell(px int) *Query { q.cell = px; return q }
@@ -400,6 +408,9 @@ func (q *Query) Canonical() string {
 	}
 	if q.marksOff {
 		field("marks", "0")
+	}
+	if q.noIndex {
+		field("noindex", "1")
 	}
 	if q.cell != 0 {
 		num("cell", int64(q.cell))

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"bytes"
 	"net/url"
 	"reflect"
 	"strings"
@@ -46,6 +47,7 @@ func TestCanonicalDistinguishes(t *testing.T) {
 		{New().Mode(render.ModeHeat), New().Mode(render.ModeType)},
 		{New().Limit(5), New().Limit(6)},
 		{New().WithFilter(&filter.TaskFilter{MinDuration: 3}), New().WithFilter(&filter.TaskFilter{MinDuration: 4})},
+		{New().Mode(render.ModeHeat), New().Mode(render.ModeHeat).NoIndex(true)},
 	}
 	for i, c := range cases {
 		if c.a.Canonical() == c.b.Canonical() {
@@ -227,6 +229,27 @@ func TestExecutorsMatchDirectCalls(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fbQ, fbD) {
 		t.Error("TimelineRawOf differs from render.Timeline")
+	}
+
+	// The noindex ablation flag round-trips from URL values into the
+	// render config and stays byte-identical to the indexed rendering.
+	qv, err := FromValues(url.Values{"mode": {"state"}, "noindex": {"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TimelineConfigOf(tr, qv).NoIndex {
+		t.Error("noindex=1 did not reach the render config")
+	}
+	fbScan, _, err := TimelineRawOf(tr, qv.Size(300, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbIdx, _, err := TimelineRawOf(tr, New().Size(300, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fbScan.Img.Pix, fbIdx.Img.Pix) {
+		t.Error("noindex rendering differs from indexed rendering")
 	}
 }
 

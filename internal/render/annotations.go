@@ -5,6 +5,7 @@ import (
 
 	"github.com/openstream/aftermath/internal/annotations"
 	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/tmath"
 )
 
 // AnnotationColor marks annotations on the timeline (amber, distinct
@@ -57,7 +58,7 @@ func OverlayAnnotations(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, set
 	span := end - start
 	drawn := 0
 	for _, a := range set.In(start, end) {
-		x := gutter + int(int64(plotW)*(a.Time-start)/span)
+		x := gutter + int(tmath.MulDiv(a.Time-start, int64(plotW), span))
 		if x >= fb.W() {
 			x = fb.W() - 1
 		}

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/tmath"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -47,17 +48,22 @@ func ASCIITimeline(tr *core.Trace, width, maxRows int) string {
 		return ""
 	}
 	span := end - start
+	dom := tr.DomIndex()
 	var b strings.Builder
 	for r := 0; r < rows; r++ {
 		cpu := int32(r * n / rows)
+		dc := dom.CPU(tr, cpu)
 		line := make([]byte, width)
 		for x := 0; x < width; x++ {
-			t0 := start + span*int64(x)/int64(width)
-			t1 := start + span*int64(x+1)/int64(width)
+			t0 := start + tmath.MulDiv(span, int64(x), int64(width))
+			t1 := start + tmath.MulDiv(span, int64(x+1), int64(width))
 			if t1 <= t0 {
 				t1 = t0 + 1
 			}
-			ev, ok := dominantState(tr, cpu, t0, t1)
+			ev, ok, indexed := dc.DominantState(t0, t1)
+			if !indexed {
+				ev, ok = dominantStateScan(tr, cpu, t0, t1)
+			}
 			if !ok {
 				line[x] = ' '
 				continue

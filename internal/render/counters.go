@@ -5,6 +5,7 @@ import (
 
 	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/mmtree"
+	"github.com/openstream/aftermath/internal/tmath"
 )
 
 // CounterIndex caches one min/max tree per (counter, cpu) pair — the
@@ -101,8 +102,8 @@ func OverlayCounter(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, ov Over
 			continue
 		}
 		for x := 0; x < plotW; x++ {
-			t0 := start + span*int64(x)/int64(plotW)
-			t1 := start + span*int64(x+1)/int64(plotW)
+			t0 := start + tmath.MulDiv(span, int64(x), int64(plotW))
+			t1 := start + tmath.MulDiv(span, int64(x+1), int64(plotW))
 			if t1 <= t0 {
 				t1 = t0 + 1
 			}
@@ -139,7 +140,7 @@ func overlayNaive(fb *Framebuffer, tree *mmtree.Tree, gutter, y, plotW, rowH int
 		if t < start || t >= end {
 			continue
 		}
-		x := gutter + int((t-start)*int64(plotW)/span)
+		x := gutter + int(tmath.MulDiv(t-start, int64(plotW), span))
 		yy := valueToY(float64(v), vmin, vmax, y, rowH)
 		if have {
 			fb.Line(prevX, prevY, x, yy, c)

@@ -8,6 +8,7 @@ import (
 	"github.com/openstream/aftermath/internal/filter"
 	"github.com/openstream/aftermath/internal/par"
 	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/tmath"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -86,6 +87,12 @@ type TimelineConfig struct {
 	Filter *filter.TaskFilter
 	// Labels enables CPU row labels.
 	Labels bool
+	// NoIndex disables the multi-resolution dominance index
+	// (internal/mragg) and resolves every pixel by scanning its
+	// overlapping events — the Section VI-B ablation baseline. Output
+	// is byte-identical either way (see TestTimelineIndexMatchesScan);
+	// only the cost per dense pixel changes.
+	NoIndex bool
 }
 
 // Stats reports rendering work, exposing the effect of the Section
@@ -143,21 +150,9 @@ func timeline(tr *core.Trace, cfg TimelineConfig, workers int) (*Framebuffer, St
 	}
 
 	fb := NewFramebuffer(cfg.Width, cfg.Height)
-	gutter := 0
-	if cfg.Labels {
-		gutter = TextWidth("CPU 000 ")
-	}
-	plotW := cfg.Width - gutter
-	if plotW < 1 {
-		return nil, st, fmt.Errorf("render: width %d too small for labels", cfg.Width)
-	}
-	rowH := fb.H() / len(cpus)
-	if rowH < 1 {
-		rowH = 1
-	}
-	drawH := rowH
-	if rowH >= 3 {
-		drawH = rowH - 1 // leave a grid line between rows
+	g, err := timelineGeometry(fb.H(), cfg.Width, len(cpus), cfg.Labels)
+	if err != nil {
+		return nil, st, err
 	}
 
 	heatMin, heatMax := cfg.HeatMin, cfg.HeatMax
@@ -165,46 +160,102 @@ func timeline(tr *core.Trace, cfg TimelineConfig, workers int) (*Framebuffer, St
 		heatMin, heatMax = visibleDurationRange(tr, cfg.Filter, start, end)
 	}
 
-	// Rows below the framebuffer bottom are never drawn.
-	visible := len(cpus)
-	if v := (fb.H() + rowH - 1) / rowH; v < visible {
-		visible = v
-	}
-
 	typeIdx := typeIndexOf(tr)
+	var dom *core.DomIndex
+	if !cfg.NoIndex {
+		dom = tr.DomIndex()
+	}
 
 	// Phase 1: compute each row's aggregated pixel runs. Rows are
 	// independent (per-row dominance caches suffice: a task executes
 	// on a single CPU), so they fan out over the worker pool. Phase 2
 	// applies labels and fills serially in row order, so the pixels
 	// and draw-call accounting match a sequential rendering exactly.
-	rows := make([][]pixelRun, visible)
+	rows := make([][]pixelRun, g.visible)
 	if workers > 1 {
-		par.Do(workers, visible, func(row int) {
-			px := newPixelizer(tr, cfg.Filter, typeIdx)
-			rows[row] = rowRuns(px, cfg.Mode, cpus[row], start, end, plotW, heatMin, heatMax, shades)
+		par.Do(workers, g.visible, func(row int) {
+			px := newPixelizer(tr, cfg.Filter, typeIdx, dom)
+			rows[row] = rowRuns(px, cfg.Mode, cpus[row], start, end, g.plotW, heatMin, heatMax, shades)
 		})
 	} else {
-		px := newPixelizer(tr, cfg.Filter, typeIdx)
-		for row := 0; row < visible; row++ {
-			rows[row] = rowRuns(px, cfg.Mode, cpus[row], start, end, plotW, heatMin, heatMax, shades)
+		px := newPixelizer(tr, cfg.Filter, typeIdx, dom)
+		for row := 0; row < g.visible; row++ {
+			rows[row] = rowRuns(px, cfg.Mode, cpus[row], start, end, g.plotW, heatMin, heatMax, shades)
 		}
 	}
 
-	for row := 0; row < visible; row++ {
-		y := row * rowH
-		if cfg.Labels {
-			if rowH >= GlyphHeight || row%(GlyphHeight/maxInt(rowH, 1)+1) == 0 {
-				fb.DrawText(0, y+(rowH-GlyphHeight)/2+1, fmt.Sprintf("CPU %d", cpus[row]), TextColor)
-			}
+	for row := 0; row < g.visible; row++ {
+		y := row * g.rowH
+		if cfg.Labels && g.labeled(row) {
+			fb.DrawText(0, labelY(y, g.rowH), fmt.Sprintf("CPU %d", cpus[row]), TextColor)
 		}
 		for _, run := range rows[row] {
-			fb.FillRect(gutter+run.x0, y, run.x1-run.x0, drawH, run.c)
+			fb.FillRect(g.gutter+run.x0, y, run.x1-run.x0, g.drawH, run.c)
 			st.Rects++
 		}
-		st.PixelColumns += plotW
+		st.PixelColumns += g.plotW
 	}
 	return fb, st, nil
+}
+
+// rowGeometry is the shared row/gutter layout of Timeline and its
+// naive ablation counterpart: the two must agree exactly so the
+// Section VI-B ablation compares rendering strategies, not coordinate
+// systems.
+type rowGeometry struct {
+	// gutter is the label column width; plotW the plot width.
+	gutter, plotW int
+	// rowH is the row pitch; drawH the filled height (a grid line is
+	// left between rows tall enough to afford one).
+	rowH, drawH int
+	// visible caps the rows actually drawn: rows below the
+	// framebuffer bottom are never rendered.
+	visible int
+}
+
+// timelineGeometry computes the layout for a framebuffer of height
+// fbH and width, with nCPU rows.
+func timelineGeometry(fbH, width, nCPU int, labels bool) (rowGeometry, error) {
+	var g rowGeometry
+	if labels {
+		g.gutter = TextWidth("CPU 000 ")
+	}
+	g.plotW = width - g.gutter
+	if g.plotW < 1 {
+		return g, fmt.Errorf("render: width %d too small for labels", width)
+	}
+	g.rowH = fbH / nCPU
+	if g.rowH < 1 {
+		g.rowH = 1
+	}
+	g.drawH = g.rowH
+	if g.rowH >= 3 {
+		g.drawH = g.rowH - 1
+	}
+	g.visible = nCPU
+	if v := (fbH + g.rowH - 1) / g.rowH; v < g.visible {
+		g.visible = v
+	}
+	return g, nil
+}
+
+// labeled reports whether a row carries a CPU label: every row when
+// the row fits the font, a sparse subset otherwise.
+func (g rowGeometry) labeled(row int) bool {
+	return g.rowH >= GlyphHeight || row%(GlyphHeight/maxInt(g.rowH, 1)+1) == 0
+}
+
+// labelY returns the text y for a CPU row label starting at y: the
+// glyph is centered in the row when it fits and clamped to the row
+// top when the row is shorter than the font — an unclamped negative
+// offset made thin-row labels bleed into (and crop against) the rows
+// above (see TestTimelineLabelsThinRows).
+func labelY(y, rowH int) int {
+	ty := y + (rowH-GlyphHeight)/2 + 1
+	if ty < y {
+		ty = y
+	}
+	return ty
 }
 
 // rowRuns walks one CPU row's pixels, aggregating runs of identical
@@ -221,8 +272,11 @@ func rowRuns(px *pixelizer, mode Mode, cpu int32, start, end trace.Time, plotW i
 		}
 	}
 	for x := 0; x < plotW; x++ {
-		t0 := start + span*int64(x)/int64(plotW)
-		t1 := start + span*int64(x+1)/int64(plotW)
+		// 128-bit pixel->time mapping: span*x overflows int64 once
+		// span*width exceeds 2^63, which real cycle-count timestamps
+		// reach (see TestTimelineExtremeTimestamps).
+		t0 := start + tmath.MulDiv(span, int64(x), int64(plotW))
+		t1 := start + tmath.MulDiv(span, int64(x+1), int64(plotW))
 		if t1 <= t0 {
 			t1 = t0 + 1
 		}
@@ -245,14 +299,21 @@ func rowRuns(px *pixelizer, mode Mode, cpu int32, start, end trace.Time, plotW i
 }
 
 // pixelizer computes per-pixel colors for one renderer goroutine. The
-// nodeCache is private to its goroutine; the type index is read-only
-// and shared across all rows of a rendering.
+// nodeCache is private to its goroutine; the type index and dominance
+// index are read-only and shared across all rows of a rendering.
 type pixelizer struct {
 	tr     *core.Trace
 	filter *filter.TaskFilter
 	// nodeCache memoizes DominantNode lookups per task and kind.
 	nodeCache map[nodeKey]int32
 	typeIdx   map[trace.TypeID]int
+	// dom resolves dominant intervals from the multi-resolution
+	// pyramid instead of scanning events; nil forces scans (the
+	// NoIndex ablation). domEnt memoizes the current CPU's resolved
+	// pyramids so the per-pixel loop stays lock-free.
+	dom      *core.DomIndex
+	domEnt   *core.DomCPU
+	domEntID int32
 }
 
 type nodeKey struct {
@@ -270,8 +331,8 @@ func typeIndexOf(tr *core.Trace) map[trace.TypeID]int {
 	return ti
 }
 
-func newPixelizer(tr *core.Trace, f *filter.TaskFilter, typeIdx map[trace.TypeID]int) *pixelizer {
-	return &pixelizer{tr: tr, filter: f, nodeCache: make(map[nodeKey]int32), typeIdx: typeIdx}
+func newPixelizer(tr *core.Trace, f *filter.TaskFilter, typeIdx map[trace.TypeID]int, dom *core.DomIndex) *pixelizer {
+	return &pixelizer{tr: tr, filter: f, nodeCache: make(map[nodeKey]int32), typeIdx: typeIdx, dom: dom}
 }
 
 // pixelColor implements optimization (a) of Section VI-B: each pixel
@@ -280,7 +341,7 @@ func newPixelizer(tr *core.Trace, f *filter.TaskFilter, typeIdx map[trace.TypeID
 func (p *pixelizer) pixelColor(mode Mode, cpu int32, t0, t1 trace.Time, heatMin, heatMax trace.Time, shades int) (color.RGBA, bool) {
 	switch mode {
 	case ModeState:
-		ev, ok := dominantState(p.tr, cpu, t0, t1)
+		ev, ok := p.dominantState(cpu, t0, t1)
 		if !ok {
 			return color.RGBA{}, false
 		}
@@ -317,9 +378,35 @@ func (p *pixelizer) pixelColor(mode Mode, cpu int32, t0, t1 trace.Time, heatMin,
 	return color.RGBA{}, false
 }
 
+// domFor resolves the dominance pyramids for a CPU, memoizing the
+// last resolution: rows render pixel by pixel over one CPU, so the
+// per-pixel path never touches the index's lock.
+func (p *pixelizer) domFor(cpu int32) *core.DomCPU {
+	if p.domEnt == nil || p.domEntID != cpu {
+		p.domEnt = p.dom.CPU(p.tr, cpu)
+		p.domEntID = cpu
+	}
+	return p.domEnt
+}
+
 // dominantState returns the state covering the largest part of
-// [t0, t1) on cpu.
-func dominantState(tr *core.Trace, cpu int32, t0, t1 trace.Time) (trace.StateEvent, bool) {
+// [t0, t1) on cpu: from the dominance pyramid when the CPU has one,
+// by scanning the overlapping events otherwise. Both paths implement
+// the same first-strictly-greater-cover rule, so the choice never
+// changes a pixel.
+func (p *pixelizer) dominantState(cpu int32, t0, t1 trace.Time) (trace.StateEvent, bool) {
+	if p.dom != nil {
+		if ev, ok, indexed := p.domFor(cpu).DominantState(t0, t1); indexed {
+			return ev, ok
+		}
+	}
+	return dominantStateScan(p.tr, cpu, t0, t1)
+}
+
+// dominantStateScan is the per-event scan: the pre-index renderer's
+// inner loop, kept as the fallback for unindexable CPUs and as the
+// NoIndex ablation baseline.
+func dominantStateScan(tr *core.Trace, cpu int32, t0, t1 trace.Time) (trace.StateEvent, bool) {
 	var best trace.StateEvent
 	var bestCover trace.Time
 	for _, ev := range tr.StatesIn(cpu, t0, t1) {
@@ -339,8 +426,15 @@ func dominantState(tr *core.Trace, cpu int32, t0, t1 trace.Time) (trace.StateEve
 }
 
 // dominantExec returns the task-execution state covering the largest
-// part of [t0, t1) on cpu, honoring the task filter.
+// part of [t0, t1) on cpu, honoring the task filter. Unfiltered
+// queries resolve from the dominance pyramid; a filter changes the
+// candidate set per task, which only the scan knows.
 func (p *pixelizer) dominantExec(cpu int32, t0, t1 trace.Time) (trace.StateEvent, bool) {
+	if p.dom != nil && p.filter == nil {
+		if ev, ok, indexed := p.domFor(cpu).DominantExec(t0, t1); indexed {
+			return ev, ok
+		}
+	}
 	var best trace.StateEvent
 	var bestCover trace.Time
 	for _, ev := range p.tr.StatesIn(cpu, t0, t1) {
@@ -448,7 +542,11 @@ func visibleDurationRange(tr *core.Trace, f *filter.TaskFilter, start, end trace
 // NaiveTimelineState renders the state mode without the per-pixel
 // dominance and aggregation optimizations: every state event becomes
 // its own rectangle, sequentially overdrawn — the baseline of the
-// Section VI-B ablation.
+// Section VI-B ablation. Its geometry (label gutter, plot width, row
+// layout, time->pixel rounding) matches Timeline's exactly, so the
+// ablation compares rendering strategies, not coordinate systems;
+// events straddling the window edges are clamped to it instead of
+// being mapped to out-of-plot (formerly negative) columns.
 func NaiveTimelineState(tr *core.Trace, cfg TimelineConfig) (*Framebuffer, Stats, error) {
 	var st Stats
 	if cfg.Width <= 0 || cfg.Height <= 0 {
@@ -468,25 +566,35 @@ func NaiveTimelineState(tr *core.Trace, cfg TimelineConfig) (*Framebuffer, Stats
 			cpus[i] = int32(i)
 		}
 	}
-	fb := NewFramebuffer(cfg.Width, cfg.Height)
-	rowH := fb.H() / len(cpus)
-	if rowH < 1 {
-		rowH = 1
+	if len(cpus) == 0 {
+		return nil, st, fmt.Errorf("render: no CPUs selected")
 	}
-	drawH := rowH
-	if rowH >= 3 {
-		drawH = rowH - 1
+	fb := NewFramebuffer(cfg.Width, cfg.Height)
+	g, err := timelineGeometry(fb.H(), cfg.Width, len(cpus), cfg.Labels)
+	if err != nil {
+		return nil, st, err
 	}
 	span := end - start
-	for row, cpu := range cpus {
-		y := row * rowH
+	for row := 0; row < g.visible; row++ {
+		cpu := cpus[row]
+		y := row * g.rowH
+		if cfg.Labels && g.labeled(row) {
+			fb.DrawText(0, labelY(y, g.rowH), fmt.Sprintf("CPU %d", cpu), TextColor)
+		}
 		for _, ev := range tr.StatesIn(cpu, start, end) {
-			x0 := int((ev.Start - start) * int64(cfg.Width) / span)
-			x1 := int((ev.End - start) * int64(cfg.Width) / span)
+			s, e := ev.Start, ev.End
+			if s < start {
+				s = start
+			}
+			if e > end {
+				e = end
+			}
+			x0 := int(tmath.MulDiv(s-start, int64(g.plotW), span))
+			x1 := int(tmath.MulDiv(e-start, int64(g.plotW), span))
 			if x1 <= x0 {
 				x1 = x0 + 1
 			}
-			fb.FillRect(x0, y, x1-x0, drawH, StateColor(ev.State))
+			fb.FillRect(g.gutter+x0, y, x1-x0, g.drawH, StateColor(ev.State))
 			st.Rects++
 		}
 	}

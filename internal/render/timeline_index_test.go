@@ -1,0 +1,303 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/filter"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// synthStateTrace hand-builds a trace of random disjoint state
+// intervals: nCPU rows starting at base, each with n events across
+// the worker states (task-execution events carry task IDs), with
+// occasional gaps and zero-length intervals. shuffled marks one CPU
+// whose intervals overlap — the unindexable fallback case.
+func synthStateTrace(rng *rand.Rand, nCPU, n int, base int64, shuffled bool) *core.Trace {
+	tr := &core.Trace{CPUs: make([]core.CPUData, nCPU)}
+	var lo, hi int64
+	for c := 0; c < nCPU; c++ {
+		t := base + int64(rng.Intn(50))
+		states := make([]trace.StateEvent, 0, n)
+		for i := 0; i < n; i++ {
+			t += int64(rng.Intn(4))
+			d := int64(rng.Intn(30))
+			if rng.Intn(16) == 0 {
+				d = 0
+			}
+			st := trace.WorkerState(rng.Intn(trace.NumWorkerStates))
+			ev := trace.StateEvent{CPU: int32(c), State: st, Start: t, End: t + d}
+			if st == trace.StateTaskExec {
+				ev.Task = trace.TaskID(rng.Intn(5) + 1)
+			}
+			states = append(states, ev)
+			t += d
+		}
+		if shuffled && c == nCPU-1 && len(states) > 2 {
+			// Make the last CPU overlap: stretch an early event over
+			// its successors (starts stay sorted, so StatesIn still
+			// "works"; the index must refuse and fall back).
+			states[0].End = states[len(states)/2].End + 5
+		}
+		tr.CPUs[c].States = states
+		if c == 0 || states[0].Start < lo {
+			lo = states[0].Start
+		}
+		if e := states[len(states)-1].End; c == 0 || e > hi {
+			hi = e
+		}
+	}
+	tr.Span = core.Interval{Start: lo, End: hi + 1}
+	return tr
+}
+
+// TestTimelineIndexMatchesScan is the golden equality test of the
+// dominance index: for every timeline mode, over simulated and
+// randomized synthetic traces (including extreme-coordinate and
+// unindexable ones) with randomized windows and filters, rendering
+// with the multi-resolution index must produce a framebuffer
+// byte-identical to the per-pixel event-scan path, with identical
+// draw-call accounting.
+func TestTimelineIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seidel := atmtest.SeidelTrace(t, 6, 3, openstream.SchedRandom)
+	f := filter.ByTypeNames(seidel, "seidel_block")
+
+	type tcase struct {
+		name string
+		tr   *core.Trace
+		f    *filter.TaskFilter
+	}
+	cases := []tcase{
+		{"seidel", seidel, nil},
+		{"seidel-filtered", seidel, f},
+		{"synthetic", synthStateTrace(rng, 6, 800, 0, false), nil},
+		{"extreme-base", synthStateTrace(rng, 4, 500, math.MaxInt64/2, false), nil},
+		{"unindexable-cpu", synthStateTrace(rng, 4, 400, 1000, true), nil},
+		{"empty-cpu", &core.Trace{CPUs: make([]core.CPUData, 3), Span: core.Interval{Start: 0, End: 100}}, nil},
+	}
+	for _, tc := range cases {
+		span := tc.tr.Span.Duration()
+		for mode := ModeState; mode <= ModeNUMAHeat; mode++ {
+			for trial := 0; trial < 4; trial++ {
+				cfg := TimelineConfig{
+					Width:  90 + rng.Intn(300),
+					Height: 30 + rng.Intn(100),
+					Mode:   mode,
+					Filter: tc.f,
+					Labels: trial%2 == 0,
+				}
+				if trial > 0 && span > 2 {
+					off := rng.Int63n(span)
+					cfg.Start = tc.tr.Span.Start + off
+					cfg.End = cfg.Start + 1 + rng.Int63n(span-off)
+					if cfg.End <= cfg.Start {
+						cfg.End = cfg.Start + 1
+					}
+				}
+				idx, idxStats, err := Timeline(tc.tr, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", tc.name, mode, err)
+				}
+				cfg.NoIndex = true
+				scan, scanStats, err := Timeline(tc.tr, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v noindex: %v", tc.name, mode, err)
+				}
+				if !bytes.Equal(idx.Img.Pix, scan.Img.Pix) {
+					t.Errorf("%s/%v trial %d (window [%d,%d)): indexed pixels differ from event scan",
+						tc.name, mode, trial, cfg.Start, cfg.End)
+				}
+				if idxStats != scanStats {
+					t.Errorf("%s/%v: stats %+v != scan stats %+v", tc.name, mode, idxStats, scanStats)
+				}
+			}
+		}
+	}
+}
+
+// TestTimelineExtremeTimestamps is the MaxInt64/2 regression test for
+// the pixel->time mapping: with span*width > 2^63, the old
+// span*x/width arithmetic wrapped and colored pixels from garbage
+// windows. The trace has idle in its first half and task execution in
+// its second; every pixel must land on the correct side.
+func TestTimelineExtremeTimestamps(t *testing.T) {
+	base := int64(math.MaxInt64 / 2)
+	span := int64(1) << 58
+	mid := base + span/2
+	tr := &core.Trace{
+		CPUs: []core.CPUData{{States: []trace.StateEvent{
+			{CPU: 0, State: trace.StateIdle, Start: base, End: mid},
+			{CPU: 0, State: trace.StateTaskExec, Task: 1, Start: mid, End: base + span},
+		}}},
+		Span: core.Interval{Start: base, End: base + span},
+	}
+	const w = 100
+	for _, noIndex := range []bool{false, true} {
+		fb, _, err := Timeline(tr, TimelineConfig{Width: w, Height: 8, Mode: ModeState, NoIndex: noIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idle, exec := StateColor(trace.StateIdle), StateColor(trace.StateTaskExec)
+		for x := 0; x < w; x++ {
+			want := idle
+			if x >= w/2 {
+				want = exec
+			}
+			if got := fb.At(x, 0); got != want {
+				t.Fatalf("noindex=%v: pixel %d = %v, want %v (pixel->time mapping overflowed)", noIndex, x, got, want)
+			}
+		}
+	}
+
+	// The naive ablation renderer shares the overflow-prone mapping
+	// ((ev.Start-start)*width overflows just the same).
+	fb, _, err := NaiveTimelineState(tr, TimelineConfig{Width: w, Height: 8, Mode: ModeState})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.At(25, 0) != StateColor(trace.StateIdle) || fb.At(75, 0) != StateColor(trace.StateTaskExec) {
+		t.Error("naive renderer misplaced events at extreme timestamps")
+	}
+
+	// And the ASCII renderer (same per-pixel mapping).
+	out := ASCIITimeline(tr, 60, 1)
+	if out[10] != StateChar(trace.StateIdle) || out[50] != StateChar(trace.StateTaskExec) {
+		t.Errorf("ASCII timeline misplaced events at extreme timestamps: %q", out)
+	}
+}
+
+// TestNaiveTimelineWindowStraddle: events overlapping the window
+// bounds must clamp to it (not map to off-plot columns), and the
+// naive renderer must honor the same label gutter as the optimized
+// one, so the Section VI-B ablation compares like with like.
+func TestNaiveTimelineWindowStraddle(t *testing.T) {
+	tr := &core.Trace{
+		CPUs: []core.CPUData{{States: []trace.StateEvent{
+			{CPU: 0, State: trace.StateIdle, Start: 0, End: 1000},
+			{CPU: 0, State: trace.StateTaskExec, Task: 1, Start: 1000, End: 2000},
+		}}},
+		Span: core.Interval{Start: 0, End: 2000},
+	}
+	cfg := TimelineConfig{
+		Width: 200, Height: 8, Mode: ModeState, Labels: true,
+		Start: 900, End: 1100, // both events straddle a bound
+	}
+	naive, st, err := NaiveTimelineState(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rects != 2 {
+		t.Errorf("rects = %d, want 2", st.Rects)
+	}
+	opt, _, err := Timeline(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gutter := TextWidth("CPU 000 ")
+	plotW := cfg.Width - gutter
+	idle, exec := StateColor(trace.StateIdle), StateColor(trace.StateTaskExec)
+	// The idle event clamps to [900, 1000) -> plot columns [0, plotW/2);
+	// the exec event fills the rest. Nothing may leak into the gutter.
+	for _, fb := range []*Framebuffer{naive, opt} {
+		if got := fb.At(gutter, 0); got != idle {
+			t.Errorf("first plot column = %v, want idle (straddling event not clamped)", got)
+		}
+		if got := fb.At(gutter+plotW/2+1, 0); got != exec {
+			t.Errorf("second half = %v, want exec", got)
+		}
+		if got := fb.At(gutter-1, 0); got == idle || got == exec {
+			t.Errorf("state color leaked into the label gutter")
+		}
+	}
+	// Geometry parity: naive and optimized agree pixel-for-pixel here
+	// (disjoint events, one per half).
+	if !bytes.Equal(naive.Img.Pix, opt.Img.Pix) {
+		t.Error("naive and optimized renderings differ on the straddle window")
+	}
+}
+
+// TestTimelineLabelsThinRows golden-tests a 200-CPU rendering 100px
+// tall: rows are thinner than the font, so labels draw on a sparse
+// subset of rows. Every label must stay inside its own row band
+// [rowTop, rowTop+GlyphHeight) — the unguarded centering offset used
+// to shift thin-row labels above their row (cropping row 0 and
+// bleeding into the rows above) — and the parallel rendering must
+// remain byte-identical to the sequential one.
+func TestTimelineLabelsThinRows(t *testing.T) {
+	const nCPU = 200
+	tr := &core.Trace{CPUs: make([]core.CPUData, nCPU)}
+	for c := 0; c < nCPU; c++ {
+		tr.CPUs[c].States = []trace.StateEvent{
+			{CPU: int32(c), State: trace.StateIdle, Start: 0, End: 1000},
+		}
+	}
+	tr.Span = core.Interval{Start: 0, End: 1000}
+	cfg := TimelineConfig{Width: 400, Height: 100, Mode: ModeState, Labels: true}
+
+	seqFB, _, err := timeline(tr, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parFB, _, err := timeline(tr, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqFB.Img.Pix, parFB.Img.Pix) {
+		t.Error("thin-row labeled rendering differs between worker counts")
+	}
+
+	rowH := seqFB.H() / nCPU
+	if rowH < 1 {
+		rowH = 1
+	}
+	if rowH >= GlyphHeight {
+		t.Fatalf("test wants thin rows, got rowH=%d", rowH)
+	}
+	labeled := func(row int) bool { return row%(GlyphHeight/rowH+1) == 0 }
+	gutter := TextWidth("CPU 000 ")
+	// Collect text pixels in the gutter and check each lies inside the
+	// band of a labeled row.
+	found := 0
+	for y := 0; y < seqFB.H(); y++ {
+		rowText := false
+		for x := 0; x < gutter; x++ {
+			if seqFB.At(x, y) == TextColor {
+				rowText = true
+				found++
+			}
+		}
+		if !rowText {
+			continue
+		}
+		ok := false
+		for row := 0; row*rowH < seqFB.H(); row++ {
+			if labeled(row) && y >= row*rowH && y < row*rowH+GlyphHeight {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("label pixels at y=%d outside every labeled row band", y)
+		}
+	}
+	if found == 0 {
+		t.Error("no label text rendered at all")
+	}
+	// Row 0's label must not be cropped at the top: its glyphs start
+	// exactly at the row top.
+	top := false
+	for x := 0; x < gutter; x++ {
+		if seqFB.At(x, 0) == TextColor {
+			top = true
+		}
+	}
+	if !top {
+		t.Error("row 0 label cropped at the framebuffer top")
+	}
+}

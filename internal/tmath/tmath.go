@@ -1,0 +1,33 @@
+// Package tmath provides overflow-safe integer arithmetic on trace
+// timestamps. Trace times are CPU cycles and real traces reach well
+// into the upper half of int64, so the naive pixel<->time mappings
+// (span*x/width and offset*width/span) overflow 64-bit intermediates
+// long before the operands themselves do; MulDiv keeps the
+// intermediate product in 128 bits.
+package tmath
+
+import "math/bits"
+
+// MulDiv returns a*b/den (floor division) with the product computed in
+// 128 bits, so it is exact whenever the mathematical result fits in
+// int64. All of a and b must be non-negative and den positive; the
+// callers' mappings guarantee the quotient fits (either b <= den or
+// a <= den, bounding the quotient by the other operand). Violating
+// either precondition panics, like the native operators would.
+func MulDiv(a, b, den int64) int64 {
+	if a < 0 || b < 0 {
+		panic("tmath: MulDiv operands must be non-negative")
+	}
+	if den <= 0 {
+		panic("tmath: MulDiv divisor must be positive")
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi == 0 && lo < 1<<63 {
+		// Fast path: the product fits in int64.
+		return int64(lo) / den
+	}
+	// bits.Div64 panics on hi >= den (quotient overflow), matching
+	// native overflow semantics.
+	q, _ := bits.Div64(hi, lo, uint64(den))
+	return int64(q)
+}

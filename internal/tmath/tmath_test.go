@@ -1,0 +1,70 @@
+package tmath
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestMulDivSmall(t *testing.T) {
+	cases := []struct{ a, b, den, want int64 }{
+		{0, 0, 1, 0},
+		{10, 3, 4, 7},
+		{100, 99, 100, 99},
+		{7, 7, 49, 1},
+		{1 << 40, 1 << 20, 1 << 10, 1 << 50},
+	}
+	for _, c := range cases {
+		if got := MulDiv(c.a, c.b, c.den); got != c.want {
+			t.Errorf("MulDiv(%d, %d, %d) = %d, want %d", c.a, c.b, c.den, got, c.want)
+		}
+	}
+}
+
+// TestMulDivExtreme covers products beyond 2^63, where the naive
+// a*b/den expression silently wraps.
+func TestMulDivExtreme(t *testing.T) {
+	span := int64(math.MaxInt64/2 + 12345)
+	width := int64(1920)
+	for _, x := range []int64{0, 1, 31, 32, 960, 1919, 1920} {
+		want := new(big.Int).Mul(big.NewInt(span), big.NewInt(x))
+		want.Div(want, big.NewInt(width))
+		if got := MulDiv(span, x, width); got != want.Int64() {
+			t.Errorf("MulDiv(%d, %d, %d) = %d, want %s", span, x, width, got, want)
+		}
+		// The naive expression must actually differ somewhere, or this
+		// test proves nothing about the fix.
+		if x == 1919 && span*x/width == want.Int64() {
+			t.Error("naive arithmetic unexpectedly exact — extreme case too tame")
+		}
+	}
+}
+
+func TestMulDivRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		den := rng.Int63n(1<<20) + 1
+		b := rng.Int63n(den + 1) // b <= den keeps the quotient <= a
+		a := rng.Int63()
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		want.Div(want, big.NewInt(den))
+		if got := MulDiv(a, b, den); got != want.Int64() {
+			t.Fatalf("MulDiv(%d, %d, %d) = %d, want %s", a, b, den, got, want)
+		}
+	}
+}
+
+func TestMulDivPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative a", func() { MulDiv(-1, 2, 3) })
+	mustPanic("negative b", func() { MulDiv(1, -2, 3) })
+	mustPanic("zero den", func() { MulDiv(1, 2, 0) })
+}

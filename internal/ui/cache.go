@@ -24,9 +24,12 @@ type cachedResponse struct {
 	body        []byte
 }
 
-// newResponseCache returns a cache bounded to maxBytes of body data
-// (entries above the bound are admitted and older entries evicted; a
-// single body larger than maxBytes is simply not stored).
+// newResponseCache returns a cache bounded to maxBytes of body data.
+// Oversize policy (explicit): a single body larger than maxBytes is
+// never admitted — it could only be stored by evicting everything
+// else and would then immediately dominate the cache; admitting a
+// body within the bound evicts least-recently-used entries until the
+// total fits again.
 func newResponseCache(maxBytes int) *responseCache {
 	return &responseCache{
 		maxBytes: maxBytes,
@@ -49,7 +52,14 @@ func (c *responseCache) get(key string) (*cachedResponse, bool) {
 }
 
 // put stores a response body. body must not be modified by the caller
-// afterwards.
+// afterwards. Bodies larger than maxBytes are not stored (see
+// newResponseCache for the policy). Storing under an existing key —
+// normally a concurrent request that computed the same response, but
+// possibly a response recomputed under a key that should have changed
+// — always replaces the stored entry with correct byte accounting, so
+// a stale body can never be pinned. Stored cachedResponse values are
+// immutable (readers hold them outside the lock), so replacement
+// swaps in a fresh entry rather than mutating the old one.
 func (c *responseCache) put(key, contentType string, body []byte) {
 	if len(body) > c.maxBytes {
 		return
@@ -57,14 +67,22 @@ func (c *responseCache) put(key, contentType string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		// A concurrent request computed the same entry; keep the
-		// existing one current.
+		ent := el.Value.(*cachedResponse)
 		c.order.MoveToFront(el)
+		c.size += len(body) - len(ent.body)
+		el.Value = &cachedResponse{key: key, contentType: contentType, body: body}
+		c.evictLocked()
 		return
 	}
 	el := c.order.PushFront(&cachedResponse{key: key, contentType: contentType, body: body})
 	c.items[key] = el
 	c.size += len(body)
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the byte bound
+// holds again. Callers hold c.mu.
+func (c *responseCache) evictLocked() {
 	for c.size > c.maxBytes {
 		last := c.order.Back()
 		if last == nil {

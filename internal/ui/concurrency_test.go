@@ -29,13 +29,69 @@ func TestResponseCacheLRU(t *testing.T) {
 	if _, ok := c.get("c"); !ok {
 		t.Error("c missing")
 	}
-	// Oversized bodies are not admitted.
+	// Oversized bodies are not admitted — the explicit policy: a body
+	// above the bound would evict the whole cache just to dominate it.
 	c.put("big", "t", make([]byte, 101))
 	if _, ok := c.get("big"); ok {
 		t.Error("oversized body cached")
 	}
 	if n, size := c.stats(); n != 2 || size > 100 {
 		t.Errorf("stats = %d entries / %d bytes", n, size)
+	}
+	// Exactly at the bound is admitted (and evicts everything else).
+	c.put("fit", "t", make([]byte, 100))
+	if _, ok := c.get("fit"); !ok {
+		t.Error("bound-sized body not cached")
+	}
+	if n, size := c.stats(); n != 1 || size != 100 {
+		t.Errorf("stats after bound-sized put = %d entries / %d bytes", n, size)
+	}
+
+	// Duplicate-key put with an identical body (the concurrent
+	// same-response race): entry kept current, accounting unchanged.
+	first := make([]byte, 40)
+	first[0] = 0xAA
+	c = newResponseCache(100)
+	c.put("dup", "t", first)
+	c.put("dup", "t", append([]byte(nil), first...))
+	got, ok := c.get("dup")
+	if !ok || got.body[0] != 0xAA || len(got.body) != 40 {
+		t.Error("identical duplicate put corrupted the entry")
+	}
+	if _, size := c.stats(); size != 40 {
+		t.Errorf("size after identical duplicate = %d, want 40", size)
+	}
+	// Same-length but different content must replace: a recomputed
+	// response under a key that should have changed would otherwise be
+	// served stale forever.
+	changed := make([]byte, 40)
+	changed[0] = 0xCC
+	c.put("dup", "t", changed)
+	got, ok = c.get("dup")
+	if !ok || got.body[0] != 0xCC {
+		t.Error("same-length content change not replaced")
+	}
+	// Duplicate-key put with a different size: the entry is replaced
+	// and the byte accounting follows (the old code kept the stale
+	// body and would have drifted had sizes changed).
+	c.put("other", "t", make([]byte, 30))
+	bigger := make([]byte, 60)
+	bigger[0] = 0xBB
+	c.put("dup", "t", bigger)
+	got, ok = c.get("dup")
+	if !ok || len(got.body) != 60 || got.body[0] != 0xBB {
+		t.Error("size-mismatched duplicate not replaced")
+	}
+	if _, size := c.stats(); size != 90 {
+		t.Errorf("size after replacement = %d, want 90", size)
+	}
+	// Replacement that overflows the bound evicts LRU entries.
+	c.put("dup", "ct2", make([]byte, 75))
+	if _, ok := c.get("other"); ok {
+		t.Error("replacement overflow did not evict LRU entry")
+	}
+	if n, size := c.stats(); n != 1 || size != 75 {
+		t.Errorf("stats after replacement eviction = %d entries / %d bytes", n, size)
 	}
 }
 
