@@ -1,0 +1,88 @@
+// Command benchgate enforces a benchmark speedup floor on a benchjson
+// document (cmd/benchjson): it looks up the fast and slow
+// sub-benchmarks of one benchmark, computes slow/fast from their ns/op,
+// and exits non-zero when the ratio falls below the floor — the CI
+// regression gate for the incremental live-scan path.
+//
+// Usage:
+//
+//	benchgate -min 5 BENCH_anomaly.json
+//	benchgate -bench BenchmarkTimelineDenseWindow -fast indexed -slow scan -min 2 BENCH_timeline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// procSuffix is the "-8" GOMAXPROCS tail go test appends to benchmark
+// names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func nsPerOp(doc document, name string) (float64, error) {
+	for _, r := range doc.Benchmarks {
+		if procSuffix.ReplaceAllString(r.Name, "") != name {
+			continue
+		}
+		ns, ok := r.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			return 0, fmt.Errorf("%s: no usable ns/op metric", r.Name)
+		}
+		return ns, nil
+	}
+	return 0, fmt.Errorf("benchmark %q not found", name)
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkLiveScanIncremental", "benchmark holding the two sub-benchmarks")
+	fast := flag.String("fast", "incremental", "sub-benchmark expected to be fast")
+	slow := flag.String("slow", "full", "sub-benchmark expected to be slow")
+	min := flag.Float64("min", 5, "least acceptable slow/fast speedup ratio")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] BENCH.json")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	fastNS, err := nsPerOp(doc, *bench+"/"+*fast)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	slowNS, err := nsPerOp(doc, *bench+"/"+*slow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	ratio := slowNS / fastNS
+	fmt.Printf("%s: %s %.0f ns/op, %s %.0f ns/op, speedup %.2fx (floor %.2fx)\n",
+		*bench, *slow, slowNS, *fast, fastNS, ratio, *min)
+	if ratio < *min {
+		fmt.Fprintf(os.Stderr, "benchgate: speedup %.2fx below the %.2fx floor\n", ratio, *min)
+		os.Exit(1)
+	}
+}

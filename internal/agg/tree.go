@@ -1,0 +1,98 @@
+package agg
+
+// Tree is the framework-owned pyramid for aggregates that have no
+// historical storage layout to preserve: levels are stored as [][]S.
+// A Tree covers leaves [0, Len()) of its Agg's source sequence and is
+// immutable once built; Extend returns a new Tree covering more
+// leaves while the receiver stays valid, so live-trace snapshot
+// readers keep querying older generations while the writer extends
+// the chain (the linear-chain rule of mmtree.Tree.Append applies: an
+// Extend result supersedes its receiver as the chain head).
+type Tree[S any] struct {
+	arity  int
+	n      int
+	levels [][]S
+}
+
+// treeGen adapts one or two Tree generations to the agg.Store
+// contract: Levels and Len describe old (the previous generation),
+// Add/Set/Node address nt (the generation being built or queried).
+// For fresh builds old is empty; for queries old == nt.
+type treeGen[S any] struct{ old, nt *Tree[S] }
+
+// Levels implements Store.
+func (g *treeGen[S]) Levels() int { return len(g.old.levels) }
+
+// Len implements Store.
+func (g *treeGen[S]) Len(level int) int { return len(g.old.levels[level]) }
+
+// Node implements Store.
+func (g *treeGen[S]) Node(level, i int) S { return g.nt.levels[level][i] }
+
+// Add implements Store.
+func (g *treeGen[S]) Add(level, n, keep int) {
+	nodes := make([]S, n)
+	if keep > 0 {
+		copy(nodes, g.old.levels[level][:keep])
+	}
+	g.nt.levels = append(g.nt.levels, nodes)
+}
+
+// Set implements Store.
+func (g *treeGen[S]) Set(level, i int, s S) { g.nt.levels[level][i] = s }
+
+// NewTree builds a Tree over the first n leaves of a. Arity values
+// below 2 fall back to mmtree's paper arity of 100.
+func NewTree[S any](a Agg[S], n, arity int) *Tree[S] {
+	if arity < 2 {
+		arity = 100
+	}
+	t := &Tree[S]{arity: arity, n: n}
+	Grow[S](a, &treeGen[S]{old: t, nt: t}, n, 0, arity)
+	return t
+}
+
+// Len returns the number of leaves the tree covers.
+func (t *Tree[S]) Len() int { return t.n }
+
+// Arity returns the pyramid fan-out.
+func (t *Tree[S]) Arity() int { return t.arity }
+
+// Nodes returns the total internal node count, for memory-overhead
+// accounting.
+func (t *Tree[S]) Nodes() int {
+	var n int
+	for _, lv := range t.levels {
+		n += len(lv)
+	}
+	return n
+}
+
+// Extend returns a Tree covering leaves [0, n), n >= Len(): blocks
+// built purely from the receiver's leaves are copied, only tail
+// blocks are recomputed (amortized O(new leaves)). The receiver stays
+// valid and immutable; a must present the same source sequence
+// extended in place.
+func (t *Tree[S]) Extend(a Agg[S], n int) *Tree[S] {
+	if n < t.n {
+		panic("agg: Extend cannot shrink a tree")
+	}
+	if n == t.n {
+		return t
+	}
+	nt := &Tree[S]{arity: t.arity, n: n}
+	Grow[S](a, &treeGen[S]{old: t, nt: nt}, n, t.n, t.arity)
+	return nt
+}
+
+// Query folds the summaries of leaves [lo, hi) (clamped to the tree),
+// returning Zero and ok=false for an empty range.
+func (t *Tree[S]) Query(a Agg[S], lo, hi int) (S, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	return Query[S](a, &treeGen[S]{old: t, nt: t}, t.arity, lo, hi)
+}

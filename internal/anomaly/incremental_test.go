@@ -1,0 +1,47 @@
+package anomaly
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/openstream"
+)
+
+// TestScanIndexedEqualsNoIndex is the detector-level ablation: on a
+// live-fed snapshot (which carries the incrementally maintained
+// aggregate baselines) every configuration must produce findings
+// byte-identical to the same scan with the index disabled.
+func TestScanIndexedEqualsNoIndex(t *testing.T) {
+	snap := atmtest.SeidelLiveTrace(t, 6, 4, openstream.SchedRandom, 16)
+	if snap.TaskLocality() == nil || snap.CommTotals() == nil {
+		t.Fatal("live snapshot carries no aggregate baselines")
+	}
+	mid := snap.Span.Start + snap.Span.Duration()/2
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{}},
+		{"many-windows", Config{Windows: 128}},
+		{"low-cutoff", Config{MinScore: 0.5, MaxPerKind: -1}},
+		{"sub-window", Config{Window: core.Interval{Start: snap.Span.Start, End: mid}}},
+		{"serial", Config{Workers: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			indexed := Scan(snap, tc.cfg)
+			ncfg := tc.cfg
+			ncfg.NoIndex = true
+			cold := Scan(snap, ncfg)
+			if !reflect.DeepEqual(indexed, cold) {
+				t.Fatalf("indexed scan (%d findings) differs from NoIndex scan (%d findings)",
+					len(indexed), len(cold))
+			}
+			if tc.name == "default" && len(indexed) == 0 {
+				t.Fatal("default scan found nothing; the equality above is vacuous")
+			}
+		})
+	}
+}

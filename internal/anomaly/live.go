@@ -34,6 +34,12 @@ type LiveScanner struct {
 	epoch uint64
 	fresh bool
 	memo  map[string][]Anomaly
+	// order holds the memo keys oldest-insertion first; when the memo
+	// is full, the oldest entry is evicted rather than refusing new
+	// keys (a refusal would permanently stop caching the scans of
+	// whatever windows the user is looking at *now* as soon as 256
+	// stale keys accumulated in an epoch).
+	order []string
 }
 
 // memoLimit bounds the per-epoch memo.
@@ -56,6 +62,7 @@ func (s *LiveScanner) Scan(tr *core.Trace, epoch uint64, key string, cfg Config)
 		s.epoch = epoch
 		s.fresh = true
 		s.memo = make(map[string][]Anomaly)
+		s.order = s.order[:0]
 	} else if epoch < s.epoch {
 		// A reader still holding an older snapshot: scan it directly
 		// without disturbing the current epoch's memo.
@@ -71,8 +78,15 @@ func (s *LiveScanner) Scan(tr *core.Trace, epoch uint64, key string, cfg Config)
 	found := Scan(tr, cfg)
 
 	s.mu.Lock()
-	if s.fresh && s.epoch == epoch && len(s.memo) < memoLimit {
-		s.memo[key] = found
+	if s.fresh && s.epoch == epoch {
+		if _, dup := s.memo[key]; !dup {
+			if len(s.memo) >= memoLimit {
+				delete(s.memo, s.order[0])
+				s.order = s.order[1:]
+			}
+			s.memo[key] = found
+			s.order = append(s.order, key)
+		}
 	}
 	s.mu.Unlock()
 	return found

@@ -1,6 +1,7 @@
 package anomaly
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -62,5 +63,41 @@ func TestLiveScannerMemoizes(t *testing.T) {
 	}
 	if len(bypass) > 0 && &bypass[0] == &third[0] {
 		t.Fatal("empty key unexpectedly hit the memo")
+	}
+}
+
+// TestLiveScannerEvictsOldest fills the memo past its limit within one
+// epoch and checks the replacement policy: the newest key must still be
+// cached (eviction, not refusal), and a re-queried evicted key is
+// re-cached.
+func TestLiveScannerEvictsOldest(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedRandom)
+	if len(Scan(tr, Config{})) == 0 {
+		t.Fatal("test trace yields no findings; slice-identity checks would be vacuous")
+	}
+	s := NewLiveScanner()
+	cfg := Config{}
+	key := func(i int) string { return fmt.Sprintf("k%d", i) }
+
+	// memoLimit distinct keys fill the memo; one more must evict the
+	// oldest rather than being refused.
+	for i := 0; i <= memoLimit; i++ {
+		s.Scan(tr, 1, key(i), cfg)
+	}
+	a := s.Scan(tr, 1, key(memoLimit), cfg)
+	b := s.Scan(tr, 1, key(memoLimit), cfg)
+	if &a[0] != &b[0] {
+		t.Fatalf("key %d past the memo limit was not cached", memoLimit)
+	}
+
+	// k0 was the oldest entry and must have been evicted: the next
+	// query re-scans, and its result is cached again.
+	c := s.Scan(tr, 1, key(0), cfg)
+	if &c[0] == &a[0] {
+		t.Fatal("distinct keys share a result slice")
+	}
+	d := s.Scan(tr, 1, key(0), cfg)
+	if &c[0] != &d[0] {
+		t.Fatal("re-queried evicted key was not re-cached")
 	}
 }

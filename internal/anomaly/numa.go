@@ -7,7 +7,6 @@ import (
 	"github.com/openstream/aftermath/internal/hw"
 	"github.com/openstream/aftermath/internal/par"
 	"github.com/openstream/aftermath/internal/stats"
-	"github.com/openstream/aftermath/internal/trace"
 )
 
 // numaMinBytes is the least data a task must touch before its access
@@ -40,7 +39,26 @@ func (d NUMADetector) Detect(tr *core.Trace, cfg Config) []Anomaly {
 	if model.CacheLineBytes == 0 {
 		model = hw.Default()
 	}
-	baseline := 1 - stats.LocalityFraction(tr, stats.ReadsAndWrites, cfg.Window.Start, cfg.Window.End)
+	// The trace-global baseline: CommMatrixOf inside LocalityFraction
+	// already answers full-coverage windows from the incrementally
+	// maintained totals when the trace carries them; NoIndex pins the
+	// event scan explicitly.
+	var baseline float64
+	if cfg.NoIndex {
+		baseline = 1 - stats.CommMatrixScanOf(tr, stats.ReadsAndWrites, cfg.Window.Start, cfg.Window.End).LocalFraction()
+	} else {
+		baseline = 1 - stats.LocalityFraction(tr, stats.ReadsAndWrites, cfg.Window.Start, cfg.Window.End)
+	}
+
+	// Per-task locality summaries: the trace-carried index (aligned
+	// with Tasks, maintained from appended events only) replaces the
+	// per-task communication scan when present. LocSum is a pure
+	// per-task quantity, so the index applies under any filter or
+	// window.
+	loc := tr.TaskLocality()
+	if cfg.NoIndex || len(loc) != len(tr.Tasks) {
+		loc = nil
+	}
 
 	// Task chunks are scored in parallel and merged in chunk order.
 	bounds := par.Chunks(cfg.Workers, len(tr.Tasks))
@@ -56,7 +74,13 @@ func (d NUMADetector) Detect(tr *core.Trace, cfg Config) []Anomaly {
 			if !cfg.Window.Overlaps(t.ExecStart, t.ExecEnd) {
 				continue
 			}
-			if a, ok := scoreTaskLocality(tr, model, t, baseline); ok {
+			var ls core.LocSum
+			if loc != nil {
+				ls = loc[i]
+			} else {
+				ls = core.TaskLocalityOf(tr, t)
+			}
+			if a, ok := scoreTaskLocality(tr, model, t, ls, baseline); ok {
 				out = append(out, a)
 			}
 		}
@@ -69,46 +93,25 @@ func (d NUMADetector) Detect(tr *core.Trace, cfg Config) []Anomaly {
 	return out
 }
 
-// scoreTaskLocality computes one task's remote-access fraction and
-// scores its excess over the baseline: a task 100% remote against a
-// fully local baseline scores 10.
-func scoreTaskLocality(tr *core.Trace, model hw.Model, t *core.TaskInfo, baseline float64) (Anomaly, bool) {
-	execNode := tr.NodeOfCPU(t.ExecCPU)
-	var total, remote int64
-	var worstNode int32 = -1
-	var worstBytes int64
-	perNode := make(map[int32]int64)
-	for _, ev := range tr.TaskComm(t) {
-		if ev.Kind != trace.CommRead && ev.Kind != trace.CommWrite {
-			continue
-		}
-		home := tr.NodeOfAddr(ev.Addr)
-		if home < 0 {
-			continue
-		}
-		n := int64(ev.Size)
-		total += n
-		if home != execNode {
-			remote += n
-			perNode[home] += n
-			if b := perNode[home]; b > worstBytes || (b == worstBytes && home < worstNode) {
-				worstNode, worstBytes = home, b
-			}
-		}
-	}
-	if total < numaMinBytes {
+// scoreTaskLocality scores a task's remote-access summary (computed by
+// core.TaskLocalityOf, directly or via the trace-carried index)
+// against the baseline: a task 100% remote against a fully local
+// baseline scores 10.
+func scoreTaskLocality(tr *core.Trace, model hw.Model, t *core.TaskInfo, ls core.LocSum, baseline float64) (Anomaly, bool) {
+	if ls.Total < numaMinBytes {
 		return Anomaly{}, false
 	}
-	frac := float64(remote) / float64(total)
+	frac := float64(ls.Remote) / float64(ls.Total)
 	excess := frac - baseline
 	if excess <= 0 {
 		return Anomaly{}, false
 	}
-	dist := int(tr.Distance(execNode, worstNode))
+	execNode := tr.NodeOfCPU(t.ExecCPU)
+	dist := int(tr.Distance(execNode, ls.WorstNode))
 	if dist < 1 {
 		dist = 1
 	}
-	penalty := model.MemCost(remote, dist, 0) - model.MemCost(remote, 0, 0)
+	penalty := model.MemCost(ls.Remote, dist, 0) - model.MemCost(ls.Remote, 0, 0)
 	return Anomaly{
 		Kind:   KindNUMARemote,
 		Score:  excess * 10,
@@ -116,7 +119,7 @@ func scoreTaskLocality(tr *core.Trace, model hw.Model, t *core.TaskInfo, baselin
 		CPU:    t.ExecCPU,
 		TaskID: t.ID,
 		Explanation: fmt.Sprintf("task %d (%s) on node %d accessed %.0f%% of %d bytes remotely (baseline %.0f%%), mostly node %d; ~%d cycles of remote-access penalty",
-			t.ID, tr.TypeName(t.Type), execNode, 100*frac, total, 100*baseline, worstNode, penalty),
+			t.ID, tr.TypeName(t.Type), execNode, 100*frac, ls.Total, 100*baseline, ls.WorstNode, penalty),
 	}, true
 }
 

@@ -4,6 +4,7 @@ package atmtest
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"github.com/openstream/aftermath/internal/apps"
@@ -65,4 +66,72 @@ func KMeansTrace(tb testing.TB, blocksCount, blockSize, maxIters int, uncond boo
 	rcfg := openstream.DefaultConfig(topology.Small(4, 4))
 	rcfg.Seed = 5
 	return RunToTrace(tb, p, rcfg)
+}
+
+// prefixReader exposes data[:limit] and reports io.EOF at the current
+// limit — a trace file that is still being written.
+type prefixReader struct {
+	data  []byte
+	limit int
+	off   int
+}
+
+func (g *prefixReader) Read(p []byte) (int, error) {
+	if g.off >= g.limit {
+		return 0, io.EOF
+	}
+	n := copy(p, g.data[g.off:g.limit])
+	g.off += n
+	return n, nil
+}
+
+// RunToLiveTrace simulates a program and streams its trace through the
+// live ingest path in several publishes, returning the final snapshot —
+// a trace carrying the incrementally maintained aggregate baselines
+// (core.TaskAgg), unlike the index-free batch load of RunToTrace.
+func RunToLiveTrace(tb testing.TB, p *openstream.Program, cfg openstream.Config, publishes int) *core.Trace {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if _, err := openstream.Run(p, cfg, w); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	data := buf.Bytes()
+	if publishes < 1 {
+		publishes = 1
+	}
+	g := &prefixReader{data: data}
+	sr := trace.NewStreamReader(g)
+	lv := core.NewLive()
+	step := len(data)/publishes + 1
+	for g.limit < len(data) {
+		g.limit += step
+		if g.limit > len(data) {
+			g.limit = len(data)
+		}
+		if _, err := lv.Feed(sr); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := sr.Done(); err != nil {
+		tb.Fatal(err)
+	}
+	snap, _ := lv.Snapshot()
+	return snap
+}
+
+// SeidelLiveTrace is SeidelTrace streamed through the live ingest path.
+func SeidelLiveTrace(tb testing.TB, blocks, iters int, sched openstream.SchedPolicy, publishes int) *core.Trace {
+	tb.Helper()
+	p, err := apps.BuildSeidel(apps.ScaledSeidelConfig(blocks, iters))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := openstream.DefaultConfig(topology.Small(4, 4))
+	cfg.Sched = sched
+	cfg.Seed = 5
+	return RunToLiveTrace(tb, p, cfg, publishes)
 }

@@ -62,8 +62,32 @@ type Live struct {
 	spanMin trace.Time
 	spanMax trace.Time
 
+	// Incremental aggregate baselines (taskagg.go), carried across
+	// epochs so each publish seeds its snapshot with trace-global
+	// detector baselines updated from the appended data alone.
+	taskRec      []taskRec
+	durs         map[trace.TypeID][]float64
+	loc          []LocSum
+	commTot      *CommTotals
+	commN        []int
+	aggRegionLen int
+	aggTopoDirty bool
+	aggHasTopo   bool
+	aggMaxCPU    int32
+
 	snap    atomic.Pointer[liveSnap]
 	lastErr atomic.Pointer[ingestErr]
+}
+
+// taskRec is the placement record of one task as of the last publish;
+// the per-publish diff pass against the fresh task table finds the
+// tasks whose duration population entries and locality summaries must
+// move.
+type taskRec struct {
+	typ   trace.TypeID
+	cpu   int32
+	start trace.Time
+	end   trace.Time
 }
 
 // ingestErr boxes the first sticky ingest error for atomic publication.
@@ -264,6 +288,9 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 	for _, t := range b.Topologies {
 		lv.topo = t
 		lv.hasTopo = true
+		// Node assignments may have changed wholesale: every locality
+		// summary and communication total is stale.
+		lv.aggTopoDirty = true
 	}
 	for _, t := range b.TaskTypes {
 		if _, ok := lv.typeByID[t.ID]; !ok {
@@ -480,7 +507,169 @@ func (lv *Live) snapshotLocked() *Trace {
 	if lv.spanSet {
 		tr.Span = Interval{Start: lv.spanMin, End: lv.spanMax}
 	}
+	lv.updateAggLocked(tr)
 	return tr
+}
+
+// updateAggLocked brings the incremental aggregate baselines up to the
+// snapshot being published and seeds them into it. Steady-state cost
+// is O(tasks) bookkeeping (the diff pass; snapshotLocked already pays
+// O(tasks) per publish for the table copy) plus work proportional to
+// the appended data: new communication events extend the totals, and
+// only tasks whose placement changed — or whose execution window can
+// contain a newly appended communication event — recompute their
+// locality summary. Epochs in which the region table grew or the
+// topology changed invalidate everything address- or node-derived and
+// rebuild it from the snapshot (regions normally arrive once, early).
+//
+// Every seeded value is computed by the same definitions the cold scan
+// uses (TaskLocalityOf, CommTotals.addComm mirroring the stats scan),
+// over the same immutable snapshot, so indexed and cold results are
+// byte-identical — the property TestStreamEqualsBatch enforces.
+func (lv *Live) updateAggLocked(tr *Trace) {
+	regionsGrew := len(lv.regions) != lv.aggRegionLen
+	topoChanged := lv.aggTopoDirty || lv.aggHasTopo != lv.hasTopo ||
+		(!lv.hasTopo && lv.aggMaxCPU != lv.maxCPU)
+	rebuildAll := regionsGrew || topoChanged
+
+	// Per-CPU: the earliest newly appended communication time, which
+	// bounds the tasks whose locality can have changed this epoch.
+	// Derived from the pre-update consumption counts, before the
+	// totals advance them.
+	minNew := make([]trace.Time, len(lv.cpus))
+	hasNew := make([]bool, len(lv.cpus))
+	anyNewComm := false
+	for cpu := range lv.cpus {
+		n0 := 0
+		if cpu < len(lv.commN) {
+			n0 = lv.commN[cpu]
+		}
+		for _, ev := range lv.cpus[cpu].Comm[n0:] {
+			if !hasNew[cpu] || ev.Time < minNew[cpu] {
+				minNew[cpu], hasNew[cpu] = ev.Time, true
+			}
+			anyNewComm = true
+		}
+	}
+
+	// Communication totals. Consumption iterates the builder's rows —
+	// stream order, never re-sorted, so positions are stable across
+	// publishes — while node resolution uses the snapshot; byte sums
+	// are order-independent, so the totals equal a scan of the
+	// snapshot's repaired rows.
+	n := tr.NumNodes()
+	if lv.commTot == nil || rebuildAll || lv.commTot.N != n {
+		lv.commTot = &CommTotals{N: n, Reads: make([]int64, n*n), Writes: make([]int64, n*n)}
+		lv.commN = make([]int, len(lv.cpus))
+		for cpu := range lv.cpus {
+			lv.commTot.addComm(tr, int32(cpu), lv.cpus[cpu].Comm, 0)
+			lv.commN[cpu] = len(lv.cpus[cpu].Comm)
+		}
+	} else if anyNewComm {
+		ct := lv.commTot.clone()
+		for len(lv.commN) < len(lv.cpus) {
+			lv.commN = append(lv.commN, 0)
+		}
+		for cpu := range lv.cpus {
+			ct.addComm(tr, int32(cpu), lv.cpus[cpu].Comm, lv.commN[cpu])
+			lv.commN[cpu] = len(lv.cpus[cpu].Comm)
+		}
+		lv.commTot = ct
+	}
+
+	// Diff pass over the published task table: move duration
+	// population entries for tasks whose placement record changed and
+	// recompute locality summaries for stale tasks. The population
+	// slices and the loc slice are copy-on-write — snapshots hold
+	// earlier generations — so changed containers are fresh.
+	var adds, rems map[trace.TypeID][]float64
+	loc := lv.loc
+	locCopied := false
+	ensureLoc := func() {
+		if !locCopied {
+			nl := make([]LocSum, len(tr.Tasks))
+			copy(nl, loc)
+			loc, locCopied = nl, true
+		}
+	}
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		cur := taskRec{typ: t.Type, cpu: t.ExecCPU, start: t.ExecStart, end: t.ExecEnd}
+		isNew := i >= len(lv.taskRec)
+		var prev taskRec
+		if !isNew {
+			prev = lv.taskRec[i]
+		}
+		changed := isNew || prev != cur
+		if changed {
+			if !isNew && prev.cpu >= 0 {
+				if rems == nil {
+					rems = make(map[trace.TypeID][]float64)
+				}
+				rems[prev.typ] = append(rems[prev.typ], float64(prev.end-prev.start))
+			}
+			if cur.cpu >= 0 {
+				if adds == nil {
+					adds = make(map[trace.TypeID][]float64)
+				}
+				adds[cur.typ] = append(adds[cur.typ], float64(t.Duration()))
+			}
+			if isNew {
+				lv.taskRec = append(lv.taskRec, cur)
+			} else {
+				lv.taskRec[i] = cur
+			}
+		}
+		stale := rebuildAll || changed
+		if !stale && cur.cpu >= 0 && int(cur.cpu) < len(hasNew) &&
+			hasNew[cur.cpu] && cur.end+1 > minNew[cur.cpu] {
+			stale = true
+		}
+		if stale {
+			ensureLoc()
+			loc[i] = TaskLocalityOf(tr, t)
+		}
+	}
+	if locCopied {
+		lv.loc = loc
+	}
+
+	if len(adds) > 0 || len(rems) > 0 {
+		nd := make(map[trace.TypeID][]float64, len(lv.durs)+len(adds))
+		for k, v := range lv.durs {
+			nd[k] = v
+		}
+		touched := make(map[trace.TypeID]bool, len(adds)+len(rems))
+		for typ := range adds {
+			touched[typ] = true
+		}
+		for typ := range rems {
+			touched[typ] = true
+		}
+		for typ := range touched {
+			s := nd[typ]
+			if r := rems[typ]; len(r) > 0 {
+				s = removeSorted(s, r)
+			}
+			if a := adds[typ]; len(a) > 0 {
+				sort.Float64s(a)
+				s = mergeSorted(s, a)
+			}
+			if len(s) == 0 {
+				delete(nd, typ)
+			} else {
+				nd[typ] = s
+			}
+		}
+		lv.durs = nd
+	}
+
+	tr.taskAgg = &TaskAgg{durs: lv.durs, loc: lv.loc}
+	tr.commTotals = lv.commTot
+	lv.aggRegionLen = len(lv.regions)
+	lv.aggTopoDirty = false
+	lv.aggHasTopo = lv.hasTopo
+	lv.aggMaxCPU = lv.maxCPU
 }
 
 // extendDomsLocked brings the per-CPU dominance pyramids up to the

@@ -1,0 +1,177 @@
+package core_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// assertAggMatchesScan verifies every trace-carried aggregate baseline
+// of a live snapshot against its full-scan definition on the same
+// snapshot — the per-epoch form of the indexed/cold byte-identity the
+// batch-equivalence harness enforces end to end.
+func assertAggMatchesScan(t *testing.T, ctx string, tr *core.Trace) {
+	t.Helper()
+	if tr.CommTotals() == nil {
+		t.Fatalf("%s: snapshot carries no communication totals", ctx)
+	}
+	for _, kinds := range []stats.CommKinds{stats.Reads, stats.Writes, stats.ReadsAndWrites} {
+		fast := stats.CommMatrixOf(tr, kinds, tr.Span.Start, tr.Span.End+1)
+		slow := stats.CommMatrixScanOf(tr, kinds, tr.Span.Start, tr.Span.End+1)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("%s: comm matrix (kinds %d) from totals %+v != scan %+v", ctx, kinds, fast, slow)
+		}
+	}
+	loc := tr.TaskLocality()
+	if len(loc) != len(tr.Tasks) {
+		t.Fatalf("%s: %d locality summaries for %d tasks", ctx, len(loc), len(tr.Tasks))
+	}
+	for i := range tr.Tasks {
+		if want := core.TaskLocalityOf(tr, &tr.Tasks[i]); loc[i] != want {
+			t.Fatalf("%s: task %d locality = %+v, want %+v", ctx, tr.Tasks[i].ID, loc[i], want)
+		}
+	}
+	byType := make(map[trace.TypeID][]float64)
+	for i := range tr.Tasks {
+		tk := &tr.Tasks[i]
+		if tk.ExecCPU >= 0 {
+			byType[tk.Type] = append(byType[tk.Type], float64(tk.Duration()))
+		}
+	}
+	for typ, want := range byType {
+		sort.Float64s(want)
+		if got := tr.TaskDurations(typ); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: type %d durations = %v, want %v", ctx, typ, got, want)
+		}
+	}
+}
+
+func feedBatch(t *testing.T, lv *core.Live, b *trace.RecordBatch) *core.Trace {
+	t.Helper()
+	if err := lv.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := lv.Publish()
+	return tr
+}
+
+// TestLiveAggStaleness drives the incremental aggregate maintenance
+// through its invalidation edges: regions arriving after the
+// communication events they localize, communication appended into an
+// already-published task's execution window, late first executions,
+// re-executions that move a task's placement, out-of-order
+// communication producers, and topology replacement. Every published
+// snapshot must carry baselines byte-equal to a full scan of itself.
+func TestLiveAggStaleness(t *testing.T) {
+	exec := func(cpu int32, task trace.TaskID, s, e trace.Time) trace.StateEvent {
+		return trace.StateEvent{CPU: cpu, State: trace.StateTaskExec, Start: s, End: e, Task: task}
+	}
+	read := func(cpu int32, task trace.TaskID, at trace.Time, addr, size uint64) trace.CommEvent {
+		return trace.CommEvent{Kind: trace.CommRead, CPU: cpu, SrcCPU: -1, Time: at, Task: task, Addr: addr, Size: size}
+	}
+	lv := core.NewLive()
+
+	// Epoch 1: two-node topology, tasks executing and reading
+	// addresses no region covers yet — locality is all-unknown.
+	tr := feedBatch(t, lv, &trace.RecordBatch{
+		MaxCPU: 3,
+		Topologies: []trace.Topology{{
+			NodeOfCPU: []int32{0, 0, 1, 1},
+			Distance:  []int32{0, 1, 1, 0},
+			NumNodes:  2,
+		}},
+		TaskTypes: []trace.TaskType{{ID: 1, Name: "left"}, {ID: 2, Name: "right"}},
+		Tasks: []trace.Task{
+			{ID: 10, Type: 1}, {ID: 11, Type: 1}, {ID: 12, Type: 2}, {ID: 13, Type: 2},
+		},
+		States: []trace.StateEvent{
+			exec(0, 10, 100, 200), exec(0, 11, 300, 500),
+			exec(2, 12, 100, 250), exec(2, 13, 300, 450),
+		},
+		Comms: []trace.CommEvent{
+			read(0, 10, 110, 0x1100, 6000),
+			read(0, 11, 310, 0x1200, 8000),
+			read(2, 12, 120, 0x1300, 7000),
+		},
+	})
+	assertAggMatchesScan(t, "epoch 1 (comm before regions)", tr)
+	if got := tr.TaskLocality()[0]; got.Total != 0 {
+		t.Fatalf("locality known before any region arrived: %+v", got)
+	}
+
+	// Epoch 2: the region table arrives AFTER the accesses it homes —
+	// every summary and total must be recomputed against it.
+	tr = feedBatch(t, lv, &trace.RecordBatch{
+		MaxCPU:  -1,
+		Regions: []trace.MemRegion{{ID: 1, Addr: 0x1000, Size: 0x1000, Node: 1}},
+	})
+	assertAggMatchesScan(t, "epoch 2 (regions after comm)", tr)
+	if got := tr.TaskLocality()[0]; got.Total != 6000 || got.Remote != 6000 || got.WorstNode != 1 {
+		t.Fatalf("task 10 locality after region arrival = %+v", got)
+	}
+
+	// Epoch 3: communication appended into task 11's already-published
+	// execution window (same CPU, in-window time), plus a new task.
+	tr = feedBatch(t, lv, &trace.RecordBatch{
+		MaxCPU: -1,
+		Tasks:  []trace.Task{{ID: 14, Type: 1}},
+		States: []trace.StateEvent{exec(1, 14, 600, 900)},
+		Comms: []trace.CommEvent{
+			read(0, 11, 450, 0x1400, 5000),
+			read(1, 14, 700, 0x1500, 9000),
+		},
+	})
+	assertAggMatchesScan(t, "epoch 3 (comm into published window)", tr)
+
+	// Epoch 4: publish with nothing appended — summaries must be
+	// carried over, not recomputed (same backing array).
+	prevLoc := tr.TaskLocality()
+	tr, _ = lv.Publish()
+	assertAggMatchesScan(t, "epoch 4 (empty publish)", tr)
+	if cur := tr.TaskLocality(); &cur[0] != &prevLoc[0] {
+		t.Fatal("empty publish rebuilt the locality summaries")
+	}
+
+	// Epoch 5: an out-of-order communication producer (earlier time
+	// appended after later ones) and a late first execution of a task
+	// created earlier.
+	tr = feedBatch(t, lv, &trace.RecordBatch{
+		MaxCPU: -1,
+		Tasks:  []trace.Task{{ID: 15, Type: 2}},
+		States: []trace.StateEvent{exec(3, 15, 1000, 1600)},
+		Comms: []trace.CommEvent{
+			read(2, 12, 130, 0x1600, 4096), // time before epoch-3 appends on CPU 2? (CPU 2 had time 120)
+			read(3, 15, 1100, 0x1700, 4096),
+		},
+	})
+	assertAggMatchesScan(t, "epoch 5 (out-of-order comm, late exec)", tr)
+
+	// Epoch 6: task 13 re-executes on another CPU — its placement
+	// record, duration population entry and locality all move.
+	tr = feedBatch(t, lv, &trace.RecordBatch{
+		MaxCPU: -1,
+		States: []trace.StateEvent{exec(1, 13, 2000, 2800)},
+		Comms:  []trace.CommEvent{read(1, 13, 2100, 0x1800, 8192)},
+	})
+	assertAggMatchesScan(t, "epoch 6 (re-execution moves placement)", tr)
+
+	// Epoch 7: topology replacement with the node mapping inverted —
+	// every node-derived quantity changes meaning and must be rebuilt.
+	tr = feedBatch(t, lv, &trace.RecordBatch{
+		MaxCPU: -1,
+		Topologies: []trace.Topology{{
+			NodeOfCPU: []int32{1, 1, 0, 0},
+			Distance:  []int32{0, 1, 1, 0},
+			NumNodes:  2,
+		}},
+	})
+	assertAggMatchesScan(t, "epoch 7 (topology replaced)", tr)
+	// Task 10 ran on CPU 0, now node 1 — the node its bytes live on.
+	if got := tr.TaskLocality()[0]; got.Total != 6000 || got.Remote != 0 {
+		t.Fatalf("task 10 locality after node remap = %+v, want all-local", got)
+	}
+}

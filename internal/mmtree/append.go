@@ -1,5 +1,42 @@
 package mmtree
 
+import "github.com/openstream/aftermath/internal/agg"
+
+// mmGrow is the two-generation store append mode uses: Levels and Len
+// describe the pre-append tree (so agg.Grow knows which leading blocks
+// to keep), while Add, Set and Node address the tree being built.
+type mmGrow struct{ old, nt *Tree }
+
+// Levels implements agg.Store (previous generation).
+func (g *mmGrow) Levels() int { return len(g.old.mins) }
+
+// Len implements agg.Store (previous generation).
+func (g *mmGrow) Len(level int) int { return len(g.old.mins[level]) }
+
+// Node implements agg.Store (generation being built).
+func (g *mmGrow) Node(level, i int) minmax {
+	return minmax{g.nt.mins[level][i], g.nt.maxs[level][i]}
+}
+
+// Add implements agg.Store: fresh level arrays with the unchanged
+// prefix copied from the previous generation.
+func (g *mmGrow) Add(level, n, keep int) {
+	mins := make([]int64, n)
+	maxs := make([]int64, n)
+	if keep > 0 {
+		copy(mins, g.old.mins[level][:keep])
+		copy(maxs, g.old.maxs[level][:keep])
+	}
+	g.nt.mins = append(g.nt.mins, mins)
+	g.nt.maxs = append(g.nt.maxs, maxs)
+}
+
+// Set implements agg.Store (generation being built).
+func (g *mmGrow) Set(level, i int, v minmax) {
+	g.nt.mins[level][i] = v.mn
+	g.nt.maxs[level][i] = v.mx
+}
+
 // Append returns a tree over the concatenation of t's samples and the
 // given (time, value) samples — the amortized extension mode used by
 // the live streaming ingest path, which would otherwise rebuild every
@@ -7,11 +44,11 @@ package mmtree
 //
 // The returned tree is structurally identical to
 // Build(allTimes, allValues, arity) over the concatenated sample
-// sequence (see TestAppendEqualsBuild): internal min/max blocks whose
-// leaves are all old are copied from t unchanged, and only the partial
-// tail block of each level plus the blocks covering new leaves are
-// recomputed, so an append of k samples costs O(k + levels·arity)
-// plus one O(n/arity) header copy per level.
+// sequence (see TestAppendEqualsBuild): agg.Grow copies internal
+// min/max blocks whose leaves are all old from t unchanged and
+// recomputes only the partial tail block of each level plus the blocks
+// covering new leaves, so an append of k samples costs
+// O(k + levels·arity) plus one O(n/arity) header copy per level.
 //
 // t itself remains valid and immutable: internal levels are fresh
 // arrays, and leaf storage is extended with append, which never
@@ -35,62 +72,6 @@ func (t *Tree) Append(times, values []int64) *Tree {
 		times:  append(t.times, times...),
 		values: append(t.values, values...),
 	}
-
-	// Rebuild the internal levels bottom-up. keepChildren counts the
-	// leading children of the current level that are identical between
-	// the old and new tree: at the leaf level every old sample, above
-	// that every block built purely from unchanged children.
-	keepChildren := len(t.values)
-	childLen := len(nt.values)
-	for level := 0; childLen > 1; level++ {
-		blocks := (childLen + arity - 1) / arity
-		keep := keepChildren / arity
-		if level >= len(t.mins) {
-			keep = 0
-		} else if keep > len(t.mins[level]) {
-			keep = len(t.mins[level])
-		}
-		mins := make([]int64, blocks)
-		maxs := make([]int64, blocks)
-		if keep > 0 {
-			copy(mins, t.mins[level][:keep])
-			copy(maxs, t.maxs[level][:keep])
-		}
-		for i := keep; i < blocks; i++ {
-			lo := i * arity
-			hi := lo + arity
-			if hi > childLen {
-				hi = childLen
-			}
-			var mn, mx int64
-			if level == 0 {
-				mn, mx = nt.values[lo], nt.values[lo]
-				for j := lo + 1; j < hi; j++ {
-					if v := nt.values[j]; v < mn {
-						mn = v
-					}
-					if v := nt.values[j]; v > mx {
-						mx = v
-					}
-				}
-			} else {
-				cm, cM := nt.mins[level-1], nt.maxs[level-1]
-				mn, mx = cm[lo], cM[lo]
-				for j := lo + 1; j < hi; j++ {
-					if cm[j] < mn {
-						mn = cm[j]
-					}
-					if cM[j] > mx {
-						mx = cM[j]
-					}
-				}
-			}
-			mins[i], maxs[i] = mn, mx
-		}
-		nt.mins = append(nt.mins, mins)
-		nt.maxs = append(nt.maxs, maxs)
-		keepChildren = keep
-		childLen = blocks
-	}
+	agg.Grow[minmax]((*mmAgg)(nt), &mmGrow{old: t, nt: nt}, len(nt.values), len(t.values), arity)
 	return nt
 }

@@ -5,11 +5,22 @@
 // counter at any zoom level proportional to the output resolution
 // rather than the sample count.
 //
+// The tree is an instantiation of the generic aggregation framework in
+// internal/agg: the summary is a (min, max) pair, Combine is the
+// componentwise min/max (commutative and idempotent, so any range
+// decomposition yields byte-identical results), and the level storage
+// keeps the historical min/max column layout. Build, Append and the
+// range query delegate to agg.Grow and agg.Query.
+//
 // The default arity of 100 keeps the tree's memory overhead below 5%
 // of the sample data, as in the paper.
 package mmtree
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/openstream/aftermath/internal/agg"
+)
 
 // DefaultArity is the paper's tree arity.
 const DefaultArity = 100
@@ -25,6 +36,63 @@ type Tree struct {
 	maxs [][]int64
 }
 
+// minmax is the aggregation summary: the value range of a sample run.
+type minmax struct{ mn, mx int64 }
+
+// mmAgg adapts a Tree's sample values to the agg.Agg contract.
+type mmAgg Tree
+
+// Zero implements agg.Agg.
+func (a *mmAgg) Zero() minmax { return minmax{} }
+
+// Leaf implements agg.Agg.
+func (a *mmAgg) Leaf(i int) minmax { v := a.values[i]; return minmax{v, v} }
+
+// Combine implements agg.Agg: componentwise min/max.
+func (a *mmAgg) Combine(x, y minmax) minmax {
+	if y.mn < x.mn {
+		x.mn = y.mn
+	}
+	if y.mx > x.mx {
+		x.mx = y.mx
+	}
+	return x
+}
+
+// mmStore adapts a Tree's min/max column arrays to the agg.Store
+// contract, for fresh builds (the previous generation is the empty
+// tree itself) and for queries.
+type mmStore Tree
+
+// Levels implements agg.Store.
+func (s *mmStore) Levels() int { return len(s.mins) }
+
+// Len implements agg.Store.
+func (s *mmStore) Len(level int) int { return len(s.mins[level]) }
+
+// Node implements agg.Store.
+func (s *mmStore) Node(level, i int) minmax {
+	return minmax{s.mins[level][i], s.maxs[level][i]}
+}
+
+// Add implements agg.Store.
+func (s *mmStore) Add(level, n, keep int) {
+	mins := make([]int64, n)
+	maxs := make([]int64, n)
+	if keep > 0 {
+		copy(mins, s.mins[level][:keep])
+		copy(maxs, s.maxs[level][:keep])
+	}
+	s.mins = append(s.mins, mins)
+	s.maxs = append(s.maxs, maxs)
+}
+
+// Set implements agg.Store.
+func (s *mmStore) Set(level, i int, v minmax) {
+	s.mins[level][i] = v.mn
+	s.maxs[level][i] = v.mx
+}
+
 // Build constructs a tree over samples sorted by non-decreasing time.
 // times and values must have equal length. Arity values below 2 fall
 // back to DefaultArity. The input slices are retained, not copied.
@@ -36,45 +104,7 @@ func Build(times, values []int64, arity int) *Tree {
 		arity = DefaultArity
 	}
 	t := &Tree{arity: arity, times: times, values: values}
-	level := values
-	for len(level) > 1 {
-		n := (len(level) + arity - 1) / arity
-		mins := make([]int64, n)
-		maxs := make([]int64, n)
-		for i := 0; i < n; i++ {
-			lo := i * arity
-			hi := lo + arity
-			if hi > len(level) {
-				hi = len(level)
-			}
-			mn, mx := level[lo], level[lo]
-			if len(t.mins) > 0 {
-				// Upper levels aggregate (min,max) pairs.
-				mn, mx = t.mins[len(t.mins)-1][lo], t.maxs[len(t.maxs)-1][lo]
-				for j := lo + 1; j < hi; j++ {
-					if v := t.mins[len(t.mins)-1][j]; v < mn {
-						mn = v
-					}
-					if v := t.maxs[len(t.maxs)-1][j]; v > mx {
-						mx = v
-					}
-				}
-			} else {
-				for j := lo + 1; j < hi; j++ {
-					if level[j] < mn {
-						mn = level[j]
-					}
-					if level[j] > mx {
-						mx = level[j]
-					}
-				}
-			}
-			mins[i], maxs[i] = mn, mx
-		}
-		t.mins = append(t.mins, mins)
-		t.maxs = append(t.maxs, maxs)
-		level = mins
-	}
+	agg.Grow[minmax]((*mmAgg)(t), (*mmStore)(t), len(values), 0, arity)
 	return t
 }
 
@@ -115,7 +145,7 @@ func (t *Tree) MinMax(t0, t1 int64) (min, max int64, ok bool) {
 }
 
 // MinMaxIndex returns the minimum and maximum over samples with index
-// in [lo, hi).
+// in [lo, hi), evaluated by the generic pyramid walk.
 func (t *Tree) MinMaxIndex(lo, hi int) (min, max int64, ok bool) {
 	if lo < 0 {
 		lo = 0
@@ -123,53 +153,8 @@ func (t *Tree) MinMaxIndex(lo, hi int) (min, max int64, ok bool) {
 	if hi > len(t.values) {
 		hi = len(t.values)
 	}
-	if lo >= hi {
-		return 0, 0, false
-	}
-	min, max = t.values[lo], t.values[lo]
-	take := func(mn, mx int64) {
-		if mn < min {
-			min = mn
-		}
-		if mx > max {
-			max = mx
-		}
-	}
-	l, r := lo, hi-1 // inclusive node indexes at the current level
-	level := -1      // -1 = leaf values, >=0 = t.mins[level]
-	for l <= r {
-		// Consume unaligned head and tail nodes at this level, then
-		// ascend: the remaining aligned span is covered by parents.
-		for l <= r && l%t.arity != 0 {
-			take(t.node(level, l))
-			l++
-		}
-		for l <= r && (r+1)%t.arity != 0 {
-			take(t.node(level, r))
-			r--
-		}
-		if l > r {
-			break
-		}
-		l /= t.arity
-		r /= t.arity
-		level++
-		if level >= len(t.mins) {
-			// Single root block: consume directly.
-			for i := l; i <= r; i++ {
-				take(t.node(level-1, i))
-			}
-			break
-		}
-	}
-	return min, max, true
-}
-
-func (t *Tree) node(level, i int) (int64, int64) {
-	if level < 0 {
-		return t.values[i], t.values[i]
-	}
-	return t.mins[level][i], t.maxs[level][i]
+	s, ok := agg.Query[minmax]((*mmAgg)(t), (*mmStore)(t), t.arity, lo, hi)
+	return s.mn, s.mx, ok
 }
 
 // NaiveMinMax scans all samples in [t0, t1); it exists as the baseline

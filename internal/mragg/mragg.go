@@ -28,9 +28,22 @@
 // Build and Append verify the invariant and return nil when a
 // producer violated it; callers keep the plain scan as fallback, so a
 // malformed trace degrades to the old cost instead of a wrong answer.
+//
+// The pyramid is an instantiation of the generic aggregation framework
+// in internal/agg: the summary is a (max duration, lowest achieving
+// leaf index) pair, Combine keeps the larger duration tie-broken
+// toward the lower index (commutative and idempotent, so any range
+// decomposition yields byte-identical results), and the level storage
+// keeps the historical max/arg column layout. Build, Append and the
+// range-max query delegate to agg.Grow and agg.Query; the prefix sums
+// behind Cover stay local to this package.
 package mragg
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/openstream/aftermath/internal/agg"
+)
 
 // DefaultArity is the pyramid fan-out. Smaller than mmtree's 100: a
 // dominance query scans up to 2·arity buckets per level, and state
@@ -96,64 +109,103 @@ func Build(starts, ends []int64, refs []int32, arity int) *Set {
 	for i := range starts {
 		s.prefix[i+1] = s.prefix[i] + (ends[i] - starts[i])
 	}
-	s.grow(0)
+	agg.Grow[dom]((*domAgg)(s), (*domStore)(s), len(starts), 0, arity)
 	return s
 }
 
-// grow (re)builds the pyramid levels above the leaves, reusing the
-// first keepLeaves leaves' worth of existing buckets at every level
-// (Build passes 0; Append passes the old leaf count).
-func (s *Set) grow(keepLeaves int) {
-	arity := s.arity
-	childLen := len(s.starts)
-	old := s.maxs
-	oldArgs := s.args
-	s.maxs, s.args = nil, nil
-	keep := keepLeaves
-	for level := 0; childLen > 1; level++ {
-		blocks := (childLen + arity - 1) / arity
-		keep /= arity
-		if level >= len(old) {
-			keep = 0
-		} else if keep > len(old[level]) {
-			keep = len(old[level])
-		}
-		maxs := make([]int64, blocks)
-		args := make([]int32, blocks)
-		if keep > 0 {
-			copy(maxs, old[level][:keep])
-			copy(args, oldArgs[level][:keep])
-		}
-		for b := keep; b < blocks; b++ {
-			lo := b * arity
-			hi := lo + arity
-			if hi > childLen {
-				hi = childLen
-			}
-			var mx int64
-			var arg int32
-			if level == 0 {
-				mx, arg = s.ends[lo]-s.starts[lo], int32(lo)
-				for j := lo + 1; j < hi; j++ {
-					if d := s.ends[j] - s.starts[j]; d > mx {
-						mx, arg = d, int32(j)
-					}
-				}
-			} else {
-				cm, ca := s.maxs[level-1], s.args[level-1]
-				mx, arg = cm[lo], ca[lo]
-				for j := lo + 1; j < hi; j++ {
-					if cm[j] > mx {
-						mx, arg = cm[j], ca[j]
-					}
-				}
-			}
-			maxs[b], args[b] = mx, arg
-		}
-		s.maxs = append(s.maxs, maxs)
-		s.args = append(s.args, args)
-		childLen = blocks
+// dom is the aggregation summary: the maximum interval duration in a
+// leaf run and the lowest leaf index achieving it.
+type dom struct {
+	mx  int64
+	arg int32
+}
+
+// domAgg adapts a Set's interval durations to the agg.Agg contract.
+type domAgg Set
+
+// Zero implements agg.Agg.
+func (a *domAgg) Zero() dom { return dom{arg: -1} }
+
+// Leaf implements agg.Agg.
+func (a *domAgg) Leaf(i int) dom { return dom{a.ends[i] - a.starts[i], int32(i)} }
+
+// Combine implements agg.Agg: the larger duration wins, ties break
+// toward the lower leaf index. In build folds the left operand always
+// carries the lower index, so ties keep the left summary — the
+// first-strictly-greater semantics of the sequential scan this index
+// replaces.
+func (a *domAgg) Combine(x, y dom) dom {
+	if y.mx > x.mx || (y.mx == x.mx && y.arg < x.arg) {
+		return y
 	}
+	return x
+}
+
+// domStore adapts a Set's max/arg column arrays to the agg.Store
+// contract, for fresh builds and queries.
+type domStore Set
+
+// Levels implements agg.Store.
+func (s *domStore) Levels() int { return len(s.maxs) }
+
+// Len implements agg.Store.
+func (s *domStore) Len(level int) int { return len(s.maxs[level]) }
+
+// Node implements agg.Store.
+func (s *domStore) Node(level, i int) dom {
+	return dom{s.maxs[level][i], s.args[level][i]}
+}
+
+// Add implements agg.Store.
+func (s *domStore) Add(level, n, keep int) {
+	maxs := make([]int64, n)
+	args := make([]int32, n)
+	if keep > 0 {
+		copy(maxs, s.maxs[level][:keep])
+		copy(args, s.args[level][:keep])
+	}
+	s.maxs = append(s.maxs, maxs)
+	s.args = append(s.args, args)
+}
+
+// Set implements agg.Store.
+func (s *domStore) Set(level, i int, v dom) {
+	s.maxs[level][i] = v.mx
+	s.args[level][i] = v.arg
+}
+
+// domGrow is the two-generation store append mode uses: Levels and
+// Len describe the pre-append set, Add/Set/Node the set being built.
+type domGrow struct{ old, ns *Set }
+
+// Levels implements agg.Store (previous generation).
+func (g *domGrow) Levels() int { return len(g.old.maxs) }
+
+// Len implements agg.Store (previous generation).
+func (g *domGrow) Len(level int) int { return len(g.old.maxs[level]) }
+
+// Node implements agg.Store (generation being built).
+func (g *domGrow) Node(level, i int) dom {
+	return dom{g.ns.maxs[level][i], g.ns.args[level][i]}
+}
+
+// Add implements agg.Store: fresh level arrays with the unchanged
+// prefix copied from the previous generation.
+func (g *domGrow) Add(level, n, keep int) {
+	maxs := make([]int64, n)
+	args := make([]int32, n)
+	if keep > 0 {
+		copy(maxs, g.old.maxs[level][:keep])
+		copy(args, g.old.args[level][:keep])
+	}
+	g.ns.maxs = append(g.ns.maxs, maxs)
+	g.ns.args = append(g.ns.args, args)
+}
+
+// Set implements agg.Store (generation being built).
+func (g *domGrow) Set(level, i int, v dom) {
+	g.ns.maxs[level][i] = v.mx
+	g.ns.args[level][i] = v.arg
 }
 
 // Append returns a Set over the concatenation of s's intervals and
@@ -194,8 +246,6 @@ func (s *Set) Append(starts, ends []int64, refs []int32) *Set {
 		starts: append(s.starts, starts...),
 		ends:   append(s.ends, ends...),
 		prefix: s.prefix,
-		maxs:   s.maxs,
-		args:   s.args,
 	}
 	if s.refs != nil {
 		ns.refs = append(s.refs, refs...)
@@ -204,7 +254,7 @@ func (s *Set) Append(starts, ends []int64, refs []int32) *Set {
 	for i := range starts {
 		ns.prefix[n+1+i] = ns.prefix[n+i] + (ends[i] - starts[i])
 	}
-	ns.grow(n)
+	agg.Grow[dom]((*domAgg)(ns), &domGrow{old: s, ns: ns}, len(ns.starts), n, s.arity)
 	return ns
 }
 
@@ -315,50 +365,15 @@ func (s *Set) scan(lo, hi int, t0, t1 int64) (int, int64, bool) {
 }
 
 // rangeMax returns the maximum duration among leaves [lo, hi) and the
-// lowest leaf index achieving it, walking the pyramid like
-// mmtree.MinMaxIndex: unaligned head and tail nodes are consumed at
-// each level, then the aligned middle ascends to its parents.
+// lowest leaf index achieving it, via the generic pyramid walk of
+// agg.Query (unaligned head and tail nodes consumed per level, the
+// aligned middle ascending to its parents).
 func (s *Set) rangeMax(lo, hi int) (int64, int) {
-	var best int64
-	bestIdx := -1
-	take := func(mx int64, arg int) {
-		if bestIdx < 0 || mx > best || (mx == best && arg < bestIdx) {
-			best, bestIdx = mx, arg
-		}
+	d, ok := agg.Query[dom]((*domAgg)(s), (*domStore)(s), s.arity, lo, hi)
+	if !ok {
+		return 0, -1
 	}
-	l, r := lo, hi-1 // inclusive node indexes at the current level
-	level := -1      // -1 = leaves, >= 0 = s.maxs[level]
-	for l <= r {
-		for l <= r && l%s.arity != 0 {
-			s.takeNode(level, l, take)
-			l++
-		}
-		for l <= r && (r+1)%s.arity != 0 {
-			s.takeNode(level, r, take)
-			r--
-		}
-		if l > r {
-			break
-		}
-		l /= s.arity
-		r /= s.arity
-		level++
-		if level >= len(s.maxs) {
-			for i := l; i <= r; i++ {
-				s.takeNode(level-1, i, take)
-			}
-			break
-		}
-	}
-	return best, bestIdx
-}
-
-func (s *Set) takeNode(level, i int, take func(int64, int)) {
-	if level < 0 {
-		take(s.ends[i]-s.starts[i], i)
-		return
-	}
-	take(s.maxs[level][i], int(s.args[level][i]))
+	return d.mx, int(d.arg)
 }
 
 // Cover returns the total time of [t0, t1) covered by the set's

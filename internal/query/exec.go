@@ -235,6 +235,7 @@ func AnomalyConfigOf(tr *core.Trace, q *Query) anomaly.Config {
 		MaxPerKind: q.maxPerKind,
 		Workers:    q.workers,
 		Filter:     FilterOf(tr, q),
+		NoIndex:    q.noIndex,
 	}
 	if q.hasT0 || q.hasT1 {
 		t0, t1 := WindowOf(tr, q)

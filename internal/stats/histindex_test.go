@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// histTrace builds a trace skeleton with n executed tasks whose
+// execution starts spread (unsorted in the task table) over [base,
+// base+n*1000) and durations in [1, 5000).
+func histTrace(rng *rand.Rand, n int, base trace.Time) *core.Trace {
+	tr := &core.Trace{}
+	for i := 0; i < n; i++ {
+		start := base + trace.Time(rng.Int63n(int64(n)*1000))
+		tr.Tasks = append(tr.Tasks, core.TaskInfo{
+			ID:        trace.TaskID(i),
+			ExecCPU:   int32(i % 4),
+			ExecStart: start,
+			ExecEnd:   start + 1 + trace.Time(rng.Int63n(4999)),
+		})
+	}
+	// A sprinkling of never-executed tasks the index must skip.
+	for i := 0; i < n/10; i++ {
+		tr.Tasks = append(tr.Tasks, core.TaskInfo{ID: trace.TaskID(n + i), ExecCPU: -1})
+	}
+	return tr
+}
+
+// TestHistIndexMatchesScan: every window's merged histogram equals the
+// brute-force re-binning of the window's tasks, including at time
+// bases near MaxInt64/2 (the extreme-timestamp regime of cycle-counter
+// traces) and for empty and full windows.
+func TestHistIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, base := range []trace.Time{0, math.MaxInt64 / 2} {
+		for _, n := range []int{0, 1, 7, 100, 3000} {
+			tr := histTrace(rng, n, base)
+			ix := NewHistIndex(tr, 32)
+			if ix.Len() != n {
+				t.Fatalf("base=%d n=%d: indexed %d tasks", base, n, ix.Len())
+			}
+			span := trace.Time(int64(n)*1000 + 5000)
+			for q := 0; q < 100; q++ {
+				t0 := base + trace.Time(rng.Int63n(int64(span)+1))
+				t1 := base + trace.Time(rng.Int63n(int64(span)+1))
+				if t0 > t1 {
+					t0, t1 = t1, t0
+				}
+				got := ix.Window(t0, t1)
+				want := ix.WindowScan(t0, t1)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("base=%d n=%d: Window(%d,%d) = %+v, want %+v", base, n, t0, t1, got, want)
+				}
+			}
+			full := ix.Window(base, base+span+1)
+			if full.Total != n {
+				t.Fatalf("base=%d n=%d: full window Total = %d", base, n, full.Total)
+			}
+			if got := ix.Window(base, base); got.Total != 0 {
+				t.Fatalf("empty window Total = %d", got.Total)
+			}
+		}
+	}
+}
+
+// TestHistIndexMatchesHistogram: the full-range window equals
+// NewHistogram over the same durations with the index's fixed range —
+// the pyramid is the same histogram, decomposed.
+func TestHistIndexMatchesHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tr := histTrace(rng, 500, 0)
+	ix := NewHistIndex(tr, 20)
+	min, max := ix.Range()
+	var durs []float64
+	for i := range tr.Tasks {
+		if tr.Tasks[i].ExecCPU >= 0 {
+			durs = append(durs, float64(tr.Tasks[i].Duration()))
+		}
+	}
+	want := NewHistogram(durs, 20, min, max)
+	got := ix.Window(math.MinInt64, math.MaxInt64)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("full-range window %+v != bulk histogram %+v", got, want)
+	}
+}

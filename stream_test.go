@@ -119,6 +119,14 @@ func assertStreamEqualsBatch(t *testing.T, ctx string, snap, cold *core.Trace) {
 	if !reflect.DeepEqual(ga, wa) {
 		t.Fatalf("%s: anomaly rankings differ (%d vs %d findings)", ctx, len(ga), len(wa))
 	}
+	// The incremental-baseline ablation: the snapshot's indexed scan
+	// (scored against the aggregate baselines its publishes maintained
+	// incrementally) must equal a full rescan of the very same
+	// snapshot with the index disabled.
+	na := anomaly.Scan(snap, anomaly.Config{NoIndex: true})
+	if !reflect.DeepEqual(ga, na) {
+		t.Fatalf("%s: indexed and NoIndex anomaly rankings differ", ctx)
+	}
 
 	// Timeline rows, byte-identical pixels.
 	if snap.Span.Duration() > 0 {
