@@ -27,6 +27,7 @@ package aftermath
 
 import (
 	"io"
+	"time"
 
 	"github.com/openstream/aftermath/internal/annotations"
 	"github.com/openstream/aftermath/internal/anomaly"
@@ -41,6 +42,7 @@ import (
 	"github.com/openstream/aftermath/internal/regress"
 	"github.com/openstream/aftermath/internal/render"
 	"github.com/openstream/aftermath/internal/stats"
+	"github.com/openstream/aftermath/internal/store"
 	"github.com/openstream/aftermath/internal/symbols"
 	"github.com/openstream/aftermath/internal/taskgraph"
 	"github.com/openstream/aftermath/internal/topology"
@@ -207,8 +209,22 @@ const (
 	CounterResidentKB   = trace.CounterResidentKB
 )
 
-// Open loads and indexes a trace file (gzip detected transparently).
-func Open(path string) (*Trace, error) { return core.Load(path) }
+// Open loads and indexes a trace file. Raw and gzip-compressed trace
+// streams are detected transparently, as are columnar snapshot files
+// written by SaveSnapshot — those open in O(touched pages) via mmap
+// instead of re-decoding the stream.
+func Open(path string) (*Trace, error) {
+	if store.Sniff(path) {
+		return core.OpenStore(path)
+	}
+	return core.Load(path)
+}
+
+// SaveSnapshot writes a trace — batch or a live snapshot — to the
+// columnar on-disk format: per-CPU event and counter columns plus the
+// serialized aggregation pyramids, so a later Open maps it zero-copy
+// and serves first queries without rebuilding indexes.
+func SaveSnapshot(tr *Trace, path string) error { return core.SaveStore(tr, path) }
 
 // OpenReader loads a trace from a stream.
 func OpenReader(r io.Reader) (*Trace, error) { return core.FromReader(r) }
@@ -248,6 +264,32 @@ func OpenTraceStream(path string) (io.ReadCloser, error) { return trace.OpenStre
 // the /live ingest-status endpoint. Cached responses are versioned by
 // the publish epoch.
 func NewLiveViewer(lv *LiveTrace, name string) *Viewer { return ui.NewLiveServer(lv, name) }
+
+// RetentionPolicy bounds a live trace's memory: epochs older than the
+// hot tail spill to columnar segment files under Dir once SpillBytes
+// of events accumulate in RAM, and spilled segments beyond MaxBytes or
+// MaxAge are dropped oldest-first. Configure with LiveTrace.SetRetention
+// before feeding.
+type RetentionPolicy = core.RetentionPolicy
+
+// SpillStats reports a live trace's spill state (segment count, bytes
+// on disk, pending compactions, drops, sticky error).
+type SpillStats = core.SpillStats
+
+// Follower tails a growing trace file into a live trace. Unlike a bare
+// Feed loop it owns its resources — Close stops the poll goroutine and
+// releases the file handle — and it detects file truncation or
+// rotation, surfacing a sticky descriptive ingest error on the live
+// trace instead of silently decoding garbage at a stale offset.
+type Follower = core.Follower
+
+// FollowTrace opens path for live tailing into lv, performs the
+// initial feed and starts the poll loop. Close the returned Follower
+// to stop polling and release the file handle; register it with
+// Hub.AddCloser to tie its lifetime to a hub.
+func FollowTrace(lv *LiveTrace, path string, pollEvery time.Duration) (*Follower, error) {
+	return core.Follow(lv, path, pollEvery)
+}
 
 // ---- Filters ----
 

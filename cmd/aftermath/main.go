@@ -49,6 +49,11 @@ func main() {
 		follow   = flag.Bool("follow", false, "tail a trace that is still being written and serve it live (requires -http; uncompressed traces only)")
 		pollIv   = flag.Duration("poll", 500*time.Millisecond, "poll interval for -follow mode")
 		serve    = flag.Bool("serve", false, "serve a multi-trace hub over the given trace files and directories (requires -http; with -follow, uncompressed traces are tailed live)")
+
+		spillDir    = flag.String("spill-dir", "", "with -follow: spill frozen live-trace epochs to columnar segment files under this directory, bounding ingest RAM (a subdirectory per trace is created)")
+		spillBytes  = flag.Int64("spill-bytes", 64<<20, "with -spill-dir: RAM budget in bytes for the hot unspilled tail before old epochs freeze to disk")
+		retainBytes = flag.Int64("retain-bytes", 0, "with -spill-dir: cap on total spilled bytes; the oldest segments beyond it age out of the trace (0 = unlimited)")
+		retainAge   = flag.Int64("retain-age", 0, "with -spill-dir: age out spilled segments ending more than this many cycles behind the span end (0 = unlimited)")
 	)
 	flag.Parse()
 	if *serve && flag.NArg() < 1 {
@@ -66,6 +71,8 @@ func main() {
 		width: *width, rows: *rows, nmPath: *nmPath,
 		anomalies: *anoms, anomTop: *anomTop, anomMinScore: *anomMin, annOut: *annOut,
 		follow: *follow, pollEvery: *pollIv,
+		spillDir: *spillDir, spillBytes: *spillBytes,
+		retainBytes: *retainBytes, retainAge: *retainAge,
 	}
 	var err error
 	switch {
@@ -91,6 +98,30 @@ type runOptions struct {
 	annOut                   string
 	follow                   bool
 	pollEvery                time.Duration
+
+	spillDir                string
+	spillBytes, retainBytes int64
+	retainAge               int64
+}
+
+// retentionFor builds the live-trace retention policy for one trace,
+// giving each trace its own segment subdirectory so multiple followed
+// traces never interleave segment files. A zero policy (no -spill-dir)
+// disables spilling.
+func (o runOptions) retentionFor(name string) (aftermath.RetentionPolicy, error) {
+	if o.spillDir == "" {
+		return aftermath.RetentionPolicy{}, nil
+	}
+	dir := filepath.Join(o.spillDir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return aftermath.RetentionPolicy{}, err
+	}
+	return aftermath.RetentionPolicy{
+		Dir:        dir,
+		SpillBytes: o.spillBytes,
+		MaxBytes:   o.retainBytes,
+		MaxAge:     aftermath.Time(o.retainAge),
+	}, nil
 }
 
 // expandTraceArgs resolves trace files and directories into the list
@@ -129,11 +160,10 @@ func expandTraceArgs(args []string) ([]string, error) {
 	return paths, nil
 }
 
-// hubName derives a unique registration name for a trace path,
-// replacing the characters Hub.Add rejects ('/', '?', '#') so one
-// oddly-named file cannot abort serving the rest.
-func hubName(path string, taken map[string]bool) string {
-	name := strings.TrimSuffix(strings.TrimSuffix(filepath.Base(path), ".gz"), ".atm")
+// cleanHubName replaces the characters Hub.Add rejects ('/', '?', '#')
+// so one oddly-named file cannot abort serving the rest, and maps
+// unroutable results to "trace".
+func cleanHubName(name string) string {
 	name = strings.Map(func(r rune) rune {
 		switch r {
 		case '/', '?', '#':
@@ -142,13 +172,43 @@ func hubName(path string, taken map[string]bool) string {
 		return r
 	}, name)
 	if name == "" || name == "." || name == ".." {
-		name = "trace"
+		return "trace"
 	}
-	for base, i := name, 2; taken[name]; i++ {
-		name = fmt.Sprintf("%s-%d", base, i)
-	}
-	taken[name] = true
 	return name
+}
+
+// hubNames derives the registration names for the given trace paths.
+// Identical basenames from different directories — runs/a/trace.atm
+// and runs/b/trace.atm — are disambiguated by qualifying EVERY member
+// of the colliding group with its parent directory, so the mapping is
+// deterministic: a trace mounts under the same /t/<name>/ regardless
+// of which other directories happen to be served alongside it, instead
+// of whichever file sorts first silently claiming the bare name.
+// Numeric suffixes remain only as a last resort (same basename, same
+// parent directory name).
+func hubNames(paths []string) []string {
+	base := make([]string, len(paths))
+	seen := make(map[string]int, len(paths))
+	for i, p := range paths {
+		base[i] = cleanHubName(strings.TrimSuffix(strings.TrimSuffix(filepath.Base(p), ".gz"), ".atm"))
+		seen[base[i]]++
+	}
+	names := make([]string, len(paths))
+	taken := make(map[string]bool, len(paths))
+	for i, p := range paths {
+		name := base[i]
+		if seen[name] > 1 {
+			if dir := filepath.Base(filepath.Dir(p)); dir != "." && dir != string(filepath.Separator) {
+				name = cleanHubName(dir) + "-" + name
+			}
+		}
+		for b, n := name, 2; taken[name]; n++ {
+			name = fmt.Sprintf("%s-%d", b, n)
+		}
+		taken[name] = true
+		names[i] = name
+	}
+	return names
 }
 
 // runServe loads every given trace into one multi-trace hub and
@@ -170,14 +230,18 @@ func runServe(args []string, o runOptions) error {
 		return err
 	}
 	hub := aftermath.NewHub()
-	taken := make(map[string]bool)
-	for _, path := range paths {
-		name := hubName(path, taken)
+	names := hubNames(paths)
+	for i, path := range paths {
+		name := names[i]
 		if o.follow && !strings.HasSuffix(path, ".gz") {
-			lv, err := followTrace(path, o.pollEvery)
+			lv, f, err := followTrace(path, name, o)
 			if err != nil {
 				return err
 			}
+			// The follower's lifetime is the hub's: Close stops the
+			// poll goroutine, releases the file handle and flushes the
+			// live trace's background spill compactions.
+			hub.AddCloser(f)
 			if err := hub.Add(name, lv); err != nil {
 				return err
 			}
@@ -203,34 +267,24 @@ func runServe(args []string, o runOptions) error {
 
 // followTrace opens a trace file for live tailing and starts its poll
 // loop: the returned LiveTrace publishes a new epoch whenever appended
-// records arrive.
-func followTrace(path string, pollEvery time.Duration) (*aftermath.LiveTrace, error) {
-	rc, err := aftermath.OpenTraceStream(path)
-	if err != nil {
-		return nil, err
-	}
+// records arrive, with retention configured before the first feed so
+// the initial catch-up already spills. The Follower detects truncation
+// and rotation, surfacing sticky ingest errors through /live, and its
+// Close stops the poll goroutine and releases the file handle.
+func followTrace(path, name string, o runOptions) (*aftermath.LiveTrace, *aftermath.Follower, error) {
 	lv := aftermath.NewLiveTrace()
-	sr := aftermath.NewStreamReader(rc)
-	if _, err := lv.Feed(sr); err != nil {
-		rc.Close()
-		return nil, err
+	pol, err := o.retentionFor(name)
+	if err != nil {
+		return nil, nil, err
 	}
-	go func() {
-		tick := time.NewTicker(pollEvery)
-		defer tick.Stop()
-		for range tick.C {
-			if _, err := lv.Feed(sr); err != nil {
-				// Sticky: stop polling. The hub keeps serving the
-				// snapshots already published, and /live reports the
-				// error so pollers can tell "dead ingest" from "quiet
-				// run".
-				fmt.Fprintf(os.Stderr, "aftermath: %s: stream: %v\n", path, err)
-				rc.Close()
-				return
-			}
-		}
-	}()
-	return lv, nil
+	if pol.Dir != "" {
+		lv.SetRetention(pol)
+	}
+	f, err := aftermath.FollowTrace(lv, path, o.pollEvery)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lv, f, nil
 }
 
 // runFollow tails a growing trace file and serves it live: every poll
@@ -247,10 +301,11 @@ func runFollow(path string, o runOptions) error {
 	if o.pollEvery <= 0 {
 		o.pollEvery = 500 * time.Millisecond
 	}
-	lv, err := followTrace(path, o.pollEvery)
+	lv, f, err := followTrace(path, hubNames([]string{path})[0], o)
 	if err != nil {
 		return err
 	}
+	defer f.Close()
 	tr, epoch := lv.Snapshot()
 	fmt.Printf("following %s: epoch %d, %d tasks, %d CPUs, span %d cycles so far\n",
 		path, epoch, len(tr.Tasks), tr.NumCPUs(), tr.Span.Duration())
@@ -285,14 +340,15 @@ func run(path string, o runOptions) error {
 	fmt.Printf("machine:  %s (%d CPUs, %d NUMA nodes)\n", tr.Topology.Name, tr.NumCPUs(), tr.NumNodes())
 	fmt.Printf("span:     %.3f Gcycles\n", float64(tr.Span.Duration())/1e9)
 	fmt.Printf("tasks:    %d in %d types\n", len(tr.Tasks), len(tr.Types))
+	// One counting pass over the tasks, not one per type: kernels
+	// traced at fine granularity easily reach thousands of types and
+	// millions of tasks, where the nested loop took minutes.
+	perType := make(map[uint32]int, len(tr.Types))
+	for i := range tr.Tasks {
+		perType[uint32(tr.Tasks[i].Type)]++
+	}
 	for _, tt := range tr.Types {
-		n := 0
-		for i := range tr.Tasks {
-			if tr.Tasks[i].Type == tt.ID {
-				n++
-			}
-		}
-		fmt.Printf("          %-24s %8d tasks (work fn 0x%x)\n", tr.TypeName(tt.ID), n, tt.Addr)
+		fmt.Printf("          %-24s %8d tasks (work fn 0x%x)\n", tr.TypeName(tt.ID), perType[uint32(tt.ID)], tt.Addr)
 	}
 	par := aftermath.AverageParallelism(tr, tr.Span.Start, tr.Span.End)
 	fmt.Printf("parallelism: %.1f average\n", par)

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestHubNamesMixedDirectories: serving runs/a and runs/b with equal
+// basenames must mount each trace under a deterministic directory-
+// qualified name — not let whichever sorts first claim the bare name
+// while the other gets an order-dependent numeric suffix.
+func TestHubNamesMixedDirectories(t *testing.T) {
+	paths := []string{
+		"runs/a/trace.atm",
+		"runs/b/trace.atm",
+		"runs/b/other.atm.gz",
+	}
+	want := []string{"a-trace", "b-trace", "other"}
+	if got := hubNames(paths); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hubNames(%v) = %v, want %v", paths, got, want)
+	}
+	// Reversed argument order maps the same paths to the same names.
+	rev := []string{paths[2], paths[1], paths[0]}
+	wantRev := []string{"other", "b-trace", "a-trace"}
+	if got := hubNames(rev); !reflect.DeepEqual(got, wantRev) {
+		t.Fatalf("hubNames(%v) = %v, want %v", rev, got, wantRev)
+	}
+}
+
+// TestHubNamesLastResortSuffix: same basename AND same parent directory
+// name still get unique (numeric) names.
+func TestHubNamesLastResortSuffix(t *testing.T) {
+	paths := []string{
+		"x/runs/trace.atm",
+		"y/runs/trace.atm",
+	}
+	got := hubNames(paths)
+	if got[0] == got[1] {
+		t.Fatalf("hubNames(%v) produced duplicate %q", paths, got[0])
+	}
+	for _, n := range got {
+		if n == "" || n == "trace" {
+			t.Fatalf("colliding basenames must all be qualified, got %v", got)
+		}
+	}
+}
+
+// TestHubNamesUnroutable: names the hub would reject are mapped away.
+func TestHubNamesUnroutable(t *testing.T) {
+	got := hubNames([]string{"runs/..atm", "we?ird.atm"})
+	if got[0] != "trace" {
+		t.Fatalf("dot-named trace maps to %q, want %q", got[0], "trace")
+	}
+	if got[1] != "we-ird" {
+		t.Fatalf("query-char trace maps to %q, want %q", got[1], "we-ird")
+	}
+}
+
+// TestExpandTraceArgsMixed: directories expand sorted, files pass
+// through, non-traces are ignored.
+func TestExpandTraceArgsMixed(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"b.atm", "a.atm.gz", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, n), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lone := filepath.Join(dir, "b.atm")
+	got, err := expandTraceArgs([]string{dir, lone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "a.atm.gz"), filepath.Join(dir, "b.atm"), lone}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expandTraceArgs = %v, want %v", got, want)
+	}
+}

@@ -1,13 +1,21 @@
 // Command benchgate enforces a benchmark speedup floor on a benchjson
 // document (cmd/benchjson): it looks up the fast and slow
-// sub-benchmarks of one benchmark, computes slow/fast from their ns/op,
-// and exits non-zero when the ratio falls below the floor — the CI
-// regression gate for the incremental live-scan path.
+// sub-benchmarks of one benchmark, computes slow/fast from a chosen
+// metric (ns/op by default), and exits non-zero when the ratio falls
+// below the floor — the CI regression gate for the incremental
+// live-scan and store-open paths.
+//
+// With -max instead of -min the gate inverts: the ratio must stay AT
+// OR BELOW a ceiling. That is the shape of the store gates — opening a
+// large snapshot must not take much longer than a small one, and a
+// spilling follow must not retain much more memory than its budget.
 //
 // Usage:
 //
 //	benchgate -min 5 BENCH_anomaly.json
 //	benchgate -bench BenchmarkTimelineDenseWindow -fast indexed -slow scan -min 2 BENCH_timeline.json
+//	benchgate -bench BenchmarkStoreOpen -fast small -slow large -max 20 BENCH_store.json
+//	benchgate -bench BenchmarkFollowRetention -fast spill -slow unbounded -metric peak-bytes -min 2 BENCH_store.json
 package main
 
 import (
@@ -31,29 +39,36 @@ type document struct {
 // names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-func nsPerOp(doc document, name string) (float64, error) {
+func metricOf(doc document, name, metric string) (float64, error) {
 	for _, r := range doc.Benchmarks {
 		if procSuffix.ReplaceAllString(r.Name, "") != name {
 			continue
 		}
-		ns, ok := r.Metrics["ns/op"]
-		if !ok || ns <= 0 {
-			return 0, fmt.Errorf("%s: no usable ns/op metric", r.Name)
+		v, ok := r.Metrics[metric]
+		if !ok || v <= 0 {
+			return 0, fmt.Errorf("%s: no usable %s metric", r.Name, metric)
 		}
-		return ns, nil
+		return v, nil
 	}
 	return 0, fmt.Errorf("benchmark %q not found", name)
 }
 
 func main() {
 	bench := flag.String("bench", "BenchmarkLiveScanIncremental", "benchmark holding the two sub-benchmarks")
-	fast := flag.String("fast", "incremental", "sub-benchmark expected to be fast")
-	slow := flag.String("slow", "full", "sub-benchmark expected to be slow")
-	min := flag.Float64("min", 5, "least acceptable slow/fast speedup ratio")
+	fast := flag.String("fast", "incremental", "sub-benchmark expected to be fast (ratio denominator)")
+	slow := flag.String("slow", "full", "sub-benchmark expected to be slow (ratio numerator)")
+	metric := flag.String("metric", "ns/op", "metric compared between the two sub-benchmarks")
+	min := flag.Float64("min", 0, "least acceptable slow/fast ratio (0 = no floor)")
+	max := flag.Float64("max", 0, "greatest acceptable slow/fast ratio (0 = no ceiling)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] BENCH.json")
 		os.Exit(2)
+	}
+	if *min <= 0 && *max <= 0 {
+		// Preserve the original default: a bare benchgate invocation
+		// gates the live-scan speedup at 5x.
+		*min = 5
 	}
 
 	data, err := os.ReadFile(flag.Arg(0))
@@ -67,22 +82,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	fastNS, err := nsPerOp(doc, *bench+"/"+*fast)
+	fastV, err := metricOf(doc, *bench+"/"+*fast, *metric)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	slowNS, err := nsPerOp(doc, *bench+"/"+*slow)
+	slowV, err := metricOf(doc, *bench+"/"+*slow, *metric)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
 
-	ratio := slowNS / fastNS
-	fmt.Printf("%s: %s %.0f ns/op, %s %.0f ns/op, speedup %.2fx (floor %.2fx)\n",
-		*bench, *slow, slowNS, *fast, fastNS, ratio, *min)
-	if ratio < *min {
-		fmt.Fprintf(os.Stderr, "benchgate: speedup %.2fx below the %.2fx floor\n", ratio, *min)
+	ratio := slowV / fastV
+	fmt.Printf("%s: %s %.0f %s, %s %.0f %s, ratio %.2fx",
+		*bench, *slow, slowV, *metric, *fast, fastV, *metric, ratio)
+	if *min > 0 {
+		fmt.Printf(" (floor %.2fx)", *min)
+	}
+	if *max > 0 {
+		fmt.Printf(" (ceiling %.2fx)", *max)
+	}
+	fmt.Println()
+	if *min > 0 && ratio < *min {
+		fmt.Fprintf(os.Stderr, "benchgate: ratio %.2fx below the %.2fx floor\n", ratio, *min)
+		os.Exit(1)
+	}
+	if *max > 0 && ratio > *max {
+		fmt.Fprintf(os.Stderr, "benchgate: ratio %.2fx above the %.2fx ceiling\n", ratio, *max)
 		os.Exit(1)
 	}
 }

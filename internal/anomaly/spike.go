@@ -55,7 +55,7 @@ func scanCounter(tr *core.Trace, c *core.Counter, cfg Config) []Anomaly {
 	rates := make([][]float64, nCPU)
 	var pooled []float64
 	for cpu := 0; cpu < nCPU; cpu++ {
-		if len(c.PerCPU[cpu]) < 2 {
+		if c.NumSamples(int32(cpu)) < 2 {
 			continue
 		}
 		row := make([]float64, cfg.Windows)

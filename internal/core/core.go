@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/openstream/aftermath/internal/store"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -64,10 +65,17 @@ type CPUData struct {
 }
 
 // Counter holds one performance counter's description and per-CPU
-// sample arrays sorted by time.
+// sample arrays sorted by time. For live traces with spilling enabled,
+// PerCPU holds only the RAM tail; the spilled columns live in frozen
+// and the accessors (Samples, SamplesIn, ValueAt, NumSamples) stitch
+// the two transparently.
 type Counter struct {
 	Desc   trace.CounterDesc
 	PerCPU [][]trace.CounterSample
+
+	// frozen[cpu][seg] holds the spilled sample columns (spill.go);
+	// nil for traces that never spilled.
+	frozen [][][]trace.CounterSample
 }
 
 // Trace is a fully loaded, indexed trace.
@@ -92,6 +100,22 @@ type Trace struct {
 	taskByID      map[trace.TaskID]int
 	counterByID   map[trace.CounterID]int
 	counterByName map[string]int
+
+	// lazyTaskIDs defers building taskByID until the first TaskByID
+	// call. OpenStore sets it so opening a snapshot stays O(touched
+	// pages) instead of O(tasks); hand-built and loaded traces keep
+	// their eager map (a nil map here means "no tasks", not "build").
+	lazyTaskIDs bool
+	taskIDOnce  sync.Once
+
+	// frozen holds the spilled event columns of a live trace with
+	// retention enabled (spill.go); nil otherwise. The event accessors
+	// stitch it with the RAM-tail arrays in CPUs.
+	frozen *frozenTrace
+
+	// backing is the mapped store file of an OpenStore trace (the
+	// event arrays above are views into it); Close releases it.
+	backing *store.Mapped
 
 	cindexOnce sync.Once
 	cindex     *CounterIndex
@@ -149,6 +173,15 @@ func (tr *Trace) TypeName(id trace.TypeID) string {
 
 // TaskByID returns the task with the given ID.
 func (tr *Trace) TaskByID(id trace.TaskID) (*TaskInfo, bool) {
+	if tr.lazyTaskIDs {
+		tr.taskIDOnce.Do(func() {
+			m := make(map[trace.TaskID]int, len(tr.Tasks))
+			for i := range tr.Tasks {
+				m[tr.Tasks[i].ID] = i
+			}
+			tr.taskByID = m
+		})
+	}
 	i, ok := tr.taskByID[id]
 	if !ok {
 		return nil, false
@@ -211,11 +244,17 @@ func (tr *Trace) NodeOfAddr(addr uint64) int32 {
 
 // StatesIn returns the state events on cpu overlapping [t0, t1), found
 // by binary search (state intervals per CPU are disjoint and sorted).
+// For spilled live traces, the result stitches the on-disk columns and
+// the RAM tail; it is a view into trace storage unless the window
+// crosses a spill boundary, in which case it is a fresh copy.
 func (tr *Trace) StatesIn(cpu int32, t0, t1 trace.Time) []trace.StateEvent {
 	if int(cpu) >= len(tr.CPUs) {
 		return nil
 	}
 	states := tr.CPUs[cpu].States
+	if fc := tr.frozenFor(cpu); fc != nil && len(fc.states) > 0 {
+		return stitchWin(fc.states, states, stateWin(t0, t1))
+	}
 	lo := sort.Search(len(states), func(i int) bool { return states[i].End > t0 })
 	hi := sort.Search(len(states), func(i int) bool { return states[i].Start >= t1 })
 	if lo >= hi {
@@ -224,23 +263,31 @@ func (tr *Trace) StatesIn(cpu int32, t0, t1 trace.Time) []trace.StateEvent {
 	return states[lo:hi]
 }
 
-// DiscreteIn returns the discrete events on cpu with time in [t0, t1).
+// DiscreteIn returns the discrete events on cpu with time in [t0, t1),
+// stitching spilled columns like StatesIn.
 func (tr *Trace) DiscreteIn(cpu int32, t0, t1 trace.Time) []trace.DiscreteEvent {
 	if int(cpu) >= len(tr.CPUs) {
 		return nil
 	}
 	evs := tr.CPUs[cpu].Discrete
+	if fc := tr.frozenFor(cpu); fc != nil && len(fc.discrete) > 0 {
+		return stitchWin(fc.discrete, evs, discreteWin(t0, t1))
+	}
 	lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t0 })
 	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t1 })
 	return evs[lo:hi]
 }
 
-// CommIn returns the communication events on cpu with time in [t0, t1).
+// CommIn returns the communication events on cpu with time in [t0, t1),
+// stitching spilled columns like StatesIn.
 func (tr *Trace) CommIn(cpu int32, t0, t1 trace.Time) []trace.CommEvent {
 	if int(cpu) >= len(tr.CPUs) {
 		return nil
 	}
 	evs := tr.CPUs[cpu].Comm
+	if fc := tr.frozenFor(cpu); fc != nil && len(fc.comm) > 0 {
+		return stitchWin(fc.comm, evs, commWin(t0, t1))
+	}
 	lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t0 })
 	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= t1 })
 	return evs[lo:hi]
@@ -282,32 +329,70 @@ func (tr *Trace) TaskComm(t *TaskInfo) []trace.CommEvent {
 	return out
 }
 
-// Samples returns the sample array of a counter on a CPU.
+// Samples returns the sample array of a counter on a CPU. For spilled
+// live counters the spilled columns and the RAM tail are concatenated
+// into a fresh slice; windowed callers should prefer SamplesIn, which
+// copies only across spill boundaries.
 func (c *Counter) Samples(cpu int32) []trace.CounterSample {
-	if int(cpu) >= len(c.PerCPU) {
-		return nil
+	var tail []trace.CounterSample
+	if int(cpu) < len(c.PerCPU) {
+		tail = c.PerCPU[cpu]
 	}
-	return c.PerCPU[cpu]
+	if int(cpu) < len(c.frozen) && len(c.frozen[cpu]) > 0 {
+		n := len(tail)
+		for _, s := range c.frozen[cpu] {
+			n += len(s)
+		}
+		if n == len(tail) {
+			return tail
+		}
+		out := make([]trace.CounterSample, 0, n)
+		for _, s := range c.frozen[cpu] {
+			out = append(out, s...)
+		}
+		return append(out, tail...)
+	}
+	return tail
 }
 
 // SamplesIn returns the samples of a counter on cpu with time in
-// [t0, t1).
+// [t0, t1), stitching spilled columns with the RAM tail.
 func (c *Counter) SamplesIn(cpu int32, t0, t1 trace.Time) []trace.CounterSample {
-	s := c.Samples(cpu)
-	lo := sort.Search(len(s), func(i int) bool { return s[i].Time >= t0 })
-	hi := sort.Search(len(s), func(i int) bool { return s[i].Time >= t1 })
-	return s[lo:hi]
+	var tail []trace.CounterSample
+	if int(cpu) < len(c.PerCPU) {
+		tail = c.PerCPU[cpu]
+	}
+	if int(cpu) < len(c.frozen) && len(c.frozen[cpu]) > 0 {
+		return stitchWin(c.frozen[cpu], tail, sampleWin(t0, t1))
+	}
+	lo := sort.Search(len(tail), func(i int) bool { return tail[i].Time >= t0 })
+	hi := sort.Search(len(tail), func(i int) bool { return tail[i].Time >= t1 })
+	return tail[lo:hi]
 }
 
 // ValueAt returns the counter's value on cpu at time t: the value of
-// the latest sample at or before t. ok is false if no sample precedes t.
+// the latest sample at or before t. ok is false if no sample precedes
+// t. Spilled columns are searched newest-first after the RAM tail.
 func (c *Counter) ValueAt(cpu int32, t trace.Time) (int64, bool) {
-	s := c.Samples(cpu)
-	i := sort.Search(len(s), func(i int) bool { return s[i].Time > t })
-	if i == 0 {
-		return 0, false
+	var tail []trace.CounterSample
+	if int(cpu) < len(c.PerCPU) {
+		tail = c.PerCPU[cpu]
 	}
-	return s[i-1].Value, true
+	i := sort.Search(len(tail), func(i int) bool { return tail[i].Time > t })
+	if i > 0 {
+		return tail[i-1].Value, true
+	}
+	if int(cpu) < len(c.frozen) {
+		row := c.frozen[cpu]
+		for k := len(row) - 1; k >= 0; k-- {
+			s := row[k]
+			j := sort.Search(len(s), func(i int) bool { return s[i].Time > t })
+			if j > 0 {
+				return s[j-1].Value, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // counterFor returns the counter registered for id, creating and

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"github.com/openstream/aftermath/internal/mragg"
@@ -41,14 +42,31 @@ type DomIndex struct {
 type DomCPU struct {
 	once sync.Once
 	// states is the CPU's sorted state array the pyramids were built
-	// over (dominant leaves resolve back into it).
+	// over (dominant leaves resolve back into it). For spilled live
+	// traces the array is segmented instead: segs lists the non-empty
+	// columns in time order and cum their cumulative start offsets, so
+	// leaf i resolves to segs[k][i-cum[k]]. Exactly one of states/segs
+	// is used (segs wins when non-nil).
 	states []trace.StateEvent
-	// all spans every state interval; leaf i is states[i].
+	segs   [][]trace.StateEvent
+	cum    []int
+	// all spans every state interval; leaf i is the i-th logical state
+	// event.
 	all *mragg.Set
 	// byState[s] spans only the intervals in state s, with refs back
-	// into the states array; byState[StateTaskExec] doubles as the
-	// task-execution dominance set.
+	// into the logical state array; byState[StateTaskExec] doubles as
+	// the task-execution dominance set.
 	byState [trace.NumWorkerStates]*mragg.Set
+}
+
+// stateAt resolves logical state index i against the single array or
+// the segmented view.
+func (e *DomCPU) stateAt(i int32) trace.StateEvent {
+	if e.segs == nil {
+		return e.states[i]
+	}
+	k := sort.Search(len(e.cum), func(j int) bool { return e.cum[j] > int(i) }) - 1
+	return e.segs[k][int(i)-e.cum[k]]
 }
 
 // NewDomIndex returns an empty index; entries build lazily per CPU.
@@ -76,6 +94,8 @@ func (di *DomIndex) seed(cpu int32, e *DomCPU) {
 	slot := di.entry(cpu)
 	slot.once.Do(func() {
 		slot.states = e.states
+		slot.segs = e.segs
+		slot.cum = e.cum
 		slot.all = e.all
 		slot.byState = e.byState
 	})
@@ -88,10 +108,17 @@ func (di *DomIndex) seed(cpu int32, e *DomCPU) {
 func (di *DomIndex) CPU(tr *Trace, cpu int32) *DomCPU {
 	e := di.entry(cpu)
 	e.once.Do(func() {
+		var tail []trace.StateEvent
 		if int(cpu) < len(tr.CPUs) {
-			e.build(tr.CPUs[cpu].States)
+			tail = tr.CPUs[cpu].States
+		}
+		if fc := tr.frozenFor(cpu); fc != nil && len(fc.states) > 0 {
+			cols := make([][]trace.StateEvent, 0, len(fc.states)+1)
+			cols = append(cols, fc.states...)
+			cols = append(cols, tail)
+			e.buildSegs(cols)
 		} else {
-			e.build(nil)
+			e.build(tail)
 		}
 	})
 	return e
@@ -118,6 +145,64 @@ func (e *DomCPU) build(states []trace.StateEvent) {
 	}
 }
 
+// buildSegs constructs the entry's pyramids over a segmented state
+// array: the time-ordered column list of a spilled CPU (frozen
+// segments, then the RAM tail; empty columns allowed). Used by the
+// lazy path when a spilled snapshot's incremental chain is unavailable
+// (dirty producer, post-drop rebuild). Disordered or overlapping
+// intervals leave all == nil, as in build: queries fall back to the
+// stitched event scan.
+func (e *DomCPU) buildSegs(cols [][]trace.StateEvent) {
+	total := 0
+	nonEmpty := 0
+	for _, s := range cols {
+		total += len(s)
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 {
+		var one []trace.StateEvent
+		for _, s := range cols {
+			if len(s) > 0 {
+				one = s
+			}
+		}
+		e.build(one)
+		return
+	}
+	starts := make([]int64, 0, total)
+	ends := make([]int64, 0, total)
+	var perStarts, perEnds [trace.NumWorkerStates][]int64
+	var perRefs [trace.NumWorkerStates][]int32
+	at := 0
+	for _, s := range cols {
+		if len(s) == 0 {
+			continue
+		}
+		e.segs = append(e.segs, s)
+		e.cum = append(e.cum, at)
+		for i := range s {
+			starts = append(starts, s[i].Start)
+			ends = append(ends, s[i].End)
+		}
+		ps, pe, pr := perStateIntervalsAt(s, at)
+		for k := 0; k < trace.NumWorkerStates; k++ {
+			perStarts[k] = append(perStarts[k], ps[k]...)
+			perEnds[k] = append(perEnds[k], pe[k]...)
+			perRefs[k] = append(perRefs[k], pr[k]...)
+		}
+		at += len(s)
+	}
+	e.all = mragg.Build(starts, ends, nil, 0)
+	if e.all == nil {
+		return
+	}
+	for k := range e.byState {
+		e.byState[k] = mragg.Build(perStarts[k], perEnds[k], perRefs[k], 0)
+	}
+}
+
 // perStateIntervals splits states[from:] into per-worker-state
 // interval triples, with refs giving each interval's index in the
 // full array. Out-of-range states are dropped (their events still
@@ -125,14 +210,20 @@ func (e *DomCPU) build(states []trace.StateEvent) {
 // Shared by the batch entry build and the live incremental extension
 // so the two classify events identically.
 func perStateIntervals(states []trace.StateEvent, from int) (starts, ends [trace.NumWorkerStates][]int64, refs [trace.NumWorkerStates][]int32) {
-	for i := from; i < len(states); i++ {
-		k := int(states[i].State)
+	return perStateIntervalsAt(states[from:], from)
+}
+
+// perStateIntervalsAt is perStateIntervals over a window whose first
+// event has logical index base: refs come out absolute (base + j).
+func perStateIntervalsAt(win []trace.StateEvent, base int) (starts, ends [trace.NumWorkerStates][]int64, refs [trace.NumWorkerStates][]int32) {
+	for j := range win {
+		k := int(win[j].State)
 		if k >= trace.NumWorkerStates {
 			continue
 		}
-		starts[k] = append(starts[k], states[i].Start)
-		ends[k] = append(ends[k], states[i].End)
-		refs[k] = append(refs[k], int32(i))
+		starts[k] = append(starts[k], win[j].Start)
+		ends[k] = append(ends[k], win[j].End)
+		refs[k] = append(refs[k], int32(base+j))
 	}
 	return starts, ends, refs
 }
@@ -150,7 +241,7 @@ func (e *DomCPU) DominantState(t0, t1 trace.Time) (ev trace.StateEvent, ok, inde
 	if !ok {
 		return trace.StateEvent{}, false, true
 	}
-	return e.states[idx], true, true
+	return e.stateAt(int32(idx)), true, true
 }
 
 // DominantExec is DominantState restricted to task-execution
@@ -165,7 +256,7 @@ func (e *DomCPU) DominantExec(t0, t1 trace.Time) (ev trace.StateEvent, ok, index
 	if !ok {
 		return trace.StateEvent{}, false, true
 	}
-	return e.states[set.Ref(idx)], true, true
+	return e.stateAt(int32(set.Ref(idx))), true, true
 }
 
 // StateCover returns the total time the CPU spent in state within

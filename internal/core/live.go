@@ -75,6 +75,15 @@ type Live struct {
 	aggHasTopo   bool
 	aggMaxCPU    int32
 
+	// Spilling state (spill.go): the retention policy, the immutable
+	// frozen (spilled) generation shared with published snapshots, the
+	// in-flight background compactions and the segment id sequence.
+	ret      RetentionPolicy
+	retSwept bool // stale-file sweep of ret.Dir done (first enable)
+	frozen   *frozenTrace
+	spillWG  sync.WaitGroup
+	segSeq   int
+
 	snap    atomic.Pointer[liveSnap]
 	lastErr atomic.Pointer[ingestErr]
 }
@@ -111,6 +120,18 @@ type cpuOrder struct {
 	stateDirty    bool
 	discreteDirty bool
 	commDirty     bool
+	// seen* record that at least one event of the family arrived, so
+	// order checks survive spilling emptying the RAM tail (a length
+	// check would re-arm the first-event exemption at every spill).
+	seenState    bool
+	seenDiscrete bool
+	seenComm     bool
+	// n*F count the family's spilled (frozen) events: the logical
+	// array is the frozen columns followed by the RAM tail, and these
+	// give the tail's logical offset.
+	nStateF    int
+	nDiscreteF int
+	nCommF     int
 }
 
 // domChain tracks one CPU's incrementally extended dominance
@@ -139,6 +160,11 @@ type liveCounter struct {
 	trees     []*mmtree.Tree
 	rateTrees []*mmtree.Tree
 	treeN     []int
+	// seen/fsamp mirror cpuOrder's seen*/n*F for the sample family:
+	// seen[cpu] arms the order check past spills, fsamp[cpu] counts
+	// the pair's spilled samples (treeN stays logical).
+	seen  []bool
+	fsamp []int
 }
 
 // NewLive returns an empty live trace at epoch 0. Its initial snapshot
@@ -325,10 +351,15 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 			return err
 		}
 		c, o := lv.cpu(s.CPU)
-		if len(c.States) > 0 && s.Start < o.lastState {
+		if o.seenState && s.Start < o.lastState && !o.stateDirty {
+			// The family just went dirty: its snapshot repair sorts the
+			// whole array, so any spilled columns come back to RAM
+			// first (dirty families never spill again).
 			o.stateDirty = true
+			lv.unspillStatesLocked(s.CPU)
 		}
 		o.lastState = s.Start
+		o.seenState = true
 		c.States = append(c.States, s)
 		if s.State == trace.StateTaskExec && s.Task != trace.NoTask {
 			lv.execs[s.CPU] = append(lv.execs[s.CPU], execSpan{s.Task, s.Start, s.End})
@@ -340,10 +371,12 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 			return err
 		}
 		c, o := lv.cpu(ev.CPU)
-		if len(c.Discrete) > 0 && ev.Time < o.lastDiscrete {
+		if o.seenDiscrete && ev.Time < o.lastDiscrete && !o.discreteDirty {
 			o.discreteDirty = true
+			lv.unspillDiscreteLocked(ev.CPU)
 		}
 		o.lastDiscrete = ev.Time
+		o.seenDiscrete = true
 		c.Discrete = append(c.Discrete, ev)
 	}
 	for _, ev := range b.Comms {
@@ -351,10 +384,12 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 			return err
 		}
 		c, o := lv.cpu(ev.CPU)
-		if len(c.Comm) > 0 && ev.Time < o.lastComm {
+		if o.seenComm && ev.Time < o.lastComm && !o.commDirty {
 			o.commDirty = true
+			lv.unspillCommLocked(ev.CPU)
 		}
 		o.lastComm = ev.Time
+		o.seenComm = true
 		c.Comm = append(c.Comm, ev)
 	}
 	for _, s := range b.Samples {
@@ -369,11 +404,15 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 			lc.trees = append(lc.trees, nil)
 			lc.rateTrees = append(lc.rateTrees, nil)
 			lc.treeN = append(lc.treeN, 0)
+			lc.seen = append(lc.seen, false)
+			lc.fsamp = append(lc.fsamp, 0)
 		}
-		if len(lc.c.PerCPU[s.CPU]) > 0 && s.Time < lc.last[s.CPU] {
+		if lc.seen[s.CPU] && s.Time < lc.last[s.CPU] && !lc.dirty[s.CPU] {
 			lc.dirty[s.CPU] = true
+			lv.unspillSamplesLocked(lv.counterByID[s.Counter], s.CPU)
 		}
 		lc.last[s.CPU] = s.Time
+		lc.seen[s.CPU] = true
 		lc.c.PerCPU[s.CPU] = append(lc.c.PerCPU[s.CPU], s)
 		if s.CPU > lv.maxCPU {
 			lv.maxCPU = s.CPU
@@ -383,11 +422,15 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 	return nil
 }
 
-// publishLocked builds a snapshot and stores it as the next epoch.
+// publishLocked builds a snapshot, stores it as the next epoch and
+// applies the spill/retention policy to the builder (the published
+// snapshot keeps the pre-spill backing; the next one picks up the
+// compacted columns).
 func (lv *Live) publishLocked() (*Trace, uint64) {
 	tr := lv.snapshotLocked()
 	epoch := lv.snap.Load().epoch + 1
 	lv.snap.Store(&liveSnap{tr: tr, epoch: epoch})
+	lv.maybeSpillLocked()
 	return tr, epoch
 }
 
@@ -407,7 +450,7 @@ func (lv *Live) publishLocked() (*Trace, uint64) {
 // amortize it, at the cost of reimplementing (rather than reusing) the
 // batch indexer's placement semantics.
 func (lv *Live) snapshotLocked() *Trace {
-	tr := &Trace{Topology: lv.topo}
+	tr := &Trace{Topology: lv.topo, frozen: lv.frozen}
 	if !lv.hasTopo {
 		tr.Topology = synthTopology(lv.maxCPU)
 	}
@@ -465,8 +508,11 @@ func (lv *Live) snapshotLocked() *Trace {
 	}
 	lv.extendTreesLocked()
 	ci := NewCounterIndex(0)
-	for _, lc := range lv.counters {
+	for i, lc := range lv.counters {
 		c := &Counter{Desc: lc.c.Desc}
+		if lv.frozen != nil && i < len(lv.frozen.samples) {
+			c.frozen = lv.frozen.samples[i]
+		}
 		if len(lc.c.PerCPU) > 0 {
 			c.PerCPU = make([][]trace.CounterSample, len(lc.c.PerCPU))
 			copy(c.PerCPU, lc.c.PerCPU)
@@ -498,7 +544,15 @@ func (lv *Live) snapshotLocked() *Trace {
 	di := NewDomIndex()
 	for cpu := range lv.doms {
 		ch := &lv.doms[cpu]
-		if !ch.dead && ch.all != nil {
+		if ch.dead || ch.all == nil {
+			continue
+		}
+		if lv.order[cpu].nStateF > 0 {
+			// Spilled CPU: leaves resolve through the segmented view
+			// (frozen columns + this snapshot's tail).
+			segs, cum := lv.stateSegViewLocked(cpu, tr.CPUs[cpu].States)
+			di.seed(int32(cpu), &DomCPU{segs: segs, cum: cum, all: ch.all, byState: ch.byState})
+		} else {
 			di.seed(int32(cpu), &DomCPU{states: tr.CPUs[cpu].States, all: ch.all, byState: ch.byState})
 		}
 	}
@@ -536,6 +590,9 @@ func (lv *Live) updateAggLocked(tr *Trace) {
 	// bounds the tasks whose locality can have changed this epoch.
 	// Derived from the pre-update consumption counts, before the
 	// totals advance them.
+	// Consumption counts (commN) are logical: spilled events plus the
+	// RAM tail. The unconsumed suffix always lies in the tail, because
+	// freezing happens after the publish that consumed the events.
 	minNew := make([]trace.Time, len(lv.cpus))
 	hasNew := make([]bool, len(lv.cpus))
 	anyNewComm := false
@@ -544,7 +601,11 @@ func (lv *Live) updateAggLocked(tr *Trace) {
 		if cpu < len(lv.commN) {
 			n0 = lv.commN[cpu]
 		}
-		for _, ev := range lv.cpus[cpu].Comm[n0:] {
+		from := n0 - lv.order[cpu].nCommF
+		if from < 0 {
+			from = 0
+		}
+		for _, ev := range lv.cpus[cpu].Comm[from:] {
 			if !hasNew[cpu] || ev.Time < minNew[cpu] {
 				minNew[cpu], hasNew[cpu] = ev.Time, true
 			}
@@ -562,8 +623,17 @@ func (lv *Live) updateAggLocked(tr *Trace) {
 		lv.commTot = &CommTotals{N: n, Reads: make([]int64, n*n), Writes: make([]int64, n*n)}
 		lv.commN = make([]int, len(lv.cpus))
 		for cpu := range lv.cpus {
+			// Rebuild over the whole retained window: spilled columns
+			// first, then the tail. (Events already dropped under the
+			// retention budget leave the totals — the totals describe
+			// the retained trace.)
+			if lv.frozen != nil && cpu < len(lv.frozen.cpus) {
+				for _, s := range lv.frozen.cpus[cpu].comm {
+					lv.commTot.addComm(tr, int32(cpu), s, 0)
+				}
+			}
 			lv.commTot.addComm(tr, int32(cpu), lv.cpus[cpu].Comm, 0)
-			lv.commN[cpu] = len(lv.cpus[cpu].Comm)
+			lv.commN[cpu] = lv.order[cpu].nCommF + len(lv.cpus[cpu].Comm)
 		}
 	} else if anyNewComm {
 		ct := lv.commTot.clone()
@@ -571,8 +641,12 @@ func (lv *Live) updateAggLocked(tr *Trace) {
 			lv.commN = append(lv.commN, 0)
 		}
 		for cpu := range lv.cpus {
-			ct.addComm(tr, int32(cpu), lv.cpus[cpu].Comm, lv.commN[cpu])
-			lv.commN[cpu] = len(lv.cpus[cpu].Comm)
+			from := lv.commN[cpu] - lv.order[cpu].nCommF
+			if from < 0 {
+				from = 0
+			}
+			ct.addComm(tr, int32(cpu), lv.cpus[cpu].Comm, from)
+			lv.commN[cpu] = lv.order[cpu].nCommF + len(lv.cpus[cpu].Comm)
 		}
 		lv.commTot = ct
 	}
@@ -687,15 +761,20 @@ func (lv *Live) extendDomsLocked() {
 			ch.byState = [trace.NumWorkerStates]*mragg.Set{}
 			continue
 		}
-		states := lv.cpus[cpu].States
-		n0, m := ch.n, len(states)
+		// The logical array is the spilled columns followed by the RAM
+		// tail; the window gather is zero-copy in the steady state
+		// (new events are all in the tail) and only copies on a
+		// post-drop rebuild.
+		n0 := ch.n
+		m := lv.order[cpu].nStateF + len(lv.cpus[cpu].States)
 		if m == n0 {
 			continue
 		}
-		starts := make([]int64, m-n0)
-		ends := make([]int64, m-n0)
-		for i := n0; i < m; i++ {
-			starts[i-n0], ends[i-n0] = states[i].Start, states[i].End
+		win := lv.stateWindowLocked(cpu, n0)
+		starts := make([]int64, len(win))
+		ends := make([]int64, len(win))
+		for i := range win {
+			starts[i], ends[i] = win[i].Start, win[i].End
 		}
 		if ch.all == nil {
 			ch.all = mragg.Build(starts, ends, nil, 0)
@@ -708,7 +787,7 @@ func (lv *Live) extendDomsLocked() {
 			ch.byState = [trace.NumWorkerStates]*mragg.Set{}
 			continue
 		}
-		perStarts, perEnds, perRefs := perStateIntervals(states, n0)
+		perStarts, perEnds, perRefs := perStateIntervalsAt(win, n0)
 		for k := range ch.byState {
 			if ch.byState[k] == nil {
 				ch.byState[k] = mragg.Build(perStarts[k], perEnds[k], perRefs[k], 0)
@@ -726,21 +805,22 @@ func (lv *Live) extendDomsLocked() {
 // data, not the trace size. Pairs that went dirty fall back to the
 // snapshot's lazy per-epoch rebuild.
 func (lv *Live) extendTreesLocked() {
-	for _, lc := range lv.counters {
+	for ci, lc := range lv.counters {
 		for cpu := range lc.c.PerCPU {
 			if lc.dirty[cpu] {
 				lc.trees[cpu], lc.rateTrees[cpu] = nil, nil
 				continue
 			}
-			s := lc.c.PerCPU[cpu]
-			n0, m := lc.treeN[cpu], len(s)
+			n0 := lc.treeN[cpu]
+			m := lc.fsamp[cpu] + len(lc.c.PerCPU[cpu])
 			if m == n0 {
 				continue
 			}
-			times := make([]int64, m-n0)
-			values := make([]int64, m-n0)
-			for i := n0; i < m; i++ {
-				times[i-n0], values[i-n0] = s[i].Time, s[i].Value
+			win := lv.sampleWindowLocked(ci, cpu, n0)
+			times := make([]int64, len(win))
+			values := make([]int64, len(win))
+			for i := range win {
+				times[i], values[i] = win[i].Time, win[i].Value
 			}
 			if lc.trees[cpu] == nil {
 				lc.trees[cpu] = mmtree.Build(times, values, mmtree.DefaultArity)
@@ -748,9 +828,20 @@ func (lv *Live) extendTreesLocked() {
 				lc.trees[cpu] = lc.trees[cpu].Append(times, values)
 			}
 			// Rates: entry i spans samples (i, i+1), so appending
-			// samples [n0, m) adds the rate entries [max(n0-1,0), m-1),
-			// derived by the same helper RateTree builds from.
-			rTimes, rValues := rateSamples(s, n0-1)
+			// samples [n0, m) adds the rate entries [max(n0-1,0), m-1).
+			// Gathering the window [max(n0-1,0), m) and deriving rates
+			// at offset 0 yields exactly those entries — rateSamples is
+			// purely pairwise, so the window gather and the full-array
+			// derivation are bit-identical.
+			rFrom := n0 - 1
+			if rFrom < 0 {
+				rFrom = 0
+			}
+			rWin := win
+			if rFrom < n0 {
+				rWin = lv.sampleWindowLocked(ci, cpu, rFrom)
+			}
+			rTimes, rValues := rateSamples(rWin, 0)
 			if lc.rateTrees[cpu] == nil {
 				lc.rateTrees[cpu] = mmtree.Build(rTimes, rValues, mmtree.DefaultArity)
 			} else {

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/openstream/aftermath/internal/mmtree"
+	"github.com/openstream/aftermath/internal/mragg"
+	"github.com/openstream/aftermath/internal/store"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// snapshotFormatVersion is the columnar snapshot meta layout version.
+// Segment files (spill.go) version independently.
+const snapshotFormatVersion = 1
+
+// SaveStore writes the trace as a columnar snapshot: every per-CPU
+// event array, counter sample array and table dumped as raw columns,
+// plus the fully built aggregation pyramids (the dominance sets and
+// the counter min/max and rate trees), so OpenStore can map the file
+// and answer indexed queries without rebuilding anything. Spilled live
+// snapshots are stitched into single columns on the way out, making
+// SaveStore also the natural "compact a live session to one file"
+// path.
+func SaveStore(tr *Trace, path string) (err error) {
+	// Build the indexes being persisted. For spilled snapshots the
+	// pyramids' leaf refs are logical indices into the stitched arrays,
+	// which is exactly the layout the columns are written in.
+	di := tr.DomIndex()
+	tr.BuildCounterIndex(0)
+
+	w, err := store.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			w.Abort()
+		}
+	}()
+
+	var e store.Enc
+	e.Int(snapshotFormatVersion)
+	e.U64(layoutHash())
+	e.I64(tr.Span.Start)
+	e.I64(tr.Span.End)
+
+	e.Str(tr.Topology.Name)
+	e.Int(int(tr.Topology.NumNodes))
+	e.Ref(store.Put(w, tr.Topology.NodeOfCPU))
+	e.Ref(store.Put(w, tr.Topology.Distance))
+
+	e.Int(len(tr.Types))
+	for _, tt := range tr.Types {
+		e.U64(uint64(tt.ID))
+		e.U64(tt.Addr)
+		e.Str(tt.Name)
+	}
+	e.Ref(store.Put(w, tr.Tasks))
+	e.Ref(store.Put(w, tr.Regions))
+
+	const lo, hi = math.MinInt64, math.MaxInt64
+	e.Int(len(tr.CPUs))
+	for cpu := int32(0); int(cpu) < len(tr.CPUs); cpu++ {
+		e.Ref(store.Put(w, tr.StatesIn(cpu, lo, hi)))
+		e.Ref(store.Put(w, tr.DiscreteIn(cpu, lo, hi)))
+		e.Ref(store.Put(w, tr.CommIn(cpu, lo, hi)))
+	}
+
+	e.Int(len(tr.Counters))
+	for _, c := range tr.Counters {
+		e.U64(uint64(c.Desc.ID))
+		e.Str(c.Desc.Name)
+		if c.Desc.Monotonic {
+			e.Int(1)
+		} else {
+			e.Int(0)
+		}
+		e.Int(len(c.PerCPU))
+		for cpu := range c.PerCPU {
+			e.Ref(store.Put(w, c.Samples(int32(cpu))))
+		}
+	}
+
+	// Dominance pyramids, one entry per CPU: the all-states set and the
+	// per-worker-state sets. CPUs whose intervals were unindexable
+	// store empty sets; OpenStore leaves those entries to the lazy
+	// builder, which reproduces the unindexable verdict from the
+	// columns.
+	for cpu := int32(0); int(cpu) < len(tr.CPUs); cpu++ {
+		dc := di.CPU(tr, cpu)
+		putSet(w, &e, dc.all)
+		for k := 0; k < trace.NumWorkerStates; k++ {
+			putSet(w, &e, dc.byState[k])
+		}
+	}
+
+	// Counter min/max and rate trees for every (counter, cpu) with
+	// samples, in table order.
+	ci := tr.CounterIndex()
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			if len(c.Samples(int32(cpu))) == 0 {
+				e.Int(0)
+				continue
+			}
+			e.Int(1)
+			putTree(w, &e, ci.Tree(c, int32(cpu)))
+			putTree(w, &e, ci.RateTree(c, int32(cpu)))
+		}
+	}
+
+	return w.Finish(e.Bytes())
+}
+
+// putSet appends a dominance set's raw columns; nil sets store a
+// present=0 flag only.
+func putSet(w *store.Writer, e *store.Enc, s *mragg.Set) {
+	if s == nil {
+		e.Int(0)
+		return
+	}
+	e.Int(1)
+	arity, starts, ends, prefix, refs, maxs, args := s.Raw()
+	e.Int(arity)
+	e.Ref(store.Put(w, starts))
+	e.Ref(store.Put(w, ends))
+	e.Ref(store.Put(w, prefix))
+	e.Ref(store.Put(w, refs))
+	e.Int(len(maxs))
+	for _, lvl := range maxs {
+		e.Ref(store.Put(w, lvl))
+	}
+	e.Int(len(args))
+	for _, lvl := range args {
+		e.Ref(store.Put(w, lvl))
+	}
+}
+
+func viewSet(m *store.Mapped, d *store.Dec) (*mragg.Set, error) {
+	if d.Int() == 0 {
+		return nil, d.Err()
+	}
+	arity := d.Int()
+	starts, err := store.View[int64](m, d.Ref())
+	if err != nil {
+		return nil, err
+	}
+	ends, err := store.View[int64](m, d.Ref())
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := store.View[int64](m, d.Ref())
+	if err != nil {
+		return nil, err
+	}
+	refs, err := store.View[int32](m, d.Ref())
+	if err != nil {
+		return nil, err
+	}
+	maxs := make([][]int64, d.Int())
+	for i := range maxs {
+		if maxs[i], err = store.View[int64](m, d.Ref()); err != nil {
+			return nil, err
+		}
+	}
+	args := make([][]int32, d.Int())
+	for i := range args {
+		if args[i], err = store.View[int32](m, d.Ref()); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return mragg.FromRaw(arity, starts, ends, prefix, refs, maxs, args), nil
+}
+
+// putTree appends a min/max tree's raw columns.
+func putTree(w *store.Writer, e *store.Enc, t *mmtree.Tree) {
+	arity, times, values, mins, maxs := t.Raw()
+	e.Int(arity)
+	e.Ref(store.Put(w, times))
+	e.Ref(store.Put(w, values))
+	e.Int(len(mins))
+	for i := range mins {
+		e.Ref(store.Put(w, mins[i]))
+		e.Ref(store.Put(w, maxs[i]))
+	}
+}
+
+func viewTree(m *store.Mapped, d *store.Dec) (*mmtree.Tree, error) {
+	arity := d.Int()
+	times, err := store.View[int64](m, d.Ref())
+	if err != nil {
+		return nil, err
+	}
+	values, err := store.View[int64](m, d.Ref())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Int()
+	mins := make([][]int64, n)
+	maxs := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		if mins[i], err = store.View[int64](m, d.Ref()); err != nil {
+			return nil, err
+		}
+		if maxs[i], err = store.View[int64](m, d.Ref()); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return mmtree.FromRaw(arity, times, values, mins, maxs), nil
+}
+
+// OpenStore maps a columnar snapshot written by SaveStore. Event and
+// sample columns, tables and aggregation pyramids are zero-copy views
+// into the mapping: the open cost is parsing the meta blob — O(CPUs +
+// counters + types), independent of event count — and query cost is
+// O(touched pages). The task-ID map builds lazily on first TaskByID.
+// The returned trace owns the mapping; Close releases it.
+func OpenStore(path string) (tr *Trace, err error) {
+	m, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			m.Close()
+		}
+	}()
+
+	d := store.NewDec(m.Meta())
+	if v := d.Int(); v != snapshotFormatVersion {
+		return nil, fmt.Errorf("store: snapshot format version %d, want %d", v, snapshotFormatVersion)
+	}
+	if h := d.U64(); h != layoutHash() {
+		return nil, fmt.Errorf("store: snapshot written with incompatible type layout (hash %#x, want %#x)", h, layoutHash())
+	}
+
+	tr = newTrace()
+	tr.lazyTaskIDs = true
+	tr.taskByID = nil
+	tr.backing = m
+	tr.Span.Start = d.I64()
+	tr.Span.End = d.I64()
+
+	tr.Topology.Name = d.Str()
+	tr.Topology.NumNodes = int32(d.Int())
+	if tr.Topology.NodeOfCPU, err = store.View[int32](m, d.Ref()); err != nil {
+		return nil, err
+	}
+	if tr.Topology.Distance, err = store.View[int32](m, d.Ref()); err != nil {
+		return nil, err
+	}
+
+	nTypes := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	tr.Types = make([]trace.TaskType, 0, nTypes)
+	for i := 0; i < nTypes; i++ {
+		tt := trace.TaskType{ID: trace.TypeID(d.U64()), Addr: d.U64(), Name: d.Str()}
+		tr.Types = append(tr.Types, tt)
+		tr.typeByID[tt.ID] = i
+	}
+	if tr.Tasks, err = store.View[TaskInfo](m, d.Ref()); err != nil {
+		return nil, err
+	}
+	if tr.Regions, err = store.View[trace.MemRegion](m, d.Ref()); err != nil {
+		return nil, err
+	}
+
+	nCPU := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	tr.CPUs = make([]CPUData, nCPU)
+	for i := 0; i < nCPU; i++ {
+		if tr.CPUs[i].States, err = store.View[trace.StateEvent](m, d.Ref()); err != nil {
+			return nil, err
+		}
+		if tr.CPUs[i].Discrete, err = store.View[trace.DiscreteEvent](m, d.Ref()); err != nil {
+			return nil, err
+		}
+		if tr.CPUs[i].Comm, err = store.View[trace.CommEvent](m, d.Ref()); err != nil {
+			return nil, err
+		}
+	}
+
+	nCounters := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	tr.Counters = make([]*Counter, 0, nCounters)
+	for i := 0; i < nCounters; i++ {
+		c := &Counter{Desc: trace.CounterDesc{
+			ID:        trace.CounterID(d.U64()),
+			Name:      d.Str(),
+			Monotonic: d.Int() != 0,
+		}}
+		c.PerCPU = make([][]trace.CounterSample, d.Int())
+		for cpu := range c.PerCPU {
+			if c.PerCPU[cpu], err = store.View[trace.CounterSample](m, d.Ref()); err != nil {
+				return nil, err
+			}
+		}
+		tr.counterByID[c.Desc.ID] = i
+		tr.Counters = append(tr.Counters, c)
+	}
+	tr.counterByName = buildCounterNameIndex(tr.Counters)
+
+	di := NewDomIndex()
+	for cpu := int32(0); int(cpu) < nCPU; cpu++ {
+		all, err := viewSet(m, d)
+		if err != nil {
+			return nil, err
+		}
+		dc := &DomCPU{states: tr.CPUs[cpu].States, all: all}
+		for k := 0; k < trace.NumWorkerStates; k++ {
+			if dc.byState[k], err = viewSet(m, d); err != nil {
+				return nil, err
+			}
+		}
+		// A stored nil all-set means the CPU was empty or unindexable;
+		// leave the entry to the lazy builder, which re-derives that
+		// verdict from the (possibly empty) column.
+		if all != nil {
+			di.seed(cpu, dc)
+		}
+	}
+	tr.domOnce.Do(func() { tr.dom = di })
+
+	ci := NewCounterIndex(0)
+	for _, c := range tr.Counters {
+		for cpu := range c.PerCPU {
+			if d.Int() == 0 {
+				continue
+			}
+			vt, err := viewTree(m, d)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := viewTree(m, d)
+			if err != nil {
+				return nil, err
+			}
+			ci.seed(counterCPU{uint64(c.Desc.ID), int32(cpu), false}, vt)
+			ci.seed(counterCPU{uint64(c.Desc.ID), int32(cpu), true}, rt)
+		}
+	}
+	tr.cindexOnce.Do(func() { tr.cindex = ci })
+
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

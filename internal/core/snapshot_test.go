@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// TestSnapshotRoundTrip: a loaded trace saved as a columnar snapshot
+// and mapped back answers every query identically — tables, raw
+// columns, indexed dominance and counter queries.
+func TestSnapshotRoundTrip(t *testing.T) {
+	data := liveTestBytes(t)
+	want, err := FromReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.atms")
+	if err := SaveStore(want, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+
+	compareTrace(t, "mapped snapshot", got, want)
+	if !reflect.DeepEqual(got.Topology, want.Topology) {
+		t.Fatal("topology differs")
+	}
+	// Table lookups (the lazy task-ID map included).
+	for _, task := range want.Tasks {
+		g, ok := got.TaskByID(task.ID)
+		if !ok || *g != task {
+			t.Fatalf("TaskByID(%d) = (%+v, %v)", task.ID, g, ok)
+		}
+	}
+	for _, tt := range want.Types {
+		if g, ok := got.TypeByID(tt.ID); !ok || g != tt {
+			t.Fatalf("TypeByID(%d) differs", tt.ID)
+		}
+	}
+	if _, ok := got.CounterByName("cycles"); !ok {
+		t.Fatal("CounterByName lost")
+	}
+
+	// Indexed queries must match scans — through the seeded pyramids.
+	span := want.Span
+	step := span.Duration() / 64
+	if step == 0 {
+		step = 1
+	}
+	for cpu := int32(0); int(cpu) < want.NumCPUs(); cpu++ {
+		ge := got.DomIndex().CPU(got, cpu)
+		we := want.DomIndex().CPU(want, cpu)
+		for t0 := span.Start; t0 < span.End; t0 += step {
+			gd, gok, gidx := ge.DominantState(t0, t0+step)
+			wd, wok, widx := we.DominantState(t0, t0+step)
+			if gd != wd || gok != wok || gidx != widx {
+				t.Fatalf("cpu %d DominantState(%d) = (%+v,%v,%v), want (%+v,%v,%v)", cpu, t0, gd, gok, gidx, wd, wok, widx)
+			}
+			gc, gi := ge.StateCover(trace.StateTaskExec, t0, t0+step)
+			wc, wi := we.StateCover(trace.StateTaskExec, t0, t0+step)
+			if gc != wc || gi != wi {
+				t.Fatalf("cpu %d StateCover(%d) = (%d,%v), want (%d,%v)", cpu, t0, gc, gi, wc, wi)
+			}
+		}
+	}
+	for i, c := range want.Counters {
+		gc := got.Counters[i]
+		for cpu := range c.PerCPU {
+			gt := got.CounterIndex().Tree(gc, int32(cpu))
+			wt := want.CounterIndex().Tree(c, int32(cpu))
+			if gt.Len() != wt.Len() {
+				t.Fatalf("counter %d cpu %d tree Len %d, want %d", i, cpu, gt.Len(), wt.Len())
+			}
+			for t0 := span.Start; t0 < span.End; t0 += step {
+				gmn, gmx, gok := gt.MinMax(t0, t0+step)
+				wmn, wmx, wok := wt.MinMax(t0, t0+step)
+				if gmn != wmn || gmx != wmx || gok != wok {
+					t.Fatalf("counter %d cpu %d MinMax(%d) differs", i, cpu, t0)
+				}
+			}
+			grt := got.CounterIndex().RateTree(gc, int32(cpu))
+			wrt := want.CounterIndex().RateTree(c, int32(cpu))
+			if grt.Len() != wrt.Len() {
+				t.Fatalf("counter %d cpu %d rate tree Len %d, want %d", i, cpu, grt.Len(), wrt.Len())
+			}
+		}
+	}
+}
+
+// TestSnapshotOfSpilledLive: saving a spilled live snapshot stitches
+// the segment columns into one file whose mapped view matches an
+// unspilled reference.
+func TestSnapshotOfSpilledLive(t *testing.T) {
+	lv := NewLive()
+	lv.SetRetention(RetentionPolicy{Dir: t.TempDir(), SpillBytes: 1, Sync: true})
+	defer lv.Close()
+	ref := NewLive()
+	for k := 0; k < 4; k++ {
+		publish(t, lv, spillBatch(2, 20, int64(10_000*k)))
+		publish(t, ref, spillBatch(2, 20, int64(10_000*k)))
+	}
+	snap, _ := lv.Publish()
+	if st, ok := snap.SpillStats(); !ok || st.Segments == 0 {
+		t.Fatalf("precondition: nothing spilled (%+v)", st)
+	}
+	path := filepath.Join(t.TempDir(), "compact.atms")
+	if err := SaveStore(snap, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	want, _ := ref.Snapshot()
+	assertSameEvents(t, "compacted spilled snapshot", got, want)
+	if _, ok := got.SpillStats(); ok {
+		t.Fatal("compacted snapshot still reports spill state")
+	}
+}
+
+// TestSnapshotRejectsWrongFormat: version/layout validation and
+// non-store files fail cleanly.
+func TestSnapshotRejectsWrongFormat(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenStore(filepath.Join(dir, "nope.atms")); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	// A trace stream is not a store file.
+	raw := filepath.Join(dir, "raw.trace")
+	if err := os.WriteFile(raw, liveTestBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(raw); err == nil {
+		t.Fatal("open of a raw trace stream succeeded")
+	}
+}

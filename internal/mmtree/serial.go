@@ -1,0 +1,22 @@
+package mmtree
+
+// Raw exposes the tree's internal columns for serialization into the
+// columnar store format (internal/store): the arity, the retained
+// (time, value) sample columns and the per-level min/max arrays. The
+// returned slices alias the tree's storage and must not be mutated.
+func (t *Tree) Raw() (arity int, times, values []int64, mins, maxs [][]int64) {
+	return t.arity, t.times, t.values, t.mins, t.maxs
+}
+
+// FromRaw reconstructs a tree from columns previously produced by Raw.
+// The input is trusted — typically mmap-backed views of a store file
+// this build wrote — and is adopted without copying or validation. The
+// resulting tree is immutable like any other; Append-style growth (via
+// mmtree chains in the live path) never mutates adopted columns
+// because leaf appends on full slices reallocate.
+func FromRaw(arity int, times, values []int64, mins, maxs [][]int64) *Tree {
+	if arity < 2 {
+		arity = DefaultArity
+	}
+	return &Tree{arity: arity, times: times, values: values, mins: mins, maxs: maxs}
+}

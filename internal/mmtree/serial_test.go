@@ -1,0 +1,25 @@
+package mmtree
+
+import "testing"
+
+func TestRawFromRawEquivalence(t *testing.T) {
+	const n = 5000
+	times := make([]int64, n)
+	values := make([]int64, n)
+	for i := range times {
+		times[i] = int64(i * 3)
+		values[i] = int64((i*2654435761 + 7) % 1000)
+	}
+	orig := Build(times, values, 8)
+	rt := FromRaw(orig.Raw())
+	if rt.Len() != orig.Len() || rt.Arity() != orig.Arity() {
+		t.Fatalf("shape: len %d/%d arity %d/%d", rt.Len(), orig.Len(), rt.Arity(), orig.Arity())
+	}
+	for _, w := range [][2]int64{{0, 1}, {0, 3 * n}, {17, 900}, {2999, 3000}, {14000, 14999}} {
+		gmn, gmx, gok := rt.MinMax(w[0], w[1])
+		wmn, wmx, wok := orig.MinMax(w[0], w[1])
+		if gmn != wmn || gmx != wmx || gok != wok {
+			t.Fatalf("window %v: (%d,%d,%v) want (%d,%d,%v)", w, gmn, gmx, gok, wmn, wmx, wok)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package mragg
+
+// Raw exposes the set's internal columns for serialization into the
+// columnar store format (internal/store): the arity, the interval
+// columns, the optional leaf refs (nil means identity), the duration
+// prefix sums (len = Len()+1 for a non-empty set) and the per-level
+// max/arg arrays. The returned slices alias the set's storage and must
+// not be mutated.
+func (s *Set) Raw() (arity int, starts, ends, prefix []int64, refs []int32, maxs [][]int64, args [][]int32) {
+	return s.arity, s.starts, s.ends, s.prefix, s.refs, s.maxs, s.args
+}
+
+// FromRaw reconstructs a set from columns previously produced by Raw.
+// The input is trusted — typically mmap-backed views of a store file
+// this build wrote — and is adopted without copying or re-validating
+// the disjoint-sorted invariant. The resulting set is immutable like
+// any other; Append never mutates adopted columns because appends on
+// full slices reallocate.
+func FromRaw(arity int, starts, ends, prefix []int64, refs []int32, maxs [][]int64, args [][]int32) *Set {
+	if arity < 2 {
+		arity = DefaultArity
+	}
+	return &Set{arity: arity, starts: starts, ends: ends, prefix: prefix, refs: refs, maxs: maxs, args: args}
+}

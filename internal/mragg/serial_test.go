@@ -1,0 +1,46 @@
+package mragg
+
+import "testing"
+
+func TestRawFromRawEquivalence(t *testing.T) {
+	const n = 4000
+	starts := make([]int64, n)
+	ends := make([]int64, n)
+	refs := make([]int32, n)
+	at := int64(0)
+	for i := range starts {
+		starts[i] = at
+		at += int64(1 + (i*31)%17)
+		ends[i] = at
+		at += int64((i * 13) % 5)
+		refs[i] = int32(i * 2)
+	}
+	for _, withRefs := range []bool{false, true} {
+		var orig *Set
+		if withRefs {
+			orig = Build(starts, ends, refs, 8)
+		} else {
+			orig = Build(starts, ends, nil, 8)
+		}
+		if orig == nil {
+			t.Fatal("Build rejected ordered input")
+		}
+		rt := FromRaw(orig.Raw())
+		if rt.Len() != orig.Len() {
+			t.Fatalf("len %d want %d", rt.Len(), orig.Len())
+		}
+		for _, w := range [][2]int64{{0, 10}, {0, at}, {100, 5000}, {at / 2, at/2 + 1}, {at - 100, at}} {
+			gi, gc, gok := rt.Dominant(w[0], w[1])
+			wi, wc, wok := orig.Dominant(w[0], w[1])
+			if gi != wi || gc != wc || gok != wok {
+				t.Fatalf("refs=%v window %v: Dominant (%d,%d,%v) want (%d,%d,%v)", withRefs, w, gi, gc, gok, wi, wc, wok)
+			}
+			if g, w2 := rt.Cover(w[0], w[1]), orig.Cover(w[0], w[1]); g != w2 {
+				t.Fatalf("refs=%v window %v: Cover %d want %d", withRefs, w, g, w2)
+			}
+			if gok && rt.Ref(gi) != orig.Ref(wi) {
+				t.Fatalf("refs=%v window %v: Ref %d want %d", withRefs, w, rt.Ref(gi), orig.Ref(wi))
+			}
+		}
+	}
+}

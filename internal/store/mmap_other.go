@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without a usable mmap read the file onto the heap instead;
+// Open falls back on this error.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return nil, false, errors.New("store: mmap unsupported on this platform")
+}
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and shared, so pages are
+// loaded lazily on first touch and evicted under memory pressure.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, false, syscall.EINVAL
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

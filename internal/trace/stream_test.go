@@ -300,3 +300,121 @@ func TestOpenStream(t *testing.T) {
 		t.Fatal("OpenStream accepted a gzip trace")
 	}
 }
+
+// eofReader returns data together with io.EOF in the SAME Read call —
+// the (n > 0, io.EOF) contract io.Reader explicitly allows and some
+// wrappers (and iotest.DataErrReader) exercise. A Poll that checks the
+// error before consuming the bytes would silently drop the final chunk.
+type eofReader struct {
+	data []byte
+	off  int
+}
+
+func (r *eofReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if r.off >= len(r.data) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// TestStreamReaderDataWithEOF: bytes delivered in the same call as
+// io.EOF are decoded, not dropped.
+func TestStreamReaderDataWithEOF(t *testing.T) {
+	data := streamTestTrace(t)
+	var want RecordBatch
+	want.MaxCPU = -1
+	if err := ReadBatched(bytes.NewReader(data), 1, func(b *RecordBatch) error {
+		collectBatches(&want, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(&eofReader{data: data})
+	var got RecordBatch
+	got.MaxCPU = -1
+	if _, err := sr.Poll(func(b *RecordBatch) error {
+		collectBatches(&got, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Consumed() != int64(len(data)) {
+		t.Fatalf("consumed %d, want %d", sr.Consumed(), len(data))
+	}
+	if err := sr.Done(); err != nil {
+		t.Fatalf("Done = %v", err)
+	}
+	if !reflect.DeepEqual(&got, &want) {
+		t.Fatal("records read with (n>0, io.EOF) differ from batch read")
+	}
+}
+
+// zeroThenReader returns (0, nil) — a producer that touched the file
+// without appending — before each real chunk.
+type zeroThenReader struct {
+	inner *limitedReader
+	zero  bool
+}
+
+func (r *zeroThenReader) Read(p []byte) (int, error) {
+	if r.zero = !r.zero; r.zero {
+		return 0, nil
+	}
+	return r.inner.Read(p)
+}
+
+// TestStreamReaderZeroByteReads: interleaved zero-byte reads neither
+// hang Poll nor end it early — decoding picks up where it left off.
+func TestStreamReaderZeroByteReads(t *testing.T) {
+	data := streamTestTrace(t)
+	inner := &limitedReader{data: data}
+	sr := NewStreamReader(&zeroThenReader{inner: inner})
+	records := 0
+	for inner.limit < len(data) {
+		inner.limit += 1000
+		if inner.limit > len(data) {
+			inner.limit = len(data)
+		}
+		// Poll until this window is drained: each Poll may stop at a
+		// zero-byte read with bytes still available.
+		for sr.Consumed()+int64(sr.Buffered()) < int64(inner.limit) {
+			n, err := sr.Poll(func(*RecordBatch) error { return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			records += n
+		}
+	}
+	for sr.Consumed() < int64(len(data)) {
+		n, err := sr.Poll(func(*RecordBatch) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		records += n
+	}
+	if err := sr.Done(); err != nil {
+		t.Fatalf("Done = %v", err)
+	}
+	if records == 0 {
+		t.Fatal("no records decoded")
+	}
+	var want RecordBatch
+	want.MaxCPU = -1
+	wantRecords := 0
+	if err := ReadBatched(bytes.NewReader(data), 1, func(b *RecordBatch) error {
+		wantRecords += len(b.Topologies) + len(b.TaskTypes) + len(b.Tasks) +
+			len(b.States) + len(b.Discrete) + len(b.Descs) +
+			len(b.Samples) + len(b.Comms) + len(b.Regions)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if records != wantRecords {
+		t.Fatalf("decoded %d records, want %d", records, wantRecords)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"io"
 	"net/http"
 	"net/url"
 	"path"
@@ -35,6 +36,7 @@ type Hub struct {
 	servers map[string]*Server
 	names   []string // registration order
 	cache   *responseCache
+	closers []io.Closer
 }
 
 // NewHub returns an empty hub with a shared response cache.
@@ -72,6 +74,43 @@ func (h *Hub) Add(name string, src query.Source) error {
 	h.servers[name] = newServer(src, name, h.cache, scope)
 	h.names = append(h.names, name)
 	return nil
+}
+
+// AddCloser registers a resource torn down by Close alongside the
+// hub's sources — typically the follower that feeds a live trace (its
+// Close stops the poll goroutine and releases the trace file handle).
+func (h *Hub) AddCloser(c io.Closer) {
+	h.mu.Lock()
+	h.closers = append(h.closers, c)
+	h.mu.Unlock()
+}
+
+// Close tears down the hub: every closer registered with AddCloser is
+// closed, then every registered source that implements io.Closer (live
+// traces flush their background spill compactions; store-backed static
+// traces release their file mappings). The first error wins; all
+// closers run regardless. The hub must not serve requests after Close.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	closers := h.closers
+	h.closers = nil
+	servers := make([]*Server, 0, len(h.names))
+	for _, n := range h.names {
+		servers = append(servers, h.servers[n])
+	}
+	h.mu.Unlock()
+	var first error
+	for _, c := range closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, srv := range servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Server returns the mounted viewer for a registered trace (for

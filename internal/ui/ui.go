@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -77,6 +78,21 @@ type Server struct {
 	statusMu   sync.Mutex
 	statusSnap *core.Trace
 	statusResp liveResponse
+}
+
+// Close releases the server's trace source, if it owns releasable
+// resources: a live trace flushes its background spill compactions, a
+// store-backed static trace unmaps its snapshot file. Sources without
+// an io.Closer side (plain loaded traces) make Close a no-op. The
+// server must not serve requests after Close.
+func (s *Server) Close() error {
+	if c, ok := s.src.(io.Closer); ok {
+		return c.Close()
+	}
+	if s.Trace != nil {
+		return s.Trace.Close()
+	}
+	return nil
 }
 
 // SetAnnotations attaches an annotation set overlaid on every rendered
@@ -688,6 +704,21 @@ type liveResponse struct {
 	// snapshots served remain valid, but no further data will arrive,
 	// and pollers must not mistake the frozen epoch for a quiet run.
 	Error string `json:"error,omitempty"`
+	// Spill reports the live trace's epoch-spilling state when
+	// retention is enabled and data has spilled; absent otherwise.
+	Spill *spillStatus `json:"spill,omitempty"`
+}
+
+// spillStatus is the /live view of core.SpillStats: how much of the
+// trace lives in on-disk segment files, how much was aged out under
+// the retention budget, and whether background compaction failed.
+type spillStatus struct {
+	Segments     int    `json:"segments"`
+	SpilledBytes int64  `json:"spilled_bytes"`
+	Pending      int    `json:"pending"`
+	DroppedSegs  int    `json:"dropped_segs,omitempty"`
+	DroppedBytes int64  `json:"dropped_bytes,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // liveStatus builds the ingest-status summary for the current
@@ -710,13 +741,17 @@ func (s *Server) liveStatus() liveResponse {
 			Types:    len(tr.Types),
 			Counters: len(tr.Counters),
 		}
-		for i := range tr.CPUs {
-			c := &tr.CPUs[i]
-			resp.Events += int64(len(c.States) + len(c.Discrete) + len(c.Comm))
-		}
-		for _, c := range tr.Counters {
-			for cpu := range c.PerCPU {
-				resp.Samples += int64(len(c.PerCPU[cpu]))
+		// EventCounts includes spilled columns, which the raw PerCPU
+		// array lengths no longer cover.
+		resp.Events, resp.Samples = tr.EventCounts()
+		if st, ok := tr.SpillStats(); ok {
+			resp.Spill = &spillStatus{
+				Segments:     st.Segments,
+				SpilledBytes: st.SpilledBytes,
+				Pending:      st.Pending,
+				DroppedSegs:  st.DroppedSegs,
+				DroppedBytes: st.DroppedBytes,
+				Error:        st.Err,
 			}
 		}
 		s.statusSnap, s.statusResp = tr, resp

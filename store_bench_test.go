@@ -1,0 +1,161 @@
+package aftermath
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// storeBenchBytes hand-writes a trace stream with n short state
+// intervals and counter samples per CPU — sized precisely, unlike the
+// simulator's workloads, so the two StoreOpen corpora can differ by a
+// known factor.
+func storeBenchBytes(tb testing.TB, nCPU, perCPU int) []byte {
+	tb.Helper()
+	var buf traceBuffer
+	w := trace.NewWriter(&buf)
+	must := func(err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	nodeOf := make([]int32, nCPU)
+	must(w.WriteTopology(trace.Topology{Name: "bench", NumNodes: 1, NodeOfCPU: nodeOf, Distance: []int32{0}}))
+	must(w.WriteTaskType(trace.TaskType{ID: 1, Addr: 0x40, Name: "work"}))
+	must(w.WriteCounterDesc(trace.CounterDesc{ID: 2, Name: "cycles", Monotonic: true}))
+	// Tasks are sparse relative to events: task metadata stays in RAM
+	// for the trace's whole life (spilling covers the event and sample
+	// columns), so an event-dense stream is the shape where retention
+	// pays.
+	id := trace.TaskID(1)
+	for i := 0; i < perCPU; i++ {
+		t0 := int64(10 * i)
+		for c := 0; c < nCPU; c++ {
+			if i%64 == 0 {
+				must(w.WriteTask(trace.Task{ID: id, Type: 1, Created: t0, CreatorCPU: int32(c)}))
+				id++
+			}
+			must(w.WriteState(trace.StateEvent{CPU: int32(c), State: trace.StateTaskExec, Start: t0, End: t0 + 8, Task: 0}))
+			must(w.WriteSample(trace.CounterSample{CPU: int32(c), Counter: 2, Time: t0, Value: int64(i) * 100}))
+		}
+	}
+	must(w.Flush())
+	return buf.data
+}
+
+// BenchmarkStoreOpen measures opening a columnar snapshot file
+// (SaveSnapshot/Open) for a small and a ~50x larger trace. The format
+// opens by mapping the file and adopting the columns zero-copy, so the
+// per-open cost is parsing the meta section — O(CPUs + counters), not
+// O(events) — and the large/small ns/op ratio must stay far below the
+// ~50x size ratio. CI enforces the ceiling with
+// benchgate -bench BenchmarkStoreOpen -fast small -slow large -max.
+func BenchmarkStoreOpen(b *testing.B) {
+	dir := b.TempDir()
+	sizes := map[string]int{"small": 400, "large": 20000}
+	paths := map[string]string{}
+	for name, perCPU := range sizes {
+		tr, err := OpenReader(byteReader(storeBenchBytes(b, 16, perCPU)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".atms")
+		if err := SaveSnapshot(tr, path); err != nil {
+			b.Fatal(err)
+		}
+		paths[name] = path
+	}
+	small, _ := os.Stat(paths["small"])
+	large, _ := os.Stat(paths["large"])
+	b.Logf("snapshot sizes: small %d bytes, large %d bytes (%.0fx)",
+		small.Size(), large.Size(), float64(large.Size())/float64(small.Size()))
+	for _, name := range []string{"small", "large"} {
+		path := paths[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tr.CPUs) != 16 {
+					b.Fatal("snapshot lost its CPUs")
+				}
+				tr.Close()
+			}
+		})
+	}
+}
+
+// liveHeap returns the post-GC live heap, the stable measure of what
+// the ingest side retains.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// BenchmarkFollowRetention measures the ingest-side heap a long follow
+// retains, with and without epoch spilling, as the custom peak-bytes
+// metric. "unbounded" is the pre-spilling behavior: every decoded
+// column stays in RAM forever, so peak heap grows with the trace.
+// "spill" freezes cold epochs to columnar segment files under a small
+// RAM budget and ages the oldest segments out; its peak stays near the
+// budget (mapped segment pages are the kernel's to reclaim and do not
+// count against the heap). CI enforces a floor on unbounded/spill with
+// benchgate -metric peak-bytes.
+func BenchmarkFollowRetention(b *testing.B) {
+	data := storeBenchBytes(b, 16, 24000)
+	run := func(b *testing.B, pol core.RetentionPolicy) {
+		for i := 0; i < b.N; i++ {
+			base := liveHeap()
+			var peak uint64
+			lv := core.NewLive()
+			if pol.Dir != "" {
+				pol.Dir = b.TempDir()
+				lv.SetRetention(pol)
+			}
+			g := &growingTrace{data: data}
+			sr := trace.NewStreamReader(g)
+			const steps = 8
+			for g.limit < len(data) {
+				g.limit += len(data)/steps + 1
+				if g.limit > len(data) {
+					g.limit = len(data)
+				}
+				if _, err := lv.Feed(sr); err != nil {
+					b.Fatal(err)
+				}
+				if h := liveHeap(); h > base && h-base > peak {
+					peak = h - base
+				}
+			}
+			snap, _ := lv.Snapshot()
+			if events, _ := snap.EventCounts(); events == 0 {
+				b.Fatal("follow ingested nothing")
+			}
+			if pol.Dir != "" {
+				if st, ok := snap.SpillStats(); !ok || st.Segments == 0 {
+					b.Fatal("retention enabled but nothing spilled")
+				}
+			}
+			if err := lv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(peak), "peak-bytes")
+		}
+	}
+	b.Run("unbounded", func(b *testing.B) { run(b, core.RetentionPolicy{}) })
+	b.Run("spill", func(b *testing.B) {
+		run(b, core.RetentionPolicy{
+			Dir:        "pending", // replaced by a per-iteration TempDir
+			SpillBytes: 256 << 10,
+			MaxBytes:   8 << 20,
+			Sync:       true,
+		})
+	})
+}

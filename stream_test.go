@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -192,6 +193,164 @@ func TestStreamEqualsBatch(t *testing.T) {
 						t.Fatalf("consumed %d of %d bytes", sr.Consumed(), len(data))
 					}
 				})
+			}
+		})
+	}
+}
+
+// assertSpilledEqualsBatch is assertStreamEqualsBatch for snapshots
+// whose event columns may live in spilled segment files: raw tables
+// that never spill compare directly, the per-CPU event and sample
+// columns compare through the stitched accessors (full-range windows,
+// so zero-length states at the span edges are included), and every
+// derived layer (metrics, anomaly ranking with and without the index,
+// timeline pixels) must be byte-identical to the cold load.
+func assertSpilledEqualsBatch(t *testing.T, ctx string, snap, cold *core.Trace) {
+	t.Helper()
+	if snap.Span != cold.Span {
+		t.Fatalf("%s: span = %+v, want %+v", ctx, snap.Span, cold.Span)
+	}
+	if !reflect.DeepEqual(snap.Topology, cold.Topology) {
+		t.Fatalf("%s: topology differs", ctx)
+	}
+	if !reflect.DeepEqual(snap.Tasks, cold.Tasks) {
+		t.Fatalf("%s: task tables differ (%d vs %d tasks)", ctx, len(snap.Tasks), len(cold.Tasks))
+	}
+	if !reflect.DeepEqual(snap.Types, cold.Types) {
+		t.Fatalf("%s: type tables differ", ctx)
+	}
+	if !reflect.DeepEqual(snap.Regions, cold.Regions) {
+		t.Fatalf("%s: region tables differ", ctx)
+	}
+	if snap.NumCPUs() != cold.NumCPUs() {
+		t.Fatalf("%s: %d CPUs, want %d", ctx, snap.NumCPUs(), cold.NumCPUs())
+	}
+	const lo, hi = math.MinInt64, math.MaxInt64
+	for cpu := int32(0); int(cpu) < cold.NumCPUs(); cpu++ {
+		gs, ws := snap.StatesIn(cpu, lo, hi), cold.CPUs[cpu].States
+		if len(gs) != len(ws) || (len(ws) > 0 && !reflect.DeepEqual(gs, ws)) {
+			t.Fatalf("%s: cpu %d states differ (%d vs %d)", ctx, cpu, len(gs), len(ws))
+		}
+		gd, wd := snap.DiscreteIn(cpu, lo, hi), cold.CPUs[cpu].Discrete
+		if len(gd) != len(wd) || (len(wd) > 0 && !reflect.DeepEqual(gd, wd)) {
+			t.Fatalf("%s: cpu %d discrete events differ (%d vs %d)", ctx, cpu, len(gd), len(wd))
+		}
+		gc, wc := snap.CommIn(cpu, lo, hi), cold.CPUs[cpu].Comm
+		if len(gc) != len(wc) || (len(wc) > 0 && !reflect.DeepEqual(gc, wc)) {
+			t.Fatalf("%s: cpu %d comm events differ (%d vs %d)", ctx, cpu, len(gc), len(wc))
+		}
+	}
+	if len(snap.Counters) != len(cold.Counters) {
+		t.Fatalf("%s: %d counters, want %d", ctx, len(snap.Counters), len(cold.Counters))
+	}
+	for i := range snap.Counters {
+		if snap.Counters[i].Desc != cold.Counters[i].Desc {
+			t.Fatalf("%s: counter %d desc differs", ctx, i)
+		}
+		for cpu := range cold.Counters[i].PerCPU {
+			gs := snap.Counters[i].Samples(int32(cpu))
+			ws := cold.Counters[i].PerCPU[cpu]
+			if len(gs) != len(ws) || (len(ws) > 0 && !reflect.DeepEqual(gs, ws)) {
+				t.Fatalf("%s: counter %d cpu %d samples differ (%d vs %d)", ctx, i, cpu, len(gs), len(ws))
+			}
+		}
+	}
+	ge, gsm := snap.EventCounts()
+	we, wsm := cold.EventCounts()
+	if ge != we || gsm != wsm {
+		t.Fatalf("%s: EventCounts (%d, %d), want (%d, %d)", ctx, ge, gsm, we, wsm)
+	}
+
+	gi := metrics.WorkersInState(snap, trace.StateIdle, 64)
+	wi := metrics.WorkersInState(cold, trace.StateIdle, 64)
+	if !reflect.DeepEqual(gi, wi) {
+		t.Fatalf("%s: WorkersInState series differ", ctx)
+	}
+	gd := metrics.AverageTaskDuration(snap, 48, nil)
+	wd := metrics.AverageTaskDuration(cold, 48, nil)
+	if !reflect.DeepEqual(gd, wd) {
+		t.Fatalf("%s: AverageTaskDuration series differ", ctx)
+	}
+	ga := anomaly.Scan(snap, anomaly.Config{})
+	wa := anomaly.Scan(cold, anomaly.Config{})
+	if !reflect.DeepEqual(ga, wa) {
+		t.Fatalf("%s: anomaly rankings differ (%d vs %d findings)", ctx, len(ga), len(wa))
+	}
+	na := anomaly.Scan(snap, anomaly.Config{NoIndex: true})
+	if !reflect.DeepEqual(ga, na) {
+		t.Fatalf("%s: indexed and NoIndex anomaly rankings differ", ctx)
+	}
+	if snap.Span.Duration() > 0 {
+		cfg := render.TimelineConfig{Width: 320, Height: 120, Mode: render.ModeState}
+		gfb, _, gerr := render.Timeline(snap, cfg)
+		wfb, _, werr := render.Timeline(cold, cfg)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("%s: timeline errors differ: %v vs %v", ctx, gerr, werr)
+		}
+		if gerr == nil && !bytes.Equal(gfb.Img.Pix, wfb.Img.Pix) {
+			t.Fatalf("%s: timeline pixels differ", ctx)
+		}
+	}
+}
+
+// TestStreamEqualsBatchSpilled reruns the batch-equivalence harness
+// with epoch spilling forced at every publish (a 1-byte RAM budget and
+// synchronous compaction), so each randomized checkpoint boundary is
+// also a spill boundary. Snapshots whose columns are stitched from
+// mmap-backed segment files and the RAM tail must stay byte-identical
+// to cold loads of the consumed prefix across every layer.
+func TestStreamEqualsBatchSpilled(t *testing.T) {
+	data := simTraceBytes(t, 6, 4)
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := &growingTrace{data: data}
+			sr := trace.NewStreamReader(g)
+			lv := core.NewLive()
+			lv.SetRetention(core.RetentionPolicy{
+				Dir:        t.TempDir(),
+				SpillBytes: 1,
+				Sync:       true,
+			})
+			defer lv.Close()
+			const checkpoints = 12
+			step := len(data) / checkpoints
+			for k := 1; k <= checkpoints; k++ {
+				if k == checkpoints {
+					g.limit = len(data)
+				} else {
+					g.limit += 1 + rng.Intn(2*step)
+					if g.limit > len(data) {
+						g.limit = len(data)
+					}
+				}
+				if _, err := lv.Feed(sr); err != nil {
+					t.Fatalf("checkpoint %d: feed: %v", k, err)
+				}
+				off := sr.Consumed()
+				if off == 0 {
+					continue
+				}
+				snap, _ := lv.Snapshot()
+				cold, err := core.FromReader(bytes.NewReader(data[:off]))
+				if err != nil {
+					t.Fatalf("checkpoint %d: cold load of %d-byte prefix: %v", k, off, err)
+				}
+				assertSpilledEqualsBatch(t, fmt.Sprintf("checkpoint %d (offset %d)", k, off), snap, cold)
+			}
+			if err := sr.Done(); err != nil {
+				t.Fatalf("stream did not end cleanly: %v", err)
+			}
+			snap, _ := lv.Snapshot()
+			st, ok := snap.SpillStats()
+			if !ok || st.Segments == 0 {
+				t.Fatalf("spilling never engaged: stats %+v ok %v", st, ok)
+			}
+			if st.Err != "" {
+				t.Fatalf("segment compaction failed: %s", st.Err)
+			}
+			if st.Pending != 0 {
+				t.Fatalf("%d segments still pending under Sync", st.Pending)
 			}
 		})
 	}
