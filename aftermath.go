@@ -239,6 +239,12 @@ func OpenReader(r io.Reader) (*Trace, error) { return core.FromReader(r) }
 // unchanged.
 type LiveTrace = core.Live
 
+// TraceEvent is one push notification from LiveTrace.Watch: an epoch
+// advance, a sticky ingest error, and/or a spill-state change.
+// Subscriptions coalesce — a slow consumer's next receive always
+// describes the latest published state, never a backlog.
+type TraceEvent = core.TraceEvent
+
 // RecordBatch is a decoded group of trace records, as produced by a
 // StreamReader poll and consumed by LiveTrace.Append.
 type RecordBatch = trace.RecordBatch

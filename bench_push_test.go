@@ -1,0 +1,100 @@
+package aftermath
+
+import (
+	"context"
+	"testing"
+
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// pushBatch builds one small record batch at sequence position i —
+// the per-tick append of a live follow loop.
+func pushBatch(i int) *trace.RecordBatch {
+	base := int64(i) * 64
+	states := make([]trace.StateEvent, 8)
+	for c := range states {
+		states[c] = trace.StateEvent{
+			CPU: int32(c), State: trace.StateTaskExec,
+			Task:  trace.TaskID(i*8 + c + 1),
+			Start: base, End: base + 32,
+		}
+	}
+	return &trace.RecordBatch{States: states}
+}
+
+// seededLive returns a live trace with some published history, so the
+// measured publishes are steady-state, not cold-start.
+func seededLive(b *testing.B) *core.Live {
+	b.Helper()
+	lv := core.NewLive()
+	for i := 0; i < 64; i++ {
+		if err := lv.Append(pushBatch(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	lv.Publish()
+	return lv
+}
+
+// BenchmarkPushLatency measures the cost of the push channel on the
+// publish path (CI gates notified/publish — the end-to-end latency of
+// a watched publish must stay within a small factor of an unwatched
+// one):
+//
+//	publish    append+publish with no subscriber — the baseline
+//	notified   append+publish+receive through a Watch subscription —
+//	           the end-to-end push latency a /events client sees
+//	coalesced  eight unread publishes, then one receive: the one-slot
+//	           buffer merges the backlog, so a lagging subscriber
+//	           costs eight cheap merges, not eight deliveries
+func BenchmarkPushLatency(b *testing.B) {
+	b.Run("publish", func(b *testing.B) {
+		lv := seededLive(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := lv.Append(pushBatch(64 + i)); err != nil {
+				b.Fatal(err)
+			}
+			lv.Publish()
+		}
+	})
+	b.Run("notified", func(b *testing.B) {
+		lv := seededLive(b)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ch := lv.Watch(ctx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := lv.Append(pushBatch(64 + i)); err != nil {
+				b.Fatal(err)
+			}
+			_, epoch := lv.Publish()
+			for ev := range ch {
+				if ev.Epoch >= epoch {
+					break
+				}
+			}
+		}
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		lv := seededLive(b)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ch := lv.Watch(ctx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var epoch uint64
+			for k := 0; k < 8; k++ {
+				if err := lv.Append(pushBatch((64+i)*8 + k)); err != nil {
+					b.Fatal(err)
+				}
+				_, epoch = lv.Publish()
+			}
+			ev := <-ch
+			if ev.Epoch != epoch {
+				b.Fatalf("coalesced receive saw epoch %d, want latest %d", ev.Epoch, epoch)
+			}
+		}
+	})
+}

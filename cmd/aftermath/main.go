@@ -48,6 +48,7 @@ func main() {
 		annOut   = flag.String("annotations", "", "write the top anomalies as an annotation JSON file")
 		follow   = flag.Bool("follow", false, "tail a trace that is still being written and serve it live (requires -http; uncompressed traces only)")
 		pollIv   = flag.Duration("poll", 500*time.Millisecond, "poll interval for -follow mode")
+		push     = flag.Bool("push", true, "with -follow/-serve: enable the /events push channel (SSE epoch streams); -push=false falls back to polling /live")
 		serve    = flag.Bool("serve", false, "serve a multi-trace hub over the given trace files and directories (requires -http; with -follow, uncompressed traces are tailed live)")
 
 		spillDir    = flag.String("spill-dir", "", "with -follow: spill frozen live-trace epochs to columnar segment files under this directory, bounding ingest RAM (a subdirectory per trace is created)")
@@ -70,7 +71,7 @@ func main() {
 		httpAddr: *httpAddr, dotOut: *dotOut, dotMax: *dotMax,
 		width: *width, rows: *rows, nmPath: *nmPath,
 		anomalies: *anoms, anomTop: *anomTop, anomMinScore: *anomMin, annOut: *annOut,
-		follow: *follow, pollEvery: *pollIv,
+		follow: *follow, pollEvery: *pollIv, push: *push,
 		spillDir: *spillDir, spillBytes: *spillBytes,
 		retainBytes: *retainBytes, retainAge: *retainAge,
 	}
@@ -98,6 +99,7 @@ type runOptions struct {
 	annOut                   string
 	follow                   bool
 	pollEvery                time.Duration
+	push                     bool
 
 	spillDir                string
 	spillBytes, retainBytes int64
@@ -260,7 +262,9 @@ func runServe(args []string, o runOptions) error {
 		}
 		fmt.Printf("  /t/%s/ <- %s (%d tasks, %d CPUs)\n", name, path, len(tr.Tasks), tr.NumCPUs())
 	}
-	fmt.Printf("serving %d traces on http://%s (index at /, JSON listing at /traces)\n",
+	// After registration: SetPush propagates to every mounted viewer.
+	hub.SetPush(o.push)
+	fmt.Printf("serving %d traces on http://%s (index at /, JSON listing at /traces, push events at /events)\n",
 		len(hub.Names()), o.httpAddr)
 	return http.ListenAndServe(o.httpAddr, hub)
 }
@@ -310,7 +314,8 @@ func runFollow(path string, o runOptions) error {
 	fmt.Printf("following %s: epoch %d, %d tasks, %d CPUs, span %d cycles so far\n",
 		path, epoch, len(tr.Tasks), tr.NumCPUs(), tr.Span.Duration())
 	viewer := aftermath.NewLiveViewer(lv, path)
-	fmt.Printf("serving live viewer on http://%s (polling every %s; /live reports ingest status)\n",
+	viewer.SetPush(o.push)
+	fmt.Printf("serving live viewer on http://%s (polling every %s; /live reports ingest status, /events pushes epoch advances)\n",
 		o.httpAddr, o.pollEvery)
 	return http.ListenAndServe(o.httpAddr, viewer)
 }

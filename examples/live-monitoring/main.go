@@ -8,6 +8,12 @@
 // byte-identical to a cold load of the file's current prefix, so
 // nothing about the analysis changes — only when it can start.
 //
+// The monitoring client here is push-based: instead of polling /live
+// for an epoch change, it subscribes once to the viewer's /events
+// stream (Server-Sent Events) and is told the moment a publish
+// happens. Subscriptions coalesce — a slow client's next event always
+// describes the latest epoch, never a backlog.
+//
 // The same loop backs the CLI:
 //
 //	aftermath -follow -http :8080 trace.atm
@@ -16,14 +22,29 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	aftermath "github.com/openstream/aftermath"
 )
+
+// epochEvent is the subset of the /events "epoch" payload (the /live
+// status body) this client cares about.
+type epochEvent struct {
+	Epoch uint64 `json:"epoch"`
+	Tasks int    `json:"tasks"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	Error string `json:"error"`
+}
 
 func main() {
 	// 1. Simulate a seidel run into memory: this stands in for any
@@ -42,7 +63,9 @@ func main() {
 	fmt.Printf("simulated trace: %d bytes\n", len(buf.data))
 
 	// 2. The producer: write the trace to disk in bursts, the way a
-	//    tracing runtime flushes its buffers while the job runs.
+	//    tracing runtime flushes its buffers while the job runs. The
+	//    first burst is written before the follower opens the file, so
+	//    its opening feed already sees the stream header.
 	dir, err := os.MkdirTemp("", "aftermath-live")
 	if err != nil {
 		log.Fatal(err)
@@ -53,67 +76,119 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	const bursts = 12
+	chunk := len(buf.data)/bursts + 1
+	if _, err := f.Write(buf.data[:chunk]); err != nil {
+		log.Fatal(err)
+	}
 	producerDone := make(chan struct{})
 	go func() {
 		defer close(producerDone)
 		defer f.Close()
-		const bursts = 12
-		chunk := len(buf.data)/bursts + 1
-		for off := 0; off < len(buf.data); off += chunk {
+		for off := chunk; off < len(buf.data); off += chunk {
 			end := off + chunk
 			if end > len(buf.data) {
 				end = len(buf.data)
 			}
+			time.Sleep(40 * time.Millisecond) // the job is still computing
 			if _, err := f.Write(buf.data[off:end]); err != nil {
 				log.Fatal(err)
 			}
-			time.Sleep(40 * time.Millisecond) // the job is still computing
 		}
 	}()
 
-	// 3. The follower: tail the growing file. Each Feed polls the
-	//    stream, appends the newly arrived records and publishes a new
-	//    epoch; Snapshot hands back an immutable trace any analysis in
-	//    this package accepts.
-	rc, err := aftermath.OpenTraceStream(path)
+	// 3. The follower and its live viewer: FollowTrace tails the
+	//    growing file on a poll loop, publishing an epoch whenever new
+	//    records arrive; the viewer serves the full analysis UI over
+	//    the live trace, and its /events endpoint pushes every epoch
+	//    advance to subscribed clients.
+	lv := aftermath.NewLiveTrace()
+	follower, err := aftermath.FollowTrace(lv, path, 25*time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rc.Close()
-	lv := aftermath.NewLiveTrace()
-	sr := aftermath.NewStreamReader(rc)
-	done := false
-	for !done {
-		select {
-		case <-producerDone:
-			done = true
-		case <-time.After(25 * time.Millisecond):
-		}
-		n, err := lv.Feed(sr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if n == 0 && !done {
-			continue
-		}
-		tr, epoch := lv.Snapshot()
-		// Any query works mid-ingest: here the current span, task count
-		// and the early anomaly ranking.
-		found := aftermath.ScanAnomalies(tr, aftermath.AnomalyConfig{})
-		fmt.Printf("epoch %2d: %7d bytes ingested, %4d tasks, span %9d cycles, %2d anomalies\n",
-			epoch, sr.Consumed(), len(tr.Tasks), tr.Span.Duration(), len(found))
-	}
-	// Drain whatever the producer flushed after our last poll.
-	if _, err := lv.Feed(sr); err != nil {
+	defer follower.Close()
+	viewer := aftermath.NewLiveViewer(lv, "run.atm")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sr.Done(); err != nil {
-		log.Fatalf("stream ended mid-record: %v", err)
+	defer ln.Close()
+	go http.Serve(ln, viewer)
+	base := "http://" + ln.Addr().String()
+
+	// 4. The monitoring client: one GET of /events, then read pushed
+	//    epoch frames off the stream — no polling loop, no /live
+	//    round trips. This is exactly what the viewer's index page
+	//    does in the browser with an EventSource.
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		log.Fatalf("/events content type %q, want text/event-stream", ct)
+	}
+	events := make(chan epochEvent, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var event, data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				if event == "epoch" && data != "" {
+					var ev epochEvent
+					if json.Unmarshal([]byte(data), &ev) == nil {
+						events <- ev
+					}
+				}
+				event, data = "", ""
+			}
+		}
+	}()
+
+	// Consume pushed epochs until the producer has finished and the
+	// follower has gone quiet (a few poll intervals with no event —
+	// the stream itself carries no "end of trace" marker, because the
+	// viewer cannot know the job is done).
+	done := false
+	var last epochEvent
+	for !done {
+		quiet := time.After(250 * time.Millisecond)
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				log.Fatal("event stream closed early")
+			}
+			if ev.Error != "" {
+				log.Fatalf("ingest error pushed: %s", ev.Error)
+			}
+			last = ev
+			tr, _ := lv.Snapshot()
+			found := aftermath.ScanAnomalies(tr, aftermath.AnomalyConfig{})
+			fmt.Printf("pushed epoch %2d: %4d tasks, span %9d cycles, %2d anomalies\n",
+				ev.Epoch, ev.Tasks, ev.End-ev.Start, len(found))
+		case <-quiet:
+			select {
+			case <-producerDone:
+				done = true
+			default:
+			}
+		}
 	}
 
-	// 4. The run is over; the live trace is now simply a loaded trace.
+	// 5. The run is over; the live trace is now simply a loaded trace.
 	//    Its final snapshot matches a cold aftermath.Open of the file.
 	tr, epoch := lv.Snapshot()
+	if epoch != last.Epoch {
+		log.Fatalf("push lagged: last pushed epoch %d, current %d", last.Epoch, epoch)
+	}
 	cold, err := aftermath.Open(path)
 	if err != nil {
 		log.Fatal(err)

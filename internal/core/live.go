@@ -86,6 +86,9 @@ type Live struct {
 
 	snap    atomic.Pointer[liveSnap]
 	lastErr atomic.Pointer[ingestErr]
+
+	// Push subscriptions (watch.go). watch.mu is a leaf lock under mu.
+	watch watchState
 }
 
 // taskRec is the placement record of one task as of the last publish;
@@ -208,10 +211,11 @@ func (lv *Live) Err() error {
 	return nil
 }
 
-// noteErr records the first ingest error.
+// noteErr records the first ingest error and pushes it to watchers.
 func (lv *Live) noteErr(err error) {
 	if err != nil && lv.lastErr.Load() == nil {
 		lv.lastErr.Store(&ingestErr{err})
+		lv.notifyWatchers(TraceEvent{Epoch: lv.Epoch(), Err: err})
 	}
 }
 
@@ -431,6 +435,7 @@ func (lv *Live) publishLocked() (*Trace, uint64) {
 	epoch := lv.snap.Load().epoch + 1
 	lv.snap.Store(&liveSnap{tr: tr, epoch: epoch})
 	lv.maybeSpillLocked()
+	lv.notifyWatchers(TraceEvent{Epoch: epoch, Err: lv.Err()})
 	return tr, epoch
 }
 

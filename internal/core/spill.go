@@ -400,6 +400,7 @@ func (lv *Live) maybeSpillLocked() {
 			if lv.ret.Sync {
 				m, vp, path, err := writeSegment(lv.ret.Dir, seg.id, p)
 				lv.installLocked(seg, m, vp, path, err)
+				lv.notifyWatchers(TraceEvent{Epoch: lv.snap.Load().epoch, SpillChanged: true})
 			} else {
 				lv.spillWG.Add(1)
 				go func() {
@@ -408,6 +409,10 @@ func (lv *Live) maybeSpillLocked() {
 					lv.mu.Lock()
 					lv.installLocked(seg, m, vp, path, err)
 					lv.mu.Unlock()
+					// Background compaction changes the spill state (Pending,
+					// Err) without publishing an epoch: push it so status
+					// surfaces do not serve the pre-compaction state forever.
+					lv.notifyWatchers(TraceEvent{Epoch: lv.Epoch(), SpillChanged: true})
 				}()
 			}
 		}

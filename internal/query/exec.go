@@ -88,6 +88,7 @@ func SeriesOf(tr *core.Trace, q *Query) (metrics.Series, error) {
 	if n <= 0 {
 		n = 200
 	}
+	n = coarsen(n, q.level)
 	switch m := q.metric; m {
 	case "", "idle":
 		return metrics.WorkersInState(tr, trace.StateIdle, n), nil
@@ -99,6 +100,22 @@ func SeriesOf(tr *core.Trace, q *Query) (metrics.Series, error) {
 		}
 		return metrics.Series{}, fmt.Errorf("unknown metric %q (want idle, avgdur or a counter name)", m)
 	}
+}
+
+// coarsen divides a positive pixel resolution by 2^level (floor 1) —
+// the progressive-refinement reduction. Zero and negative values keep
+// meaning "use the executor's default" and pass through untouched.
+func coarsen(n, level int) int {
+	if n <= 0 || level <= 0 {
+		return n
+	}
+	if level > 30 {
+		level = 30
+	}
+	if n >>= uint(level); n < 1 {
+		return 1
+	}
+	return n
 }
 
 // StatsResult is the statistics-panel summary for one window: the
@@ -165,8 +182,17 @@ func TimelineConfigOf(tr *core.Trace, q *Query) render.TimelineConfig {
 	if q.modeSet {
 		mode = q.mode
 	}
+	// A coarsened width must stay renderable: level only divides the
+	// plot resolution, it must not shrink the tile below the label
+	// gutter the renderer still has to draw.
+	w := coarsen(q.width, q.level)
+	if q.level > 0 {
+		if min := render.MinTimelineWidth(!q.labelsOff); w > 0 && w < min {
+			w = min
+		}
+	}
 	return render.TimelineConfig{
-		Width: q.width, Height: q.height,
+		Width: w, Height: q.height,
 		Start: t0, End: t1,
 		CPUs:    q.cpus,
 		Mode:    mode,

@@ -26,6 +26,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,6 +58,25 @@ type LiveSource interface {
 	Source
 	// Err returns the sticky ingest error, or nil while healthy.
 	Err() error
+}
+
+// WatchSource is implemented by sources that can push change
+// notifications (core.Live): Watch subscribes to epoch advances,
+// sticky ingest errors and spill-state changes, with drop-to-latest
+// coalescing per subscriber. Serving layers use it to hold SSE streams
+// open instead of making clients poll.
+type WatchSource interface {
+	Source
+	Watch(ctx context.Context) <-chan core.TraceEvent
+}
+
+// SpillSource is implemented by sources whose CURRENT spill/retention
+// state can differ from the published snapshot's (core.Live: background
+// compactions install without publishing). Status surfaces prefer it
+// over the snapshot's SpillStats.
+type SpillSource interface {
+	Source
+	SpillStats() (core.SpillStats, bool)
 }
 
 // StaticSource is implemented by sources wrapping one immutable
@@ -99,6 +119,7 @@ type Query struct {
 	cpus    []int32
 
 	width, height    int
+	level            int
 	labelsOff        bool
 	heatMin, heatMax trace.Time
 	shades           int
@@ -219,6 +240,21 @@ func (q *Query) CPUs(cpus ...int32) *Query {
 // Size sets the pixel dimensions of a rendering.
 func (q *Query) Size(w, h int) *Query { q.width, q.height = w, h; return q }
 
+// Level selects a coarse resolution for progressive refinement: the
+// effective pixel resolution (timeline width, series interval count)
+// is divided by 2^level, so a level-N response renders from ~2^N times
+// fewer pyramid cells and arrives fast enough to paint before the
+// exact (level-0) tile is ready. Level 0 — the default — is the exact
+// full-resolution answer; the canonical form includes a non-zero level,
+// so coarse and exact responses never share a cache entry.
+func (q *Query) Level(n int) *Query {
+	if n < 0 {
+		n = 0
+	}
+	q.level = n
+	return q
+}
+
 // Labels toggles CPU row labels (default on).
 func (q *Query) Labels(on bool) *Query { q.labelsOff = !on; return q }
 
@@ -312,7 +348,7 @@ func (q *Query) MatrixOnly(cell int) *Query {
 // filter share one entry.
 func (q *Query) SeriesOnly(width, height int) *Query {
 	c := New().Size(width, height)
-	c.metric, c.intervals = q.metric, q.intervals
+	c.metric, c.intervals, c.level = q.metric, q.intervals, q.level
 	if q.metric == "avgdur" {
 		q.copyFilter(c)
 	}
@@ -396,6 +432,9 @@ func (q *Query) Canonical() string {
 	}
 	if q.height != 0 {
 		num("h", int64(q.height))
+	}
+	if q.level != 0 {
+		num("level", int64(q.level))
 	}
 	if q.labelsOff {
 		field("labels", "0")

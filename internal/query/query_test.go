@@ -333,3 +333,47 @@ func TestWindowAndFilterResolution(t *testing.T) {
 		t.Error("static source does not expose its trace via StaticSource")
 	}
 }
+
+// TestLevelCoarsens: level=N answers from 2^N-times-fewer cells —
+// narrower timeline config, fewer series intervals — while level 0 is
+// byte-identical to not setting a level at all; the canonical form
+// keeps coarse and exact responses on separate cache entries.
+func TestLevelCoarsens(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+
+	exact := New().Size(1100, 420)
+	if got := exact.Clone().Level(0).Canonical(); got != exact.Canonical() {
+		t.Fatalf("level 0 changes the canonical form: %q vs %q", got, exact.Canonical())
+	}
+	coarse := exact.Clone().Level(3)
+	if coarse.Canonical() == exact.Canonical() {
+		t.Fatalf("coarse and exact queries collide on %q", exact.Canonical())
+	}
+	if w := TimelineConfigOf(tr, coarse).Width; w != 1100>>3 {
+		t.Fatalf("level-3 timeline width = %d, want %d", w, 1100>>3)
+	}
+	if w := TimelineConfigOf(tr, exact).Width; w != 1100 {
+		t.Fatalf("exact timeline width = %d, want 1100", w)
+	}
+
+	s, err := SeriesOf(tr, New().Intervals(64).Level(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 64>>2 {
+		t.Fatalf("level-2 series has %d intervals, want %d", len(s.Values), 64>>2)
+	}
+	// Extreme levels floor at one cell instead of vanishing.
+	s, err = SeriesOf(tr, New().Intervals(64).Level(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 1 {
+		t.Fatalf("over-coarse series has %d intervals, want 1", len(s.Values))
+	}
+
+	// SeriesOnly — the plot cache projection — must carry the level.
+	if a, b := exact.SeriesOnly(800, 220).Canonical(), coarse.SeriesOnly(800, 220).Canonical(); a == b {
+		t.Fatalf("SeriesOnly drops the level: both canonicalize to %q", a)
+	}
+}

@@ -105,6 +105,17 @@ type Stats struct {
 	Rects int
 }
 
+// MinTimelineWidth is the smallest width Timeline accepts: with
+// labels, the CPU-label gutter plus one plot column; without, a
+// single column. Callers deriving reduced widths (progressive
+// refinement) clamp against this instead of guessing the gutter.
+func MinTimelineWidth(labels bool) int {
+	if !labels {
+		return 1
+	}
+	return TextWidth("CPU 000 ") + 1
+}
+
 // Timeline renders the timeline and returns the framebuffer with
 // rendering statistics. Rows (one per CPU) are computed on a bounded
 // worker pool; the output is byte-identical to a sequential rendering

@@ -6,7 +6,10 @@
 // intermediate product in 128 bits.
 package tmath
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // MulDiv returns a*b/den (floor division) with the product computed in
 // 128 bits, so it is exact whenever the mathematical result fits in
@@ -30,4 +33,34 @@ func MulDiv(a, b, den int64) int64 {
 	// native overflow semantics.
 	q, _ := bits.Div64(hi, lo, uint64(den))
 	return int64(q)
+}
+
+// SatAdd returns a+b clamped to the int64 range. Window arithmetic on
+// viewer links (zoom out, pan, "the instant after t") runs on raw
+// timestamps that may already sit near MaxInt64; a wrapped sum would
+// produce an inverted window the parameter layer rejects.
+func SatAdd(a, b int64) int64 {
+	s := a + b
+	// Overflow iff both operands share a sign the sum lost.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+// SatSub returns a-b clamped to the int64 range.
+func SatSub(a, b int64) int64 {
+	d := a - b
+	// Overflow iff the operands differ in sign and the difference lost
+	// a's sign.
+	if (a >= 0) != (b >= 0) && (d >= 0) != (a >= 0) {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return d
 }

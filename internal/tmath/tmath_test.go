@@ -55,6 +55,73 @@ func TestMulDivRandomized(t *testing.T) {
 	}
 }
 
+func TestSatAddSub(t *testing.T) {
+	const max, min = int64(math.MaxInt64), int64(math.MinInt64)
+	addCases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{-5, 3, -2},
+		{max, 1, max},
+		{max, max, max},
+		{max - 1, 1, max},
+		{min, -1, min},
+		{min, min, min},
+		{min + 1, -1, min},
+		{max, min, -1},
+		{min, max, -1},
+	}
+	for _, c := range addCases {
+		if got := SatAdd(c.a, c.b); got != c.want {
+			t.Errorf("SatAdd(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	subCases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{3, 2, 1},
+		{2, 3, -1},
+		{max, -1, max},
+		{max, min, max},
+		{min, 1, min},
+		{min, max, min},
+		{0, min, max},  // -MinInt64 is not representable
+		{-1, min, max}, // exactly representable: -1 - min == max
+		{max, max, 0},
+		{min, min, 0},
+	}
+	for _, c := range subCases {
+		if got := SatSub(c.a, c.b); got != c.want {
+			t.Errorf("SatSub(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestSatRandomized checks both helpers against big.Int arithmetic.
+func TestSatRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clamp := func(v *big.Int) int64 {
+		if v.IsInt64() {
+			return v.Int64()
+		}
+		if v.Sign() > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	for i := 0; i < 20000; i++ {
+		a := rng.Uint64()
+		b := rng.Uint64()
+		x, y := int64(a), int64(b)
+		sum := new(big.Int).Add(big.NewInt(x), big.NewInt(y))
+		if got, want := SatAdd(x, y), clamp(sum); got != want {
+			t.Fatalf("SatAdd(%d, %d) = %d, want %d", x, y, got, want)
+		}
+		diff := new(big.Int).Sub(big.NewInt(x), big.NewInt(y))
+		if got, want := SatSub(x, y), clamp(diff); got != want {
+			t.Fatalf("SatSub(%d, %d) = %d, want %d", x, y, got, want)
+		}
+	}
+}
+
 func TestMulDivPanics(t *testing.T) {
 	mustPanic := func(name string, f func()) {
 		defer func() {

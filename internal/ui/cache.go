@@ -15,6 +15,11 @@ type responseCache struct {
 	size     int
 	order    *list.List // front = most recently used
 	items    map[string]*list.Element
+	// flight coalesces concurrent builds of one key (singleflight):
+	// push notifications synchronize clients on epoch advance, so the
+	// same expensive render is requested many times at once; only the
+	// first request builds, the rest wait for its result.
+	flight map[string]*flightCall
 }
 
 // cachedResponse is one stored response body.
@@ -35,7 +40,41 @@ func newResponseCache(maxBytes int) *responseCache {
 		maxBytes: maxBytes,
 		order:    list.New(),
 		items:    make(map[string]*list.Element),
+		flight:   make(map[string]*flightCall),
 	}
+}
+
+// flightCall is one in-flight build. The leader fills ent (or status +
+// err) and closes done; followers block on done and serve the shared
+// result.
+type flightCall struct {
+	done   chan struct{}
+	ent    *cachedResponse
+	status int
+	err    error
+}
+
+// begin registers an in-flight build for key. The first caller per key
+// becomes the leader (leader=true) and MUST call finish exactly once;
+// later callers get the leader's call to wait on.
+func (c *responseCache) begin(key string) (f *flightCall, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flight[key]; ok {
+		return f, false
+	}
+	f = &flightCall{done: make(chan struct{})}
+	c.flight[key] = f
+	return f, true
+}
+
+// finish publishes the leader's result to the waiting followers and
+// retires the flight, so later misses start a fresh build.
+func (c *responseCache) finish(key string, f *flightCall) {
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(f.done)
 }
 
 // get returns the cached response for key and marks it most recently

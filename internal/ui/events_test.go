@@ -1,0 +1,499 @@
+package ui
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/core"
+	"github.com/openstream/aftermath/internal/openstream"
+	"github.com/openstream/aftermath/internal/query"
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// sseEvent is one parsed Server-Sent Events frame.
+type sseEvent struct {
+	name string
+	id   string
+	data string
+}
+
+// sseReader parses frames off an open SSE body into a channel, which
+// closes when the stream does. Comment lines (heartbeats) are skipped.
+func sseReader(body io.Reader) <-chan sseEvent {
+	ch := make(chan sseEvent, 16)
+	go func() {
+		defer close(ch)
+		sc := bufio.NewScanner(body)
+		var ev sseEvent
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if ev.name != "" || ev.data != "" {
+					ch <- ev
+				}
+				ev = sseEvent{}
+			case strings.HasPrefix(line, "event: "):
+				ev.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				ev.data = strings.TrimPrefix(line, "data: ")
+			case strings.HasPrefix(line, "id: "):
+				ev.id = strings.TrimPrefix(line, "id: ")
+			}
+		}
+	}()
+	return ch
+}
+
+// nextEvent waits for the next frame with the given event name,
+// skipping others.
+func nextEvent(t *testing.T, ch <-chan sseEvent, name string) sseEvent {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("SSE stream closed while waiting for %q event", name)
+			}
+			if ev.name == name {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("timeout waiting for SSE %q event", name)
+		}
+	}
+}
+
+// openEvents opens a streaming GET of an SSE path and returns the
+// parsed event channel.
+func openEvents(t *testing.T, base, path string) <-chan sseEvent {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: status %d: %s", path, resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("%s: content type %q, want text/event-stream", path, ct)
+	}
+	return sseReader(resp.Body)
+}
+
+// TestEventsPush is the tentpole flow: a client learns of an epoch
+// advance through /events — no polling — and its re-requested tiles
+// rebuild (MISS) at the new epoch while the old ones were cache HITs.
+func TestEventsPush(t *testing.T) {
+	data := liveTraceBytes(t)
+	g := &growingTraceReader{data: data, limit: len(data) / 2}
+	sr := trace.NewStreamReader(g)
+	lv := core.NewLive()
+	if _, err := lv.Feed(sr); err != nil {
+		t.Fatal(err)
+	}
+	view := NewLiveServer(lv, "push-test")
+	view.heartbeat = 20 * time.Millisecond
+	srv := httptest.NewServer(view)
+	t.Cleanup(srv.Close)
+
+	events := openEvents(t, srv.URL, "/events")
+
+	// Initial frame: the current status, so the client starts without
+	// a separate /live round trip.
+	ev := nextEvent(t, events, "epoch")
+	var st liveResponse
+	if err := json.Unmarshal([]byte(ev.data), &st); err != nil {
+		t.Fatalf("epoch payload not JSON: %s", ev.data)
+	}
+	if st.Epoch != 1 || !st.Live {
+		t.Fatalf("initial epoch event = %+v, want live epoch 1", st)
+	}
+	if ev.id != "1" {
+		t.Errorf("initial event id = %q, want \"1\"", ev.id)
+	}
+
+	const path = "/render?mode=state&w=300&h=100"
+	resp, body := get(t, srv, path)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("first render: status %d X-Cache %q: %s", resp.StatusCode, resp.Header.Get("X-Cache"), body)
+	}
+	if resp, _ = get(t, srv, path); resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("repeated render X-Cache = %q, want HIT", resp.Header.Get("X-Cache"))
+	}
+
+	// Publish the rest; the notification must arrive with no request
+	// in between.
+	g.limit = len(data)
+	if n, err := lv.Feed(sr); err != nil || n == 0 {
+		t.Fatalf("feed = (%d, %v)", n, err)
+	}
+	ev = nextEvent(t, events, "epoch")
+	if err := json.Unmarshal([]byte(ev.data), &st); err != nil {
+		t.Fatalf("epoch payload not JSON: %s", ev.data)
+	}
+	if st.Epoch != 2 {
+		t.Fatalf("pushed epoch = %d, want 2", st.Epoch)
+	}
+
+	// The same URL now rebuilds against the new snapshot.
+	if resp, _ = get(t, srv, path); resp.Header.Get("X-Cache") != "MISS" {
+		t.Errorf("post-publish render X-Cache = %q, want MISS", resp.Header.Get("X-Cache"))
+	}
+}
+
+// TestEventsStaticTrace: a batch trace has no epochs to push, but the
+// stream still opens and carries the initial status frame.
+func TestEventsStatic(t *testing.T) {
+	srv := newTestServer(t)
+	events := openEvents(t, srv.URL, "/events")
+	ev := nextEvent(t, events, "epoch")
+	var st liveResponse
+	if err := json.Unmarshal([]byte(ev.data), &st); err != nil {
+		t.Fatalf("epoch payload not JSON: %s", ev.data)
+	}
+	if st.Live {
+		t.Errorf("static trace reported live: %+v", st)
+	}
+}
+
+// TestEventsIngestError: a sticky ingest error reaches subscribers as
+// an "error" event.
+func TestEventsIngestError(t *testing.T) {
+	data := liveTraceBytes(t)
+	lv := core.NewLive()
+	if _, err := lv.Feed(trace.NewStreamReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	view := NewLiveServer(lv, "err-test")
+	view.heartbeat = 20 * time.Millisecond
+	srv := httptest.NewServer(view)
+	t.Cleanup(srv.Close)
+
+	events := openEvents(t, srv.URL, "/events")
+	nextEvent(t, events, "epoch")
+
+	// A malformed batch poisons the stream.
+	bad := &trace.RecordBatch{States: []trace.StateEvent{{CPU: -1}}}
+	if err := lv.Append(bad); err == nil {
+		t.Fatal("append of malformed batch succeeded")
+	}
+	ev := nextEvent(t, events, "error")
+	var e sseError
+	if err := json.Unmarshal([]byte(ev.data), &e); err != nil || e.Error == "" {
+		t.Fatalf("error payload = %q (%v)", ev.data, err)
+	}
+}
+
+// TestEventsPushDisabled: SetPush(false) turns the channel off.
+func TestEventsPushDisabled(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	view := NewServer(tr, "off-test")
+	view.SetPush(false)
+	srv := httptest.NewServer(view)
+	t.Cleanup(srv.Close)
+	resp, _ := get(t, srv, "/events")
+	if resp.StatusCode != 404 {
+		t.Errorf("/events with push off: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHubEvents: the hub multiplexes several traces onto one stream,
+// tagging payloads with the trace name.
+func TestHubEvents(t *testing.T) {
+	data := liveTraceBytes(t)
+	lv := core.NewLive()
+	if _, err := lv.Feed(trace.NewStreamReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub()
+	hub.heartbeat = 20 * time.Millisecond
+	if err := hub.Add("lv", lv); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Add("batch", query.NewStatic(atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA))); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(hub)
+	t.Cleanup(srv.Close)
+
+	// Default: all registered traces, each with an initial frame.
+	events := openEvents(t, srv.URL, "/events")
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		ev := nextEvent(t, events, "epoch")
+		var ht hubTrace
+		if err := json.Unmarshal([]byte(ev.data), &ht); err != nil {
+			t.Fatalf("hub epoch payload not JSON: %s", ev.data)
+		}
+		seen[ht.Name] = true
+	}
+	if !seen["lv"] || !seen["batch"] {
+		t.Fatalf("initial frames covered %v, want both traces", seen)
+	}
+
+	// Subset selection + live push through the hub stream.
+	sub := openEvents(t, srv.URL, "/events?traces=lv")
+	ev := nextEvent(t, sub, "epoch")
+	var ht hubTrace
+	if err := json.Unmarshal([]byte(ev.data), &ht); err != nil || ht.Name != "lv" {
+		t.Fatalf("subset payload = %s (%v), want trace lv", ev.data, err)
+	}
+	lv.Append(&trace.RecordBatch{States: []trace.StateEvent{{CPU: 0, Start: trace.Time(ht.End + 1), End: trace.Time(ht.End + 2), State: trace.StateIdle}}})
+	lv.Publish()
+	ev = nextEvent(t, sub, "epoch")
+	if err := json.Unmarshal([]byte(ev.data), &ht); err != nil || ht.Name != "lv" || ht.Epoch != 2 {
+		t.Fatalf("pushed hub payload = %s (%v), want lv epoch 2", ev.data, err)
+	}
+
+	// Unknown names 404 instead of streaming forever.
+	resp, _ := get(t, srv, "/events?traces=nope")
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown trace: status %d, want 404", resp.StatusCode)
+	}
+
+	// SetPush(false) reaches the hub endpoint and every mounted viewer.
+	hub.SetPush(false)
+	if resp, _ := get(t, srv, "/events"); resp.StatusCode != 404 {
+		t.Errorf("hub /events with push off: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv, "/t/lv/events"); resp.StatusCode != 404 {
+		t.Errorf("/t/lv/events with push off: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLiveSpillStatusFresh is the stale-status regression: with Sync
+// retention the spill happens inside the same publish that installed
+// the snapshot, so a status memoized purely per snapshot predates it
+// and /live would report no spill at all. The status must match the
+// live source's current state, not the snapshot's.
+func TestLiveSpillStatusFresh(t *testing.T) {
+	lv := core.NewLive()
+	lv.SetRetention(core.RetentionPolicy{Dir: t.TempDir(), SpillBytes: 1, Sync: true})
+	if _, err := lv.Feed(trace.NewStreamReader(bytes.NewReader(liveTraceBytes(t)))); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := lv.SpillStats()
+	if !ok || st.Segments == 0 {
+		t.Fatalf("precondition: live source spilled nothing (%+v, %v)", st, ok)
+	}
+	srv := httptest.NewServer(NewLiveServer(lv, "spill-test"))
+	t.Cleanup(srv.Close)
+	lr := getLive(t, srv)
+	if lr.Spill == nil {
+		t.Fatal("/live reports no spill state after a synchronous spill")
+	}
+	if lr.Spill.Segments != st.Segments || lr.Spill.Pending != st.Pending {
+		t.Errorf("/live spill = %+v, want segments %d pending %d", lr.Spill, st.Segments, st.Pending)
+	}
+}
+
+// TestIndexExtremeWindow is the navigation-overflow regression: with a
+// window pushed against MaxInt64, the zoom/pan links the index page
+// generates must stay valid (saturated) windows — before the fix,
+// zoom-out overflowed t1 + span/2 into an inverted window and the
+// link 400ed.
+func TestIndexExtremeWindow(t *testing.T) {
+	srv := newTestServer(t)
+	base := "/?t0=" + itoa64(math.MaxInt64/2) + "&t1=" + itoa64(math.MaxInt64)
+	resp, body := get(t, srv, base)
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: status %d: %s", base, resp.StatusCode, body)
+	}
+	hrefs := regexp.MustCompile(`href="\?([^"]+)"`).FindAllStringSubmatch(string(body), -1)
+	if len(hrefs) == 0 {
+		t.Fatal("index page has no navigation links")
+	}
+	for _, m := range hrefs {
+		link := "/?" + strings.ReplaceAll(m[1], "&amp;", "&")
+		resp, body := get(t, srv, link)
+		if resp.StatusCode != 200 {
+			t.Errorf("nav link %s: status %d: %s", link, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestTaskParamValidation is the /task bounds regression: a cpu
+// outside [0, MaxCPUID] must be a structured 400 before the int32
+// cast, and at = MaxInt64 must resolve cleanly (saturated exclusive
+// bound) to a structured 404 instead of overflowing.
+func TestTaskParamValidation(t *testing.T) {
+	srv := newTestServer(t)
+	for _, cpu := range []string{"-1", "2000000"} {
+		path := "/task?cpu=" + cpu + "&at=0"
+		resp, body := get(t, srv, path)
+		if p := decodeError(t, path, resp, body, 400); p != "cpu" {
+			t.Errorf("%s: blamed param %q, want cpu", path, p)
+		}
+	}
+	path := "/task?cpu=0&at=" + itoa64(math.MaxInt64)
+	resp, body := get(t, srv, path)
+	decodeError(t, path, resp, body, 404)
+	if !strings.Contains(string(body), "no task at that position") {
+		t.Errorf("%s: body %s, want clean no-task 404", path, body)
+	}
+}
+
+// TestServeCachedSingleflight is the thundering-herd regression:
+// concurrent misses on one key run the build exactly once — one MISS,
+// the rest HITs of the shared result.
+func TestServeCachedSingleflight(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	view := NewServer(tr, "sf-test")
+	const n = 16
+	var builds int32
+	start := make(chan struct{})
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := range recs {
+		recs[i] = httptest.NewRecorder()
+		wg.Add(1)
+		go func(w *httptest.ResponseRecorder) {
+			defer wg.Done()
+			<-start
+			view.serveCached(w, "sf-key", "text/plain", func() ([]byte, int, error) {
+				atomic.AddInt32(&builds, 1)
+				time.Sleep(30 * time.Millisecond)
+				return []byte("expensive"), 0, nil
+			})
+		}(recs[i])
+	}
+	close(start)
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times for %d concurrent requests, want 1", builds, n)
+	}
+	miss, hit := 0, 0
+	for _, w := range recs {
+		if w.Code != 200 || w.Body.String() != "expensive" {
+			t.Fatalf("request got (%d, %q)", w.Code, w.Body.String())
+		}
+		switch xc := w.Header().Get("X-Cache"); xc {
+		case "MISS":
+			miss++
+		case "HIT":
+			hit++
+		default:
+			t.Fatalf("X-Cache = %q", xc)
+		}
+	}
+	if miss != 1 || hit != n-1 {
+		t.Errorf("MISS/HIT = %d/%d, want 1/%d", miss, hit, n-1)
+	}
+}
+
+// TestServeCachedSingleflightError: a failed build propagates to every
+// waiting follower but is never cached — the next request retries.
+func TestServeCachedSingleflightError(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	view := NewServer(tr, "sferr-test")
+	const n = 8
+	var builds int32
+	start := make(chan struct{})
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := range recs {
+		recs[i] = httptest.NewRecorder()
+		wg.Add(1)
+		go func(w *httptest.ResponseRecorder) {
+			defer wg.Done()
+			<-start
+			view.serveCached(w, "sferr-key", "text/plain", func() ([]byte, int, error) {
+				atomic.AddInt32(&builds, 1)
+				time.Sleep(10 * time.Millisecond)
+				return nil, 400, &query.BadParamError{Param: "w", Reason: "boom"}
+			})
+		}(recs[i])
+	}
+	close(start)
+	wg.Wait()
+	for _, w := range recs {
+		if w.Code != 400 {
+			t.Fatalf("request got status %d, want 400", w.Code)
+		}
+	}
+	// Errors must not be cached: a later request builds again.
+	w := httptest.NewRecorder()
+	view.serveCached(w, "sferr-key", "text/plain", func() ([]byte, int, error) {
+		atomic.AddInt32(&builds, 1)
+		return []byte("ok"), 0, nil
+	})
+	if w.Code != 200 || w.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("retry after error got (%d, %q), want fresh 200 MISS", w.Code, w.Header().Get("X-Cache"))
+	}
+}
+
+// TestRenderProgressiveGolden pins progressive refinement: the exact
+// (level 0) tile the index page swaps in — cache-busting _e and all —
+// is byte-identical to a direct render.Timeline of the same window,
+// and to the same URL with no level parameter at all (they share one
+// cache entry).
+func TestRenderProgressiveGolden(t *testing.T) {
+	tr := atmtest.SeidelTrace(t, 4, 3, openstream.SchedNUMA)
+	srv := httptest.NewServer(NewServer(tr, "golden-test"))
+	t.Cleanup(srv.Close)
+
+	// The direct render, through the same query pipeline the handler
+	// uses.
+	q, err := query.FromValues(url.Values{"mode": {"state"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Window(tr.Span.Start, tr.Span.End)
+	q.Size(300, 100).Heat(0, 0).Shades(10).Level(0)
+	q.Labels(true)
+	q.Rate(true)
+	fb, _, err := query.TimelineOf(tr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := fb.EncodePNG(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, plain := get(t, srv, "/render?mode=state&w=300&h=100")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("plain render: status %d X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(plain, want.Bytes()) {
+		t.Fatal("plain render differs from direct render.Timeline output")
+	}
+
+	// The refined URL (level=0 plus the cache-busting _e) must not
+	// fragment the cache: same bytes, served as a HIT of the same
+	// entry.
+	resp, refined := get(t, srv, "/render?mode=state&w=300&h=100&level=0&_e=42")
+	if resp.Header.Get("X-Cache") != "HIT" {
+		t.Errorf("refined render X-Cache = %q, want HIT of the plain entry", resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(refined, want.Bytes()) {
+		t.Fatal("refined (level=0) response differs from direct render")
+	}
+
+	// The coarse first paint is a genuinely different (smaller) tile
+	// under its own key.
+	resp, coarse := get(t, srv, "/render?mode=state&w=300&h=100&level=3&_e=42")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("coarse render: status %d X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if bytes.Equal(coarse, want.Bytes()) {
+		t.Error("coarse (level=3) tile identical to exact tile; coarsening did nothing")
+	}
+}

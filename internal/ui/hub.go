@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/openstream/aftermath/internal/query"
 )
@@ -37,6 +38,11 @@ type Hub struct {
 	names   []string // registration order
 	cache   *responseCache
 	closers []io.Closer
+	// pushOff disables the hub-level /events multiplexer (SetPush,
+	// events.go); heartbeat overrides its SSE keepalive interval
+	// (0 = default).
+	pushOff   bool
+	heartbeat time.Duration
 }
 
 // NewHub returns an empty hub with a shared response cache.
@@ -141,6 +147,8 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.handleIndex(w, r)
 	case r.URL.Path == "/traces":
 		h.handleTraces(w, r)
+	case r.URL.Path == "/events":
+		h.handleEvents(w, r)
 	case strings.HasPrefix(r.URL.Path, "/t/"):
 		// r.URL.Path is already percent-decoded by net/http; do not
 		// decode again, or names containing literal escape sequences

@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/openstream/aftermath/internal/annotations"
 	"github.com/openstream/aftermath/internal/anomaly"
@@ -34,6 +35,7 @@ import (
 	"github.com/openstream/aftermath/internal/query"
 	"github.com/openstream/aftermath/internal/render"
 	"github.com/openstream/aftermath/internal/taskgraph"
+	"github.com/openstream/aftermath/internal/tmath"
 	"github.com/openstream/aftermath/internal/trace"
 )
 
@@ -78,7 +80,20 @@ type Server struct {
 	statusMu   sync.Mutex
 	statusSnap *core.Trace
 	statusResp liveResponse
+
+	// pushOff disables the /events SSE endpoint (zero value: enabled).
+	// heartbeat is the SSE keepalive interval; 0 means the default.
+	// Both are set before serving (SetPush, tests) — never concurrently
+	// with requests.
+	pushOff   bool
+	heartbeat time.Duration
 }
+
+// SetPush enables or disables the push channel (/events). Push is on
+// by default; -push=false turns the viewer back into a pure
+// poll-driven server (the /live endpoint is unaffected). Must be
+// called before serving requests.
+func (s *Server) SetPush(on bool) { s.pushOff = !on }
 
 // Close releases the server's trace source, if it owns releasable
 // resources: a live trace flushes its background spill compactions, a
@@ -156,6 +171,7 @@ func newServer(src query.Source, name string, cache *responseCache, scope string
 	mux.HandleFunc("/graph.dot", s.handleGraphDOT)
 	mux.HandleFunc("/anomalies", s.handleAnomalies)
 	mux.HandleFunc("/live", s.handleLive)
+	mux.HandleFunc("/events", s.handleEvents)
 	s.mux = mux
 	return s
 }
@@ -208,22 +224,54 @@ func (s *Server) key(epoch uint64, verb string, q *query.Query) string {
 // serveCached serves the response for key from the cache, invoking
 // build on a miss. build returns the body, or the HTTP status and
 // error to report. Error responses are never cached.
+//
+// Concurrent misses on one key coalesce (singleflight): exactly one
+// request runs build, the rest wait and serve its result as a HIT.
+// Without this, a push notification synchronizing N clients on an
+// epoch advance triggers N identical expensive renders at once.
 func (s *Server) serveCached(w http.ResponseWriter, key, contentType string, build func() ([]byte, int, error)) {
 	if ent, ok := s.cache.get(key); ok {
-		w.Header().Set("Content-Type", ent.contentType)
-		w.Header().Set("X-Cache", "HIT")
-		w.Write(ent.body)
+		serveEntry(w, ent, "HIT")
+		return
+	}
+	f, leader := s.cache.begin(key)
+	if !leader {
+		<-f.done
+		if f.err != nil {
+			writeError(w, f.status, f.err)
+			return
+		}
+		serveEntry(w, f.ent, "HIT")
+		return
+	}
+	// Re-check under the flight: a previous leader may have filled the
+	// cache between our miss and begin.
+	if ent, ok := s.cache.get(key); ok {
+		f.ent = ent
+		s.cache.finish(key, f)
+		serveEntry(w, ent, "HIT")
 		return
 	}
 	body, status, err := build()
 	if err != nil {
+		// Errors propagate to the waiting followers but are never
+		// cached: the next request retries the build.
+		f.status, f.err = status, err
+		s.cache.finish(key, f)
 		writeError(w, status, err)
 		return
 	}
 	s.cache.put(key, contentType, body)
-	w.Header().Set("Content-Type", contentType)
-	w.Header().Set("X-Cache", "MISS")
-	w.Write(body)
+	f.ent = &cachedResponse{key: key, contentType: contentType, body: body}
+	s.cache.finish(key, f)
+	serveEntry(w, f.ent, "MISS")
+}
+
+// serveEntry writes one cached (or just-built) response body.
+func serveEntry(w http.ResponseWriter, ent *cachedResponse, xCache string) {
+	w.Header().Set("Content-Type", ent.contentType)
+	w.Header().Set("X-Cache", xCache)
+	w.Write(ent.body)
 }
 
 // ServeHTTP implements http.Handler.
@@ -338,7 +386,11 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q.Size(width, height).Heat(heatMin, heatMax).Shades(shades)
+	level, ok := intParam(w, v, "level", 0, 0, 12)
+	if !ok {
+		return
+	}
+	q.Size(width, height).Heat(heatMin, heatMax).Shades(shades).Level(level)
 	q.Labels(query.FlagParam(v, "labels", true))
 	if v.Get("counter") == "" {
 		// rate only modifies a counter overlay; without one it must
@@ -419,7 +471,11 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q.Metric(defaultStr(v.Get("kind"), "idle")).Intervals(intervals)
+	level, ok := intParam(w, v, "level", 0, 0, 12)
+	if !ok {
+		return
+	}
+	q.Metric(defaultStr(v.Get("kind"), "idle")).Intervals(intervals).Level(level)
 	// Cache under the series-only projection: the window (and, for
 	// filter-insensitive metrics, the filter) does not change the
 	// plotted series, so it must not fragment the LRU.
@@ -520,12 +576,24 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		if cpu < 0 || cpu > int(trace.MaxCPUID) {
+			// Reject before the int32 cast: a negative or implausible id
+			// would otherwise silently truncate into some other CPU's row
+			// (or a panic-prone negative index) instead of a clean error.
+			writeError(w, http.StatusBadRequest, &query.BadParamError{
+				Param:  "cpu",
+				Reason: fmt.Sprintf("cpu %d out of range [0, %d]", cpu, trace.MaxCPUID),
+			})
+			return
+		}
 		at, err := query.Int64Param(v, "at", 0)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		for _, ev := range tr.StatesIn(int32(cpu), at, at+1) {
+		// Saturate the exclusive bound: at = MaxInt64 would overflow
+		// at+1 into an inverted window and silently find nothing.
+		for _, ev := range tr.StatesIn(int32(cpu), at, tmath.SatAdd(at, 1)) {
 			if ev.State == trace.StateTaskExec {
 				if t, ok := tr.TaskByID(ev.Task); ok {
 					task = t
@@ -722,11 +790,14 @@ type spillStatus struct {
 }
 
 // liveStatus builds the ingest-status summary for the current
-// snapshot (shared by /live and the hub's trace listing). The event
-// and sample totals are memoized per snapshot — snapshots are
-// immutable, so they only need recomputing when the epoch publishes a
-// new one. The sticky ingest error is refreshed on every call: it can
-// appear without a publish.
+// snapshot (shared by /live, /events and the hub's trace listing).
+// The event and sample totals are memoized per snapshot — snapshots
+// are immutable, so they only need recomputing when the epoch
+// publishes a new one. The sticky ingest error AND the spill state are
+// refreshed on every call: both can change without a publish (the
+// error on a failed poll, the spill state when a background compaction
+// installs or fails), so memoizing them with the snapshot would serve
+// stale — and hide failing — retention status indefinitely.
 func (s *Server) liveStatus() liveResponse {
 	tr, epoch := s.snapshot()
 	ls, isLive := s.src.(query.LiveSource)
@@ -744,20 +815,32 @@ func (s *Server) liveStatus() liveResponse {
 		// EventCounts includes spilled columns, which the raw PerCPU
 		// array lengths no longer cover.
 		resp.Events, resp.Samples = tr.EventCounts()
-		if st, ok := tr.SpillStats(); ok {
-			resp.Spill = &spillStatus{
-				Segments:     st.Segments,
-				SpilledBytes: st.SpilledBytes,
-				Pending:      st.Pending,
-				DroppedSegs:  st.DroppedSegs,
-				DroppedBytes: st.DroppedBytes,
-				Error:        st.Err,
-			}
-		}
 		s.statusSnap, s.statusResp = tr, resp
 	}
 	resp := s.statusResp
 	s.statusMu.Unlock()
+	// Spill state, fresh per call. Sources exposing their current state
+	// (core.Live) are preferred over the published snapshot's, which
+	// predates any compaction still running at publish time. The local
+	// copy gets its own pointer; the memoized response is never mutated.
+	st, ok := core.SpillStats{}, false
+	if sp, live := s.src.(query.SpillSource); live {
+		st, ok = sp.SpillStats()
+	} else {
+		st, ok = tr.SpillStats()
+	}
+	if ok {
+		resp.Spill = &spillStatus{
+			Segments:     st.Segments,
+			SpilledBytes: st.SpilledBytes,
+			Pending:      st.Pending,
+			DroppedSegs:  st.DroppedSegs,
+			DroppedBytes: st.DroppedBytes,
+			Error:        st.Err,
+		}
+	} else {
+		resp.Spill = nil
+	}
 	resp.Live = isLive
 	if isLive {
 		if err := ls.Err(); err != nil {
@@ -781,6 +864,16 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 // The index template links relatively ("render?...", not "/render?..."),
 // so the same page works served standalone at "/" and hub-mounted at
 // "/t/<name>/".
+//
+// Tiles load progressively: the initial <img> src requests a coarse
+// level-N tile (rendered from ~2^N times fewer pyramid cells, so it
+// paints almost immediately), and the script preloads the exact
+// level-0 tile and swaps it in when ready. On a live trace the same
+// script subscribes to the /events SSE stream and repeats the
+// coarse-then-exact dance on every epoch advance — no reloads, no
+// polling. The _e=<epoch> parameter only busts the browser's image
+// cache (the server ignores it; its response cache keys on the real
+// epoch).
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>Aftermath - {{.Name}}</title>
 <style>
@@ -792,7 +885,7 @@ code { color: #fc9; }
 </style></head>
 <body>
 <h2>Aftermath &mdash; {{.Name}}</h2>
-<div>machine: {{.Machine}} &middot; {{.CPUs}} CPUs / {{.Nodes}} NUMA nodes &middot; {{.Tasks}} tasks &middot; span {{.Span}} cycles{{if .Live}} &middot; <b>live</b> (epoch {{.Epoch}}, reload to refresh){{end}}</div>
+<div>machine: {{.Machine}} &middot; {{.CPUs}} CPUs / {{.Nodes}} NUMA nodes &middot; {{.Tasks}} tasks &middot; span {{.Span}} cycles{{if .Live}} &middot; <b>live</b> (epoch <span id="epoch">{{.Epoch}}</span>){{end}}</div>
 <div class="controls">mode:
 {{range .Modes}}<a href="?mode={{.}}&t0={{$.T0}}&t1={{$.T1}}">{{.}}</a>{{end}}
 </div>
@@ -803,8 +896,8 @@ code { color: #fc9; }
 <a href="?mode={{.Mode}}&t0={{.RightT0}}&t1={{.RightT1}}">pan &rarr;</a>
 <a href="?mode={{.Mode}}">reset</a>
 </div>
-<img src="render?mode={{.Mode}}&t0={{.T0}}&t1={{.T1}}&w=1100&h=420" alt="timeline">
-<img src="plot?kind=idle&w=1100&h=180" alt="idle workers">
+<img class="prog" data-base="render?mode={{.Mode}}&t0={{.T0}}&t1={{.T1}}&w=1100&h=420" src="render?mode={{.Mode}}&t0={{.T0}}&t1={{.T1}}&w=1100&h=420&level={{.CoarseLevel}}&_e={{.Epoch}}" width="1100" height="420" alt="timeline">
+<img class="prog" data-base="plot?kind=idle&w=1100&h=180" src="plot?kind=idle&w=1100&h=180&level={{.CoarseLevel}}&_e={{.Epoch}}" width="1100" height="180" alt="idle workers">
 <div class="controls">
 <a href="stats?t0={{.T0}}&t1={{.T1}}">interval statistics (JSON)</a>
 <a href="matrix?t0={{.T0}}&t1={{.T1}}">communication matrix</a>
@@ -812,6 +905,37 @@ code { color: #fc9; }
 <a href="anomalies?t0={{.T0}}&t1={{.T1}}">anomalies (JSON)</a>
 <a href="live">ingest status (JSON)</a>
 </div>
+<script>
+(function () {
+  var epoch = {{.Epoch}};
+  var coarse = {{.CoarseLevel}};
+  var imgs = Array.prototype.slice.call(document.querySelectorAll("img.prog"));
+  function url(img, level) {
+    return img.getAttribute("data-base") + "&level=" + level + "&_e=" + epoch;
+  }
+  function refine(img) {
+    var exact = url(img, 0);
+    var pre = new Image();
+    pre.onload = function () { img.src = exact; };
+    pre.src = exact;
+  }
+  imgs.forEach(refine);
+  {{if .Live}}
+  var es = new EventSource("events");
+  es.addEventListener("epoch", function (ev) {
+    var st = JSON.parse(ev.data);
+    if (!(st.epoch > epoch)) { return; }
+    epoch = st.epoch;
+    var label = document.getElementById("epoch");
+    if (label) { label.textContent = epoch; }
+    imgs.forEach(function (img) {
+      img.src = url(img, coarse);
+      refine(img);
+    });
+  });
+  {{end}}
+})();
+</script>
 </body></html>`))
 
 type indexData struct {
@@ -822,12 +946,17 @@ type indexData struct {
 	Epoch                uint64
 	Mode                 string
 	Modes                []string
+	CoarseLevel          int
 	T0, T1               int64
 	ZoomInT0, ZoomInT1   int64
 	ZoomOutT0, ZoomOutT1 int64
 	LeftT0, LeftT1       int64
 	RightT0, RightT1     int64
 }
+
+// indexCoarseLevel is the pyramid level of the index page's first
+// paint: 2^3 = 8x fewer cells than the exact tile it refines into.
+const indexCoarseLevel = 3
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -844,24 +973,31 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	span := t1 - t0
+	// All navigation arithmetic saturates: trace times are raw cycle
+	// counts that may sit anywhere in int64, so t1 + span/2 (zoom out
+	// near the end) or t0 - quarter (pan left near MinInt64) would wrap
+	// into an inverted window the parameter layer rejects with a 400 —
+	// a dead link on the page. Saturation keeps every generated link a
+	// valid (if clamped) window.
+	span := tmath.SatSub(t1, t0)
 	quarter := span / 4
 	_, isLive := s.src.(query.LiveSource)
 	d := indexData{
-		Name:    s.Name,
-		Machine: tr.Topology.Name,
-		CPUs:    tr.NumCPUs(),
-		Nodes:   tr.NumNodes(),
-		Tasks:   len(tr.Tasks),
-		Span:    tr.Span.Duration(),
-		Live:    isLive,
-		Epoch:   epoch,
-		Mode:    defaultStr(v.Get("mode"), "state"),
-		T0:      t0, T1: t1,
-		ZoomInT0: t0 + quarter, ZoomInT1: t1 - quarter,
-		ZoomOutT0: t0 - span/2, ZoomOutT1: t1 + span/2,
-		LeftT0: t0 - quarter, LeftT1: t1 - quarter,
-		RightT0: t0 + quarter, RightT1: t1 + quarter,
+		Name:        s.Name,
+		Machine:     tr.Topology.Name,
+		CPUs:        tr.NumCPUs(),
+		Nodes:       tr.NumNodes(),
+		Tasks:       len(tr.Tasks),
+		Span:        tr.Span.Duration(),
+		Live:        isLive,
+		Epoch:       epoch,
+		Mode:        defaultStr(v.Get("mode"), "state"),
+		CoarseLevel: indexCoarseLevel,
+		T0:          t0, T1: t1,
+		ZoomInT0: tmath.SatAdd(t0, quarter), ZoomInT1: tmath.SatSub(t1, quarter),
+		ZoomOutT0: tmath.SatSub(t0, span/2), ZoomOutT1: tmath.SatAdd(t1, span/2),
+		LeftT0: tmath.SatSub(t0, quarter), LeftT1: tmath.SatSub(t1, quarter),
+		RightT0: tmath.SatAdd(t0, quarter), RightT1: tmath.SatAdd(t1, quarter),
 	}
 	for m := render.ModeState; m <= render.ModeNUMAHeat; m++ {
 		d.Modes = append(d.Modes, m.String())
