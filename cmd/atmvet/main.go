@@ -1,0 +1,65 @@
+// Command atmvet runs aftermath's project-specific static-analysis
+// suite (internal/analysis) over the packages matched by the given go
+// patterns and reports every invariant violation as
+//
+//	file:line: [rule] message
+//
+// followed by a one-line summary. It exits 0 when the tree is clean,
+// 1 when any unsuppressed diagnostic was reported, and 2 on driver
+// errors (unparseable code, failed package loads). CI gates on it;
+// see the README's "Invariants & static analysis" section for the
+// rules and the //atmvet:ignore escape hatch.
+//
+// Usage:
+//
+//	atmvet [-rules tmathcheck,lockedcheck] [-list] [packages...]
+//
+// Patterns default to ./... resolved from the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/openstream/aftermath/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: atmvet [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := analysis.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atmvet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := analysis.Run(".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atmvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diags {
+		fmt.Println(d.String())
+	}
+	fmt.Println(res.Summary())
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,188 @@
+// Package analysis is aftermath's project-specific static-analysis
+// suite: a zero-dependency analyzer driver (stdlib go/parser, go/ast
+// and go/types only; the package graph comes from `go list -json`)
+// plus the analyzers that encode the repository's hard-won invariants
+// as machine-checked rules. The cmd/atmvet command runs the suite and
+// CI gates on its exit status.
+//
+// Three bug classes kept recurring across PRs before this package
+// existed: raw int64 arithmetic on trace timestamps overflowing at
+// extreme coordinates (fixed in the timeline renderer and again in the
+// index navigation links), cache keys built from raw request
+// parameters instead of the canonical query encoding (fixed in the
+// viewer's filter key), and mutation of published copy-on-write
+// snapshot state (fixed twice in live ingest). Each analyzer turns one
+// of those review-folklore rules into a diagnostic:
+//
+//   - tmathcheck: raw *, + or - on values whose identifier or selector
+//     marks them as trace timestamps (and are int64-typed) inside the
+//     pixel<->time mapping packages; such arithmetic must route
+//     through tmath.MulDiv / tmath.SatAdd / tmath.SatSub.
+//   - cachekeycheck: cache-key or identity strings built from raw URL
+//     parameters (url.Values.Encode, URL.RawQuery, url.Values
+//     formatted via fmt) in internal/ui; keys must come from
+//     Query.Canonical().
+//   - lockedcheck: functions named *Locked may only be called with the
+//     receiver's mu held (from another *Locked method of the same
+//     receiver, or lexically after receiver.mu.Lock/RLock), and struct
+//     fields marked `guarded by mu` may not be touched outside such
+//     functions; *Locked methods must not re-lock their own mu.
+//   - snapshotcheck: no writes through core snapshot types (Trace,
+//     CPUData, Counter, TaskInfo) outside internal/core — published
+//     snapshots are immutable and shared copy-on-write with the live
+//     builder.
+//   - determinismcheck: no time.Now/time.Since, no unseeded math/rand,
+//     and no raw map iteration in the golden-tested render, export and
+//     anomaly-ranking packages.
+//
+// A deliberate exception is suppressed in place with
+//
+//	//atmvet:ignore <rule> <reason>
+//
+// on the diagnostic's line or the line above; the driver requires a
+// non-empty reason and reports how many suppressions were used in its
+// summary line. Diagnostics print as "file:line: [rule] message".
+//
+// Analyzers are tested against fixture packages under testdata/src/:
+// each fixture line that must be flagged carries a
+// `// want "regexp"` comment and the harness diffs reported against
+// expected diagnostics in both directions, so an analyzer that goes
+// silent fails its test.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Applies reports whether the analyzer runs on the package with the
+	// given import path. A nil Applies runs everywhere. Fixture
+	// packages under internal/analysis/testdata/src/<Name> are always
+	// in scope, so the CLI acceptance check (atmvet exits non-zero on
+	// the fixtures) holds without widening the production scope.
+	Applies func(pkgPath string) bool
+	// Run analyzes one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     position,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String formats the diagnostic as "file:line: [rule] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		TmathCheck,
+		CacheKeyCheck,
+		LockedCheck,
+		SnapshotCheck,
+		DeterminismCheck,
+	}
+}
+
+// ByName resolves a comma-separated rule list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// inScope reports whether a runs on pkgPath, including the fixture
+// override: testdata/src/<name> (and suffixed variants like
+// <name>_extra) are always in scope for analyzer <name>.
+func inScope(a *Analyzer, pkgPath string) bool {
+	if i := strings.Index(pkgPath, "internal/analysis/testdata/src/"); i >= 0 {
+		dir := pkgPath[i+len("internal/analysis/testdata/src/"):]
+		if j := strings.IndexByte(dir, '/'); j >= 0 {
+			dir = dir[:j]
+		}
+		return dir == a.Name || strings.HasPrefix(dir, a.Name+"_")
+	}
+	return a.Applies == nil || a.Applies(pkgPath)
+}
+
+// pathIn returns an Applies function matching any of the given import
+// path suffixes (e.g. "internal/render").
+func pathIn(suffixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range suffixes {
+			if strings.HasSuffix(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// sortDiags orders diagnostics by file, line, rule, message.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expectation is one parsed `// want "regexp"` comment: a diagnostic
+// of the analyzer under test must appear on the same line with a
+// message matching the regexp.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+var wantQuoted = regexp.MustCompile(`"([^"]*)"`)
+
+// collectWants parses the want expectations out of a fixture package.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "// want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantQuoted.FindAllStringSubmatch(c.Text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment without a quoted regexp", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fixtureSuppressed is the expected atmvet:ignore usage per fixture;
+// the fixtures double as documentation of the suppression shapes.
+var fixtureSuppressed = map[string]int{
+	"tmathcheck":       0,
+	"cachekeycheck":    2, // one comment covering its own line and the next
+	"lockedcheck":      0,
+	"snapshotcheck":    0,
+	"determinismcheck": 1,
+}
+
+// TestAtmvetFixtures diffs each analyzer's reported diagnostics
+// against its fixture's want expectations in both directions: an
+// unexpected diagnostic fails, and an unmatched expectation fails —
+// so an analyzer that goes silent cannot pass.
+func TestAtmvetFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			pkgs, err := Load(".", "./testdata/src/"+a.Name)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("fixture loaded %d packages, want 1", len(pkgs))
+			}
+			wants := collectWants(t, pkgs[0])
+			if len(wants) == 0 {
+				t.Fatalf("fixture for %s has no want expectations", a.Name)
+			}
+			res := RunPackages(pkgs, []*Analyzer{a}, true)
+			for _, d := range res.Diags {
+				matched := false
+				for _, w := range wants {
+					if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.used = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.used {
+					t.Errorf("%s:%d: no %s diagnostic matching %q (analyzer went silent?)", w.file, w.line, a.Name, w.raw)
+				}
+			}
+			if want := fixtureSuppressed[a.Name]; res.Suppressed != want {
+				t.Errorf("suppressed = %d, want %d", res.Suppressed, want)
+			}
+		})
+	}
+}
+
+// TestAtmvetFixturesGateCLI runs the un-forced driver over all
+// fixtures at once, the way `atmvet ./internal/analysis/testdata/...`
+// would: the fixture-scope override must aim each analyzer at its own
+// fixture (and only its own), and the run must come back non-zero —
+// the CLI acceptance property.
+func TestAtmvetFixturesGateCLI(t *testing.T) {
+	res, err := Run(".", All(), "./testdata/src/...")
+	if err != nil {
+		t.Fatalf("driver error: %v", err)
+	}
+	if len(res.Diags) == 0 {
+		t.Fatal("fixtures produced no diagnostics; atmvet would exit 0 on them")
+	}
+	if res.Packages != len(All()) {
+		t.Errorf("analyzed %d packages, want %d", res.Packages, len(All()))
+	}
+	// The scope override must route diagnostics analyzer-by-analyzer:
+	// every diagnostic's rule must match the fixture directory it was
+	// reported in.
+	for _, d := range res.Diags {
+		dir := d.Pos.Filename
+		if i := strings.Index(dir, "testdata/src/"); i >= 0 {
+			dir = dir[i+len("testdata/src/"):]
+			dir = dir[:strings.IndexByte(dir, '/')]
+		}
+		if d.Rule != dir {
+			t.Errorf("rule %s reported in fixture %s: %s", d.Rule, dir, d)
+		}
+	}
+	if !strings.Contains(res.Summary(), "diagnostic(s)") {
+		t.Errorf("summary %q missing diagnostic count", res.Summary())
+	}
+}
+
+// TestAtmvetRepoClean is the acceptance check CI gates on: the suite
+// must run clean over the repository itself. Skipped under -short
+// (it type-checks every package).
+func TestAtmvetRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	res, err := Run("../..", All(), "./...")
+	if err != nil {
+		t.Fatalf("driver error: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
+	}
+	if res.Packages == 0 {
+		t.Fatal("no packages analyzed")
+	}
+	t.Log(res.Summary())
+}
+
+// TestAtmvetByName covers the CLI's -rules plumbing.
+func TestAtmvetByName(t *testing.T) {
+	as, err := ByName("tmathcheck, lockedcheck")
+	if err != nil || len(as) != 2 || as[0].Name != "tmathcheck" || as[1].Name != "lockedcheck" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+	if as, err := ByName(""); err != nil || len(as) != len(All()) {
+		t.Fatalf("empty rule list: %v, %v", as, err)
+	}
+}

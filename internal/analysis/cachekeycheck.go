@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CacheKeyCheck flags cache-key and identity strings built from raw
+// request parameters in the viewer. The response cache is keyed by
+// scope|epoch|verb|Query.Canonical(): the canonical encoding is
+// order-independent and omits defaulted fields, so permuted or
+// duplicated URL parameters hit one entry. A key built from
+// url.Values.Encode(), URL.RawQuery or a fmt-formatted url.Values
+// reintroduces the raw-param bug class (cache misses on equivalent
+// requests, and distinct entries an attacker can spray): every
+// request-derived string must come from the parsed, canonicalized
+// Query instead.
+var CacheKeyCheck = &Analyzer{
+	Name:    "cachekeycheck",
+	Doc:     "viewer strings derived from raw URL params (Values.Encode, RawQuery, fmt of url.Values) must use Query.Canonical()",
+	Applies: pathIn("internal/ui"),
+	Run:     runCacheKeyCheck,
+}
+
+func runCacheKeyCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					// (url.Values).Encode()
+					if sel.Sel.Name == "Encode" && isURLValues(pass.TypeOf(sel.X)) {
+						pass.Reportf(sel.Sel.Pos(), "url.Values.Encode is raw-parameter order/content; build identity strings from Query.Canonical()")
+					}
+					// fmt.* with a url.Values argument.
+					if pkgIdent(sel.X) == "fmt" {
+						for _, arg := range x.Args {
+							if isURLValues(pass.TypeOf(arg)) {
+								pass.Reportf(arg.Pos(), "formatting url.Values into a string bakes raw parameters into an identity; use Query.Canonical()")
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				// (*url.URL).RawQuery
+				if x.Sel.Name == "RawQuery" && isURLStruct(pass.TypeOf(x.X)) {
+					pass.Reportf(x.Sel.Pos(), "URL.RawQuery is the raw parameter string; parse it and use Query.Canonical() for any derived identity")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isURLValues reports whether t is net/url.Values.
+func isURLValues(t types.Type) bool { return isNetURLNamed(t, "Values") }
+
+// isURLStruct reports whether t is net/url.URL or *net/url.URL.
+func isURLStruct(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNetURLNamed(t, "URL")
+}
+
+func isNetURLNamed(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/url"
+}
+
+// pkgIdent returns the identifier name if e is a bare identifier
+// (used to match package qualifiers like fmt.Sprintf syntactically).
+func pkgIdent(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces an in-source suppression:
+//
+//	//atmvet:ignore <rule> <reason>
+//
+// placed on the diagnostic's own line (trailing comment) or on the
+// line immediately above. The rule must name one analyzer and the
+// reason must be non-empty — an undocumented exception is itself a
+// diagnostic, because "we silenced it once and forgot why" is exactly
+// the folklore failure mode this suite replaces.
+const ignorePrefix = "//atmvet:ignore"
+
+// ignore is one parsed suppression comment.
+type ignore struct {
+	rule string
+	pos  token.Position
+}
+
+// ignoreSet indexes suppressions by (file, line, rule). A suppression
+// on line L covers diagnostics on L and L+1, so both trailing and
+// preceding-line placement work.
+type ignoreSet struct {
+	byLineRule map[string]bool
+}
+
+func ignoreKey(file string, line int, rule string) string {
+	return file + "\x00" + itoa(line) + "\x00" + rule
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// collectIgnores parses every atmvet:ignore comment in the files.
+// Malformed suppressions (unknown rule, missing reason) are reported
+// as diagnostics of the synthetic rule "ignore" so they fail the run.
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (*ignoreSet, []Diagnostic) {
+	set := &ignoreSet{byLineRule: make(map[string]bool)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || !known[fields[0]] {
+					bad = append(bad, Diagnostic{
+						Rule: "ignore", Pos: pos,
+						Message: "atmvet:ignore must name a rule (one of the analyzer names)",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Rule: "ignore", Pos: pos,
+						Message: "atmvet:ignore " + fields[0] + " needs a reason",
+					})
+					continue
+				}
+				set.byLineRule[ignoreKey(pos.Filename, pos.Line, fields[0])] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// suppressed reports whether d is covered by a suppression on its line
+// or the line above.
+func (s *ignoreSet) suppressed(d Diagnostic) bool {
+	return s.byLineRule[ignoreKey(d.Pos.Filename, d.Pos.Line, d.Rule)] ||
+		s.byLineRule[ignoreKey(d.Pos.Filename, d.Pos.Line-1, d.Rule)]
+}

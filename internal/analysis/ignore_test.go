@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestAtmvetIgnoreParsing covers the suppression grammar: a
+// well-formed comment suppresses its line and the next, a missing
+// reason or unknown rule is itself a diagnostic.
+func TestAtmvetIgnoreParsing(t *testing.T) {
+	src := `package p
+
+//atmvet:ignore tmathcheck the window is clamped two lines above
+var a int
+
+var b int //atmvet:ignore lockedcheck init-time only
+
+//atmvet:ignore nosuchrule some reason
+var c int
+
+//atmvet:ignore snapshotcheck
+var d int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	set, bad := collectIgnores(fset, []*ast.File{f}, known)
+	if len(bad) != 2 {
+		t.Fatalf("bad suppressions = %d, want 2 (unknown rule, missing reason): %v", len(bad), bad)
+	}
+	mk := func(line int, rule string) Diagnostic {
+		return Diagnostic{Rule: rule, Pos: token.Position{Filename: "p.go", Line: line}}
+	}
+	if !set.suppressed(mk(3, "tmathcheck")) {
+		t.Error("comment line itself not covered")
+	}
+	if !set.suppressed(mk(4, "tmathcheck")) {
+		t.Error("line after the comment not covered")
+	}
+	if set.suppressed(mk(5, "tmathcheck")) {
+		t.Error("coverage must stop after one line")
+	}
+	if !set.suppressed(mk(6, "lockedcheck")) {
+		t.Error("trailing comment must cover its own line")
+	}
+	if set.suppressed(mk(4, "lockedcheck")) {
+		t.Error("suppression must be rule-specific")
+	}
+}

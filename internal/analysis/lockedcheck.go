@@ -1,0 +1,407 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockedCheck enforces the repo's lock-suffix discipline, the one
+// core.Live's coarse epoch lock lives by:
+//
+//   - A function whose name ends in "Locked" asserts "my receiver's mu
+//     is held". Calling one is only legal (a) from another *Locked
+//     function on the same receiver, (b) lexically after
+//     receiver.mu.Lock()/RLock() with no intervening Unlock, or (c)
+//     inside a constructor (func name New*/new*: the value is not yet
+//     shared, so its lock is not yet meaningful).
+//   - A struct field marked `guarded by mu` in its doc or line comment
+//     (the marker covers the commented field and the immediately
+//     following fields up to a blank line or the next documented
+//     field) may only be read or written under the same conditions.
+//   - A *Locked function must not Lock its own receiver's mu — with a
+//     non-reentrant sync.Mutex that is a self-deadlock, not a
+//     convenience.
+//
+// The "held" check is lexical, not path-sensitive: a Lock anywhere
+// earlier in the same function body (ignoring deferred calls, whose
+// execution is delayed to return) arms it, a non-deferred Unlock
+// disarms it. Function literals are independent scopes — a closure
+// does not inherit its enclosing function's lock state, because the
+// driver cannot see when it runs.
+var LockedCheck = &Analyzer{
+	Name: "lockedcheck",
+	Doc:  "*Locked functions and `guarded by mu` fields require the receiver's mu to be held",
+	Run:  runLockedCheck,
+}
+
+func runLockedCheck(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedFunc(pass, fd, guarded)
+		}
+	}
+}
+
+// guardKey identifies one guarded field as "TypeName.fieldName".
+type guardKey string
+
+// collectGuardedFields finds every struct field whose doc or trailing
+// comment contains "guarded by mu". The marker extends to immediately
+// following fields (consecutive source lines, no blank line, no new
+// doc comment), so one comment can cover a block of builder state.
+func collectGuardedFields(pass *Pass) map[guardKey]bool {
+	out := make(map[guardKey]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			covered := false
+			prevLine := -2
+			for _, field := range st.Fields.List {
+				line := pass.Fset.Position(field.Pos()).Line
+				if field.Doc != nil {
+					covered = strings.Contains(field.Doc.Text(), "guarded by mu")
+				} else if line != prevLine+1 {
+					// Blank line (or first field): the running marker
+					// block ends.
+					covered = false
+				}
+				if field.Comment != nil && strings.Contains(field.Comment.Text(), "guarded by mu") {
+					covered = true
+				}
+				prevLine = pass.Fset.Position(field.End()).Line
+				if !covered {
+					continue
+				}
+				for _, name := range field.Names {
+					out[guardKey(ts.Name.Name+"."+name.Name)] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockEvent is one mu manipulation in source order.
+type lockEvent struct {
+	pos   token.Pos
+	owner string // selector path owning the mu, e.g. "lv" or "lv.watch"
+	lock  bool   // Lock/RLock vs Unlock/RUnlock
+}
+
+// funcLock is the lexical lock model of one function body.
+type funcLock struct {
+	events []lockEvent
+}
+
+// heldAt reports whether owner's mu is (lexically) held at pos.
+func (fl *funcLock) heldAt(owner string, pos token.Pos) bool {
+	held := false
+	for _, ev := range fl.events {
+		if ev.pos >= pos {
+			break
+		}
+		if ev.owner == owner {
+			held = ev.lock
+		}
+	}
+	return held
+}
+
+// checkLockedFunc verifies one function declaration: calls to *Locked
+// callees, guarded-field accesses, and the no-self-lock rule for
+// *Locked bodies.
+func checkLockedFunc(pass *Pass, fd *ast.FuncDecl, guarded map[guardKey]bool) {
+	recvName, _ := receiverOf(pass, fd)
+	isLocked := isLockedName(fd.Name.Name)
+	isCtor := strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new")
+
+	// Build the lexical lock timeline of the outermost body only;
+	// function literals are checked as their own empty-timeline scopes.
+	var scopes []scopeCheck
+	scopes = append(scopes, scopeCheck{body: fd.Body, root: true})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, scopeCheck{body: fl.Body})
+		}
+		return true
+	})
+
+	for _, sc := range scopes {
+		fl := lockTimeline(pass, sc.body, sc.root)
+		inspectScope(sc.body, func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				callee, owner := lockedCallee(pass, x)
+				if callee == "" {
+					return
+				}
+				if isCtor {
+					return
+				}
+				if sc.root && isLocked && recvName != "" && ownerRoot(owner) == recvName {
+					// *Locked calling sibling *Locked on the same
+					// receiver: the caller's contract already asserts
+					// the lock.
+					return
+				}
+				if fl.heldAt(owner+".mu", x.Pos()) {
+					return
+				}
+				pass.Reportf(x.Pos(), "call to %s without holding %s.mu (call it from a *Locked method of the same receiver or after %s.mu.Lock())", callee, owner, owner)
+			case *ast.SelectorExpr:
+				key, owner := guardedAccess(pass, x, guarded)
+				if key == "" {
+					return
+				}
+				if isCtor {
+					return
+				}
+				if sc.root && isLocked && recvName != "" && ownerRoot(owner) == recvName {
+					return
+				}
+				if fl.heldAt(owner+".mu", x.Pos()) {
+					return
+				}
+				pass.Reportf(x.Pos(), "access to %s (guarded by mu) without holding %s.mu", key, owner)
+			}
+		})
+	}
+
+	// Self-deadlock: a *Locked method taking its own receiver's mu.
+	if isLocked && recvName != "" {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			owner, name, ok := muCall(call)
+			if !ok || (name != "Lock" && name != "RLock") {
+				return true
+			}
+			if owner == recvName {
+				pass.Reportf(call.Pos(), "%s is a *Locked method but locks %s.mu itself: self-deadlock on a non-reentrant mutex", fd.Name.Name, owner)
+			}
+			return true
+		})
+	}
+}
+
+// scopeCheck is one lexical scope to verify: the function body proper,
+// or a nested function literal (which does not inherit lock state).
+type scopeCheck struct {
+	body *ast.BlockStmt
+	root bool
+}
+
+// inspectScope walks body but does not descend into nested function
+// literals (they are separate scopes).
+func inspectScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// lockTimeline records the mu Lock/Unlock calls of one scope in source
+// order. Deferred unlocks are skipped (they run at return, after every
+// statement in the body); deferred locks would be bizarre and are
+// skipped too. root distinguishes the function body from a literal
+// (literals never inherit events, so the caller just builds a fresh
+// timeline per scope).
+func lockTimeline(pass *Pass, body *ast.BlockStmt, root bool) *funcLock {
+	fl := &funcLock{}
+	var deferred []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred = append(deferred, d.Call)
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, d := range deferred {
+			if d == call {
+				return true
+			}
+		}
+		owner, name, ok := muCall(call)
+		if !ok {
+			return true
+		}
+		switch name {
+		case "Lock", "RLock":
+			fl.events = append(fl.events, lockEvent{pos: call.Pos(), owner: owner + ".mu", lock: true})
+		case "Unlock", "RUnlock":
+			fl.events = append(fl.events, lockEvent{pos: call.Pos(), owner: owner + ".mu", lock: false})
+		}
+		return true
+	})
+	return fl
+}
+
+// muCall matches calls of the form <path>.mu.<Lock|RLock|Unlock|RUnlock>()
+// and returns the owner path ("lv", "lv.watch", ...) and the method.
+func muCall(call *ast.CallExpr) (owner, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	switch mu := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		// Bare package- or local-scope mutex: mu.Lock().
+		if mu.Name != "mu" {
+			return "", "", false
+		}
+		return "", sel.Sel.Name, true
+	case *ast.SelectorExpr:
+		if mu.Sel.Name != "mu" {
+			return "", "", false
+		}
+		owner = exprPath(mu.X)
+		if owner == "" {
+			return "", "", false
+		}
+		return owner, sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// lockedCallee matches calls to functions/methods whose name ends in
+// "Locked" (excluding "Unlocked") and returns the callee name and the
+// owner path of the receiver ("" for plain functions, which are then
+// keyed on the bare mu of the enclosing scope).
+func lockedCallee(pass *Pass, call *ast.CallExpr) (callee, owner string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if isLockedName(fun.Name) {
+			return fun.Name, ""
+		}
+	case *ast.SelectorExpr:
+		if isLockedName(fun.Sel.Name) {
+			base := exprPath(fun.X)
+			if base == "" {
+				return fun.Sel.Name, ""
+			}
+			return base + "." + fun.Sel.Name, base
+		}
+	}
+	return "", ""
+}
+
+// guardedAccess matches a selector that resolves to a guarded field
+// and returns its key and the owner path of the struct value.
+func guardedAccess(pass *Pass, sel *ast.SelectorExpr, guarded map[guardKey]bool) (guardKey, string) {
+	if len(guarded) == 0 {
+		return "", ""
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return "", ""
+	}
+	// Resolve the struct type owning the field via the selection.
+	selInfo, ok := pass.Info.Selections[sel]
+	if !ok {
+		return "", ""
+	}
+	recv := selInfo.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	key := guardKey(named.Obj().Name() + "." + sel.Sel.Name)
+	if !guarded[key] {
+		return "", ""
+	}
+	return key, exprPath(sel.X)
+}
+
+// ownerRoot returns the first component of a selector path.
+func ownerRoot(owner string) string {
+	if i := strings.IndexByte(owner, '.'); i >= 0 {
+		return owner[:i]
+	}
+	return owner
+}
+
+// receiverOf returns the receiver variable name and type name of a
+// method ("", "" for plain functions).
+func receiverOf(pass *Pass, fd *ast.FuncDecl) (name, typeName string) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", ""
+	}
+	r := fd.Recv.List[0]
+	if len(r.Names) > 0 {
+		name = r.Names[0].Name
+	}
+	t := r.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		if id, ok := ix.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	return name, typeName
+}
+
+// isLockedName reports whether name carries the *Locked suffix
+// contract ("Unlocked" does not).
+func isLockedName(name string) bool {
+	return strings.HasSuffix(name, "Locked") && !strings.HasSuffix(name, "Unlocked")
+}
+
+// exprPath renders a selector chain of identifiers as "a.b.c"; any
+// other shape (calls, indexes) returns "".
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}

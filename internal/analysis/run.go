@@ -1,0 +1,71 @@
+package analysis
+
+import "fmt"
+
+// Result is the outcome of one driver run.
+type Result struct {
+	// Diags are the unsuppressed diagnostics, sorted.
+	Diags []Diagnostic
+	// Suppressed counts diagnostics silenced by atmvet:ignore comments.
+	Suppressed int
+	// Packages counts the packages analyzed.
+	Packages int
+}
+
+// Summary is the one-line, machine-grepable outcome CI echoes into the
+// job summary.
+func (r Result) Summary() string {
+	return fmt.Sprintf("atmvet: %d diagnostic(s), %d suppressed, %d package(s)",
+		len(r.Diags), r.Suppressed, r.Packages)
+}
+
+// Run loads the packages matched by patterns (resolved from dir) and
+// applies every analyzer that is in scope for each package.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) (Result, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunPackages(pkgs, analyzers, false), nil
+}
+
+// RunPackages applies the analyzers to already-loaded packages. With
+// force set, analyzer scoping (Applies and the fixture override) is
+// bypassed — the fixture harness uses this to aim one analyzer at one
+// fixture package directly.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer, force bool) Result {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var res Result
+	for _, pkg := range pkgs {
+		res.Packages++
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if !force && !inScope(a, pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		ignores, bad := collectIgnores(pkg.Fset, pkg.Files, known)
+		res.Diags = append(res.Diags, bad...)
+		for _, d := range raw {
+			if ignores.suppressed(d) {
+				res.Suppressed++
+				continue
+			}
+			res.Diags = append(res.Diags, d)
+		}
+	}
+	sortDiags(res.Diags)
+	return res
+}

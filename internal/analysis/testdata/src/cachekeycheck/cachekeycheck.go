@@ -1,0 +1,32 @@
+// Package cachekeycheck is the fixture for the cachekeycheck
+// analyzer: identity strings must come from the canonical query
+// encoding, never from raw request parameters.
+package cachekeycheck
+
+import (
+	"fmt"
+	"net/url"
+)
+
+// key builds a cache key the three forbidden ways.
+func key(u *url.URL, v url.Values) string {
+	k := v.Encode()           // want "Canonical"
+	k += u.RawQuery           // want "RawQuery"
+	k += fmt.Sprintf("%v", v) // want "url.Values"
+	return k
+}
+
+// path derives nothing from the parameters: allowed.
+func path(u *url.URL) string {
+	return u.Path
+}
+
+// redirect echoes the query string verbatim without deriving a key or
+// identity from it — the sanctioned suppression shape (two covered
+// lines, one comment).
+func redirect(u *url.URL) string {
+	if u.RawQuery != "" { //atmvet:ignore cachekeycheck the redirect echoes the query verbatim; no identity is derived
+		return "?" + u.RawQuery
+	}
+	return ""
+}

@@ -1,0 +1,62 @@
+// Package determinismcheck is the fixture for the determinismcheck
+// analyzer: golden-tested paths must not read wall clocks, the global
+// random source, or map iteration order.
+package determinismcheck
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+// stamp reads the wall clock: goldens become unreproducible.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// elapsed hides the same clock behind Since.
+func elapsed() time.Duration {
+	t0 := time.Unix(0, 0) // an explicit instant: allowed
+	return time.Since(t0) // want "time.Since"
+}
+
+// jitter consumes the process-global random source.
+func jitter() float64 {
+	return rand.Float64() // want "process-global"
+}
+
+// pick does the same through math/rand/v2.
+func pick() int {
+	return randv2.IntN(10) // want "process-global"
+}
+
+// seeded is the sanctioned form: an explicitly seeded generator's
+// methods are deterministic.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+// sum feeds map iteration into its result: flagged even though this
+// particular reduction is order-insensitive — that is what the
+// suppression below is for.
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "map iteration"
+		s += v
+	}
+	return s
+}
+
+// keys collects then sorts, which is the sanctioned pattern; the loop
+// itself still ranges a map, so it documents the suppression shape.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//atmvet:ignore determinismcheck the keys are sorted before any consumer sees them
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

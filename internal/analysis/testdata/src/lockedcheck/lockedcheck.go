@@ -1,0 +1,92 @@
+// Package lockedcheck is the fixture for the lockedcheck analyzer:
+// the *Locked suffix contract and `guarded by mu` field markers.
+package lockedcheck
+
+import "sync"
+
+// Builder mirrors core.Live's shape: a coarse mutex over builder
+// tables.
+type Builder struct {
+	mu sync.Mutex
+
+	// Builder tables, guarded by mu. The marker covers this field and
+	// the immediately following ones up to the blank line.
+	n     int
+	names []string
+
+	out int // past the blank line: not guarded
+}
+
+// NewBuilder is a constructor: the value is not yet shared, so
+// touching guarded state and calling *Locked helpers is allowed.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	b.n = 1
+	b.growLocked()
+	return b
+}
+
+// growLocked asserts "b.mu is held": guarded fields are free here.
+func (b *Builder) growLocked() {
+	b.n++
+	b.names = append(b.names, "x")
+}
+
+// reLockLocked violates the contract's flip side: a *Locked method
+// taking its own mu deadlocks a non-reentrant mutex.
+func (b *Builder) reLockLocked() {
+	b.mu.Lock() // want "self-deadlock"
+	defer b.mu.Unlock()
+}
+
+// Grow exercises the lexical timeline: held between Lock and Unlock,
+// not after.
+func (b *Builder) Grow() {
+	b.mu.Lock()
+	b.growLocked()
+	b.n++
+	b.mu.Unlock()
+	b.growLocked() // want "without holding"
+	b.n++          // want "guarded by mu"
+}
+
+// Async shows that a closure does not inherit the enclosing lock
+// state — the driver cannot see when it runs.
+func (b *Builder) Async() {
+	b.mu.Lock()
+	go func() {
+		b.growLocked() // want "without holding"
+	}()
+	b.mu.Unlock()
+}
+
+// Deferred shows that a deferred Unlock does not disarm the timeline:
+// it runs at return, after every statement below.
+func (b *Builder) Deferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.growLocked()
+	b.n++
+}
+
+// SetOut touches the unguarded field: allowed lock-free.
+func (b *Builder) SetOut(v int) {
+	b.out = v
+}
+
+// Package-scope form: a bare mu guards package state, and *Locked
+// plain functions assert it the same way.
+var (
+	mu    sync.Mutex
+	total int
+)
+
+func addLocked(n int) { total += n }
+
+// Add exercises the bare-mu timeline.
+func Add(n int) {
+	mu.Lock()
+	addLocked(n)
+	mu.Unlock()
+	addLocked(n) // want "without holding"
+}

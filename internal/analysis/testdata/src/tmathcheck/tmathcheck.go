@@ -1,0 +1,50 @@
+// Package tmathcheck is the fixture for the tmathcheck analyzer. Each
+// line that must be flagged carries a `// want "regexp"` comment; the
+// unflagged lines document the rule's deliberate exemptions.
+package tmathcheck
+
+import "github.com/openstream/aftermath/internal/tmath"
+
+func sink(int64)    {}
+func sinkf(float64) {}
+func sinki(int)     {}
+
+// pixelMapping is the PR 5 overflow shape: span*x wraps long before
+// the operands do.
+func pixelMapping(start, end int64, width int) {
+	span := end - start // both timestamps: the span idiom, allowed
+	for x := 0; x < width; x++ {
+		sink(span * int64(x))                                    // want "tmath.MulDiv"
+		sink(int64(x) * end)                                     // want "tmath.MulDiv"
+		sink(start + tmath.MulDiv(span, int64(x), int64(width))) // tmath bounds the sum: allowed
+	}
+}
+
+// navigation is the PR 8 overflow shape: timestamp plus offset wraps
+// at extreme coordinates.
+func navigation(start, end int64, offset int64) {
+	sink(start + offset) // want "tmath.SatAdd"
+	sink(end - 1)        // want "tmath.SatSub"
+	sink(end - start)    // span idiom: allowed
+	sink(tmath.SatAdd(start, offset))
+}
+
+// diffProduct is the interval-binning shape: the difference alone is
+// the allowed span idiom, but its product with a count overflows.
+func diffProduct(execStart, windowStart, n int64) {
+	sink((execStart - windowStart) * n) // want "tmath.MulDiv"
+}
+
+// pixels shows the int gate: a time-named int is a pixel coordinate
+// or loop counter, not a timestamp.
+func pixels(w int) {
+	t := w / 2
+	sinki(t + 1) // int-typed: allowed
+}
+
+// frac shows the float gate: float64 arithmetic saturates to +-Inf
+// instead of wrapping, so converting before subtracting is the
+// sanctioned fix for unbounded parameter arithmetic.
+func frac(heatMin, v int64) {
+	sinkf((float64(v) - float64(heatMin)) / 2) // float math: allowed
+}

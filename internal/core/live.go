@@ -42,22 +42,28 @@ type Live struct {
 	hasTopo bool
 	maxCPU  int32
 
+	// Per-CPU builder tables, guarded by mu.
 	cpus  []CPUData
 	order []cpuOrder
 	execs [][]execSpan
 	doms  []domChain
 
+	// Type table, guarded by mu.
 	types    []trace.TaskType
 	typeByID map[trace.TypeID]int
 
+	// Task table, guarded by mu.
 	tasks    []TaskInfo
 	taskByID map[trace.TaskID]int
 
+	// Counter table, guarded by mu.
 	counters    []*liveCounter
 	counterByID map[trace.CounterID]int
 
+	// Raw region list, guarded by mu.
 	regions []trace.MemRegion
 
+	// Observed span, guarded by mu.
 	spanSet bool
 	spanMin trace.Time
 	spanMax trace.Time
@@ -65,6 +71,7 @@ type Live struct {
 	// Incremental aggregate baselines (taskagg.go), carried across
 	// epochs so each publish seeds its snapshot with trace-global
 	// detector baselines updated from the appended data alone.
+	// All guarded by mu.
 	taskRec      []taskRec
 	durs         map[trace.TypeID][]float64
 	loc          []LocSum
@@ -76,13 +83,16 @@ type Live struct {
 	aggMaxCPU    int32
 
 	// Spilling state (spill.go): the retention policy, the immutable
-	// frozen (spilled) generation shared with published snapshots, the
-	// in-flight background compactions and the segment id sequence.
+	// frozen (spilled) generation shared with published snapshots and
+	// the segment id sequence. All guarded by mu.
 	ret      RetentionPolicy
 	retSwept bool // stale-file sweep of ret.Dir done (first enable)
 	frozen   *frozenTrace
-	spillWG  sync.WaitGroup
 	segSeq   int
+
+	// spillWG tracks in-flight background compactions. Add happens
+	// under mu; Wait must run unlocked (the workers re-take mu).
+	spillWG sync.WaitGroup
 
 	snap    atomic.Pointer[liveSnap]
 	lastErr atomic.Pointer[ingestErr]
@@ -249,7 +259,7 @@ func (lv *Live) Feed(sr *trace.StreamReader) (int, error) {
 	lv.mu.Lock()
 	defer lv.mu.Unlock()
 	n, err := sr.Poll(func(b *trace.RecordBatch) error {
-		return lv.appendLocked(b)
+		return lv.appendLocked(b) //atmvet:ignore lockedcheck Poll invokes the callback synchronously under Feed's mu.Lock
 	})
 	if n > 0 {
 		lv.publishLocked()
@@ -258,9 +268,9 @@ func (lv *Live) Feed(sr *trace.StreamReader) (int, error) {
 	return n, err
 }
 
-// cpu returns the builder slots for a CPU id, growing the per-CPU
-// tables as needed.
-func (lv *Live) cpu(id int32) (*CPUData, *cpuOrder) {
+// cpuLocked returns the builder slots for a CPU id, growing the
+// per-CPU tables as needed. Callers hold mu.
+func (lv *Live) cpuLocked(id int32) (*CPUData, *cpuOrder) {
 	for int(id) >= len(lv.cpus) {
 		lv.cpus = append(lv.cpus, CPUData{})
 		lv.order = append(lv.order, cpuOrder{})
@@ -273,9 +283,9 @@ func (lv *Live) cpu(id int32) (*CPUData, *cpuOrder) {
 	return &lv.cpus[id], &lv.order[id]
 }
 
-// counterFor returns the live slot for a counter, registering it in
-// first-touch order exactly like a batch load.
-func (lv *Live) counterFor(id trace.CounterID) *liveCounter {
+// counterForLocked returns the live slot for a counter, registering
+// it in first-touch order exactly like a batch load. Callers hold mu.
+func (lv *Live) counterForLocked(id trace.CounterID) *liveCounter {
 	if i, ok := lv.counterByID[id]; ok {
 		return lv.counters[i]
 	}
@@ -285,8 +295,9 @@ func (lv *Live) counterFor(id trace.CounterID) *liveCounter {
 	return lc
 }
 
-// applyTask mirrors Trace.applyTask on the builder tables.
-func (lv *Live) applyTask(t trace.Task) {
+// applyTaskLocked mirrors Trace.applyTask on the builder tables.
+// Callers hold mu.
+func (lv *Live) applyTaskLocked(t trace.Task) {
 	if i, ok := lv.taskByID[t.ID]; ok {
 		ti := &lv.tasks[i]
 		ti.Type, ti.Created, ti.CreatorCPU = t.Type, t.Created, t.CreatorCPU
@@ -299,10 +310,12 @@ func (lv *Live) applyTask(t trace.Task) {
 	})
 }
 
-// growSpan extends the incremental span. For sorted inputs this equals
-// the span the batch indexer derives from first/last samples and state
-// bounds; for disordered inputs it still tracks the true min/max.
-func (lv *Live) growSpan(lo, hi trace.Time) {
+// growSpanLocked extends the incremental span, under mu. For sorted
+// inputs this equals
+// the span the batch indexer derives from first/last samples and
+// state bounds; for disordered inputs it still tracks the true
+// min/max.
+func (lv *Live) growSpanLocked(lo, hi trace.Time) {
 	if !lv.spanSet || lo < lv.spanMin {
 		lv.spanMin = lo
 	}
@@ -329,15 +342,15 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 		}
 	}
 	for _, t := range b.Tasks {
-		lv.applyTask(t)
+		lv.applyTaskLocked(t)
 	}
 	// Register counters in first-touch order, then apply descriptions,
 	// reproducing the counter table order of a sequential read.
 	for _, id := range b.CounterIDs {
-		lv.counterFor(id)
+		lv.counterForLocked(id)
 	}
 	for _, d := range b.Descs {
-		lv.counterFor(d.ID).c.Desc = d
+		lv.counterForLocked(d.ID).c.Desc = d
 	}
 	lv.regions = append(lv.regions, b.Regions...)
 	if b.MaxCPU > lv.maxCPU {
@@ -354,7 +367,7 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 		if err := checkCPU(s.CPU); err != nil {
 			return err
 		}
-		c, o := lv.cpu(s.CPU)
+		c, o := lv.cpuLocked(s.CPU)
 		if o.seenState && s.Start < o.lastState && !o.stateDirty {
 			// The family just went dirty: its snapshot repair sorts the
 			// whole array, so any spilled columns come back to RAM
@@ -368,13 +381,13 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 		if s.State == trace.StateTaskExec && s.Task != trace.NoTask {
 			lv.execs[s.CPU] = append(lv.execs[s.CPU], execSpan{s.Task, s.Start, s.End})
 		}
-		lv.growSpan(s.Start, s.End)
+		lv.growSpanLocked(s.Start, s.End)
 	}
 	for _, ev := range b.Discrete {
 		if err := checkCPU(ev.CPU); err != nil {
 			return err
 		}
-		c, o := lv.cpu(ev.CPU)
+		c, o := lv.cpuLocked(ev.CPU)
 		if o.seenDiscrete && ev.Time < o.lastDiscrete && !o.discreteDirty {
 			o.discreteDirty = true
 			lv.unspillDiscreteLocked(ev.CPU)
@@ -387,7 +400,7 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 		if err := checkCPU(ev.CPU); err != nil {
 			return err
 		}
-		c, o := lv.cpu(ev.CPU)
+		c, o := lv.cpuLocked(ev.CPU)
 		if o.seenComm && ev.Time < o.lastComm && !o.commDirty {
 			o.commDirty = true
 			lv.unspillCommLocked(ev.CPU)
@@ -400,7 +413,7 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 		if err := checkCPU(s.CPU); err != nil {
 			return err
 		}
-		lc := lv.counterFor(s.Counter)
+		lc := lv.counterForLocked(s.Counter)
 		for int(s.CPU) >= len(lc.c.PerCPU) {
 			lc.c.PerCPU = append(lc.c.PerCPU, nil)
 			lc.last = append(lc.last, 0)
@@ -421,7 +434,7 @@ func (lv *Live) appendLocked(b *trace.RecordBatch) error {
 		if s.CPU > lv.maxCPU {
 			lv.maxCPU = s.CPU
 		}
-		lv.growSpan(s.Time, s.Time)
+		lv.growSpanLocked(s.Time, s.Time)
 	}
 	return nil
 }

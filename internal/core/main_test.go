@@ -1,0 +1,12 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/openstream/aftermath/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked goroutines: live ingest
+// spawns background spill compactions and watch notifiers, and a test
+// that leaks one poisons every later test in the binary.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

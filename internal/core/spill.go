@@ -402,10 +402,13 @@ func (lv *Live) maybeSpillLocked() {
 				lv.installLocked(seg, m, vp, path, err)
 				lv.notifyWatchers(TraceEvent{Epoch: lv.snap.Load().epoch, SpillChanged: true})
 			} else {
+				// Capture the spill directory under mu: the goroutine
+				// outlives this critical section, and ret is guarded.
+				dir := lv.ret.Dir
 				lv.spillWG.Add(1)
 				go func() {
 					defer lv.spillWG.Done()
-					m, vp, path, err := writeSegment(lv.ret.Dir, seg.id, p)
+					m, vp, path, err := writeSegment(dir, seg.id, p)
 					lv.mu.Lock()
 					lv.installLocked(seg, m, vp, path, err)
 					lv.mu.Unlock()

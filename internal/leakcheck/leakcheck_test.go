@@ -1,0 +1,48 @@
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckClean(t *testing.T) {
+	if err := Check(runtime.NumGoroutine()); err != nil {
+		t.Fatalf("clean state reported as leak: %v", err)
+	}
+}
+
+func TestCheckSettles(t *testing.T) {
+	before := runtime.NumGoroutine()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine is still running here; Check must wait it out.
+	if err := Check(before); err != nil {
+		t.Fatalf("short-lived goroutine reported as leak: %v", err)
+	}
+	<-done
+}
+
+func TestCheckReportsLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	err := check(before, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("blocked goroutine not reported")
+	}
+	if !strings.Contains(err.Error(), "goroutine(s) leaked") ||
+		!strings.Contains(err.Error(), "TestCheckReportsLeak") {
+		t.Fatalf("leak report missing count or stack: %v", err)
+	}
+}

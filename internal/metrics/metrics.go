@@ -205,11 +205,23 @@ func averageTaskDuration(tr *core.Trace, n int, f *filter.TaskFilter, workers in
 			if t.ExecCPU < 0 || !f.Match(tr, t) {
 				continue
 			}
-			lo := (t.ExecStart - tr.Span.Start) * nIv / span
-			hi := (t.ExecEnd - 1 - tr.Span.Start) * nIv / span
-			if lo < 0 {
-				lo = 0
+			// 128-bit interval mapping: offset*nIv overflows int64 on
+			// real cycle-count timestamps (the same class as the
+			// timeline's pixel mapping; see
+			// TestAverageTaskDurationExtremeTimestamps).
+			d0 := t.ExecStart - tr.Span.Start
+			d1 := t.ExecEnd - tr.Span.Start - 1
+			if d0 < 0 {
+				d0 = 0
 			}
+			if d1 < 0 {
+				d1 = 0
+			}
+			if d1 > span-1 {
+				d1 = span - 1
+			}
+			lo := tmath.MulDiv(d0, nIv, span)
+			hi := tmath.MulDiv(d1, nIv, span)
 			if hi >= nIv {
 				hi = nIv - 1
 			}

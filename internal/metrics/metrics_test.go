@@ -6,6 +6,7 @@ import (
 
 	"github.com/openstream/aftermath/internal/apps"
 	"github.com/openstream/aftermath/internal/atmtest"
+	"github.com/openstream/aftermath/internal/core"
 	"github.com/openstream/aftermath/internal/filter"
 	"github.com/openstream/aftermath/internal/openstream"
 	"github.com/openstream/aftermath/internal/trace"
@@ -183,5 +184,37 @@ func TestSeriesMinMax(t *testing.T) {
 	min, max = (Series{}).MinMax()
 	if min != 0 || max != 0 {
 		t.Errorf("empty minmax = %v,%v", min, max)
+	}
+}
+
+// TestAverageTaskDurationExtremeTimestamps is the MaxInt64/2
+// regression test for the avg-duration interval mapping: with
+// offset*n > 2^63, the old offset*n/span arithmetic wrapped negative
+// and the task silently fell out of every interval. The task below
+// executes entirely inside interval 48 of 64; its duration must show
+// up there and nowhere else.
+func TestAverageTaskDurationExtremeTimestamps(t *testing.T) {
+	base := trace.Time(math.MaxInt64 / 2)
+	span := trace.Time(1) << 58
+	const n = 64
+	iv := span / n
+	t0 := base + 48*iv + iv/4
+	t1 := base + 49*iv - iv/4
+	tr := &core.Trace{
+		Tasks: []core.TaskInfo{{ID: 1, ExecCPU: 0, ExecStart: t0, ExecEnd: t1}},
+		Span:  core.Interval{Start: base, End: base + span},
+	}
+	s := AverageTaskDuration(tr, n, nil)
+	if s.Len() != n {
+		t.Fatalf("series length = %d, want %d", s.Len(), n)
+	}
+	want := float64(t1 - t0)
+	for i, v := range s.Values {
+		switch {
+		case i == 48 && v != want:
+			t.Errorf("interval 48: avg = %v, want %v", v, want)
+		case i != 48 && v != 0:
+			t.Errorf("interval %d: avg = %v, want 0 (interval mapping overflowed)", i, v)
+		}
 	}
 }

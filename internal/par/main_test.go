@@ -1,0 +1,12 @@
+package par
+
+import (
+	"testing"
+
+	"github.com/openstream/aftermath/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked worker goroutines —
+// par's whole API is spawning them, so the pool teardown paths are
+// exactly what this package's tests must prove.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

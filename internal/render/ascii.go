@@ -58,7 +58,7 @@ func ASCIITimeline(tr *core.Trace, width, maxRows int) string {
 			t0 := start + tmath.MulDiv(span, int64(x), int64(width))
 			t1 := start + tmath.MulDiv(span, int64(x+1), int64(width))
 			if t1 <= t0 {
-				t1 = t0 + 1
+				t1 = tmath.SatAdd(t0, 1)
 			}
 			ev, ok, indexed := dc.DominantState(t0, t1)
 			if !indexed {

@@ -105,7 +105,7 @@ func OverlayCounter(fb *Framebuffer, tr *core.Trace, cfg TimelineConfig, ov Over
 			t0 := start + tmath.MulDiv(span, int64(x), int64(plotW))
 			t1 := start + tmath.MulDiv(span, int64(x+1), int64(plotW))
 			if t1 <= t0 {
-				t1 = t0 + 1
+				t1 = tmath.SatAdd(t0, 1)
 			}
 			st.PixelColumns++
 			mn, mx, ok := tree.MinMax(t0, t1)

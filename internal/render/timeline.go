@@ -289,7 +289,7 @@ func rowRuns(px *pixelizer, mode Mode, cpu int32, start, end trace.Time, plotW i
 		t0 := start + tmath.MulDiv(span, int64(x), int64(plotW))
 		t1 := start + tmath.MulDiv(span, int64(x+1), int64(plotW))
 		if t1 <= t0 {
-			t1 = t0 + 1
+			t1 = tmath.SatAdd(t0, 1)
 		}
 		c, ok := px.pixelColor(mode, cpu, t0, t1, heatMin, heatMax, shades)
 		if !ok {
@@ -369,7 +369,12 @@ func (p *pixelizer) pixelColor(mode Mode, cpu int32, t0, t1 trace.Time, heatMin,
 			d := ev.Duration()
 			var frac float64
 			if heatMax > heatMin {
-				frac = float64(d-heatMin) / float64(heatMax-heatMin)
+				// Subtract in float64: the heat bounds are raw request
+				// parameters, so d-heatMin (and the bound spread) wrap
+				// in int64 when a bound sits at the far end of the
+				// range; the float mapping is monotone and plenty
+				// accurate for <=64 shades.
+				frac = (float64(d) - float64(heatMin)) / (float64(heatMax) - float64(heatMin))
 			}
 			return HeatShade(frac, shades), true
 		case ModeType:

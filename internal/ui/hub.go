@@ -166,7 +166,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// (window, mode, ...) rides along, and the path keeps its
 			// original escaping.
 			target := r.URL.EscapedPath() + "/"
-			if r.URL.RawQuery != "" {
+			if r.URL.RawQuery != "" { //atmvet:ignore cachekeycheck the redirect echoes the client's query string verbatim; no cache key or identity is derived from it
 				target += "?" + r.URL.RawQuery
 			}
 			http.Redirect(w, r, target, http.StatusMovedPermanently)

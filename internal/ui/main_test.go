@@ -1,0 +1,13 @@
+package ui
+
+import (
+	"testing"
+
+	"github.com/openstream/aftermath/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked goroutines: the viewer
+// spawns SSE broadcast and heartbeat goroutines per client, and every
+// handler test that forgets to drain or close one would poison later
+// tests in the binary.
+func TestMain(m *testing.M) { leakcheck.Main(m) }
