@@ -36,13 +36,14 @@ import (
 	"github.com/openstream/aftermath/internal/export"
 	"github.com/openstream/aftermath/internal/filter"
 	"github.com/openstream/aftermath/internal/hw"
+	"github.com/openstream/aftermath/internal/ingest"
+	"github.com/openstream/aftermath/internal/ingest/otlp"
 	"github.com/openstream/aftermath/internal/metrics"
 	"github.com/openstream/aftermath/internal/openstream"
 	"github.com/openstream/aftermath/internal/query"
 	"github.com/openstream/aftermath/internal/regress"
 	"github.com/openstream/aftermath/internal/render"
 	"github.com/openstream/aftermath/internal/stats"
-	"github.com/openstream/aftermath/internal/store"
 	"github.com/openstream/aftermath/internal/symbols"
 	"github.com/openstream/aftermath/internal/taskgraph"
 	"github.com/openstream/aftermath/internal/topology"
@@ -209,16 +210,14 @@ const (
 	CounterResidentKB   = trace.CounterResidentKB
 )
 
-// Open loads and indexes a trace file. Raw and gzip-compressed trace
-// streams are detected transparently, as are columnar snapshot files
-// written by SaveSnapshot — those open in O(touched pages) via mmap
-// instead of re-decoding the stream.
-func Open(path string) (*Trace, error) {
-	if store.Sniff(path) {
-		return core.OpenStore(path)
-	}
-	return core.Load(path)
-}
+// Open loads and indexes a trace file. The format is detected from the
+// file's content, never its name: native binary traces, their
+// gzip-compressed form, columnar snapshot files written by SaveSnapshot
+// (which open in O(touched pages) via mmap instead of re-decoding the
+// stream), and foreign span streams (stdouttrace line-delimited JSON or
+// OTLP-JSON, imported through the topology-inferring span importer) all
+// open through this one entry point.
+func Open(path string) (*Trace, error) { return ingest.Open(path) }
 
 // SaveSnapshot writes a trace — batch or a live snapshot — to the
 // columnar on-disk format: per-CPU event and counter columns plus the
@@ -226,8 +225,24 @@ func Open(path string) (*Trace, error) {
 // and serves first queries without rebuilding indexes.
 func SaveSnapshot(tr *Trace, path string) error { return core.SaveStore(tr, path) }
 
-// OpenReader loads a trace from a stream.
-func OpenReader(r io.Reader) (*Trace, error) { return core.FromReader(r) }
+// OpenReader loads a trace from a stream, detecting the format from
+// its content like Open (store snapshots excepted — those need the
+// file for mmap).
+func OpenReader(r io.Reader) (*Trace, error) { return ingest.OpenReader(r) }
+
+// ImportReport summarizes what the span importer inferred from a
+// foreign trace: the service topology, per-operation duration and
+// error statistics, and each operation's voted call style.
+type ImportReport = otlp.Report
+
+// ImportSpans imports a foreign span stream — stdouttrace
+// line-delimited JSON or OTLP-JSON — as a fully indexed trace. Task
+// trees are reconstructed from parent span links, services are mapped
+// onto a synthetic worker/CPU topology, and per-operation statistics
+// are collected; the returned report describes what was inferred.
+// Every analysis, rendering and serving API works on the imported
+// trace unchanged.
+func ImportSpans(r io.Reader) (*Trace, *ImportReport, error) { return ingest.ImportSpans(r) }
 
 // ---- Live streaming ingest ----
 
@@ -260,10 +275,14 @@ func NewLiveTrace() *LiveTrace { return core.NewLive() }
 // NewStreamReader returns a StreamReader decoding the trace stream r.
 func NewStreamReader(r io.Reader) *StreamReader { return trace.NewStreamReader(r) }
 
-// OpenTraceStream opens a trace file for live tailing (uncompressed
-// traces only — a gzip stream cannot be decoded incrementally while it
-// is still being written).
-func OpenTraceStream(path string) (io.ReadCloser, error) { return trace.OpenStream(path) }
+// OpenTraceStream opens a trace file for live tailing. The format is
+// detected from the file's content; formats that cannot be decoded
+// incrementally while still being written (gzip, store snapshots) are
+// rejected with a descriptive error.
+func OpenTraceStream(path string) (io.ReadCloser, error) {
+	rc, _, err := ingest.OpenStream(path)
+	return rc, err
+}
 
 // NewLiveViewer returns the interactive HTTP viewer for a live trace:
 // the same endpoints as NewViewer, updating as the trace grows, plus
@@ -289,12 +308,14 @@ type SpillStats = core.SpillStats
 // trace instead of silently decoding garbage at a stale offset.
 type Follower = core.Follower
 
-// FollowTrace opens path for live tailing into lv, performs the
-// initial feed and starts the poll loop. Close the returned Follower
-// to stop polling and release the file handle; register it with
-// Hub.AddCloser to tie its lifetime to a hub.
+// FollowTrace opens path for live tailing into lv with the detected
+// format's incremental decoder (native binary traces and span streams
+// are both tailable), performs the initial feed and starts the poll
+// loop. Close the returned Follower to stop polling and release the
+// file handle; register it with Hub.AddCloser to tie its lifetime to a
+// hub.
 func FollowTrace(lv *LiveTrace, path string, pollEvery time.Duration) (*Follower, error) {
-	return core.Follow(lv, path, pollEvery)
+	return ingest.Follow(lv, path, pollEvery)
 }
 
 // ---- Filters ----

@@ -1,6 +1,10 @@
 // Command aftermath explores a trace file: it prints a summary and an
 // ASCII timeline, and optionally serves the interactive HTTP viewer
 // with the full timeline modes, filters and statistics of the paper.
+// Input formats are detected from file content, never the name: native
+// binary traces, gzip-compressed traces, columnar store snapshots, and
+// foreign span streams (stdouttrace / OTLP-JSON, imported through the
+// topology-inferring span importer) all work on every path.
 // With -follow the trace may still be written while it is served: the
 // file is polled for appended records and the viewer's timelines,
 // statistics and anomaly rankings update continuously.
@@ -8,11 +12,12 @@
 // With -serve many traces — whole directories of them — are served
 // from one process as a multi-trace hub: every trace gets the full
 // viewer under /t/<name>/, all behind one shared response cache, and
-// -follow upgrades uncompressed traces to live tailing.
+// -follow upgrades traces in tailable formats to live tailing.
 //
 // Usage:
 //
 //	aftermath trace.atm.gz                   # summary + ASCII timeline
+//	aftermath spans.jsonl                    # import spans, print inference
 //	aftermath -http :8080 trace.atm.gz       # interactive viewer
 //	aftermath -dot graph.dot trace.atm.gz    # export the task graph
 //	aftermath -anomalies trace.atm.gz        # ranked anomaly report
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	aftermath "github.com/openstream/aftermath"
+	"github.com/openstream/aftermath/internal/ingest"
 )
 
 func main() {
@@ -127,8 +133,12 @@ func (o runOptions) retentionFor(name string) (aftermath.RetentionPolicy, error)
 }
 
 // expandTraceArgs resolves trace files and directories into the list
-// of trace paths to serve: directories contribute every *.atm and
-// *.atm.gz entry, sorted; files are taken as given.
+// of trace paths to serve. Directories contribute every file whose
+// content is a recognized trace format — native, gzip, store snapshot
+// or span stream — sorted by name; a README or editor backup sitting
+// in a runs directory is skipped, not fatal. Explicitly named files
+// are taken as given, so a typo'd path still errors at open time
+// instead of vanishing silently.
 func expandTraceArgs(args []string) ([]string, error) {
 	var paths []string
 	for _, arg := range args {
@@ -149,17 +159,34 @@ func expandTraceArgs(args []string) ([]string, error) {
 			if e.IsDir() {
 				continue
 			}
-			if n := e.Name(); strings.HasSuffix(n, ".atm") || strings.HasSuffix(n, ".atm.gz") {
-				found = append(found, filepath.Join(arg, n))
+			p := filepath.Join(arg, e.Name())
+			if fm, err := ingest.DetectFile(p); err == nil && fm != nil {
+				found = append(found, p)
 			}
 		}
 		sort.Strings(found)
 		paths = append(paths, found...)
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("no trace files (*.atm, *.atm.gz) among the given arguments")
+		return nil, fmt.Errorf("no recognized trace files (native, gzip, store snapshot or span stream) among the given arguments")
 	}
 	return paths, nil
+}
+
+// tailable reports whether the file at path can be upgraded to live
+// tailing: its detected format has an incremental decoder. A still
+// empty file counts as tailable — the native producer simply has not
+// flushed its header yet, matching what -follow accepts directly.
+func tailable(path string) bool {
+	fm, err := ingest.DetectFile(path)
+	if err != nil {
+		return false
+	}
+	if fm == nil {
+		info, err := os.Stat(path)
+		return err == nil && info.Size() == 0
+	}
+	return fm.Tailable()
 }
 
 // cleanHubName replaces the characters Hub.Add rejects ('/', '?', '#')
@@ -192,7 +219,13 @@ func hubNames(paths []string) []string {
 	base := make([]string, len(paths))
 	seen := make(map[string]int, len(paths))
 	for i, p := range paths {
-		base[i] = cleanHubName(strings.TrimSuffix(strings.TrimSuffix(filepath.Base(p), ".gz"), ".atm"))
+		n := strings.TrimSuffix(filepath.Base(p), ".gz")
+		for _, suf := range []string{".atm", ".jsonl", ".json", ".store"} {
+			if trimmed := strings.TrimSuffix(n, suf); trimmed != "" {
+				n = trimmed
+			}
+		}
+		base[i] = cleanHubName(n)
 		seen[base[i]]++
 	}
 	names := make([]string, len(paths))
@@ -215,8 +248,8 @@ func hubNames(paths []string) []string {
 
 // runServe loads every given trace into one multi-trace hub and
 // serves it: each trace's full viewer mounts under /t/<name>/ behind
-// one shared response cache. With -follow, uncompressed traces are
-// tailed live — batch and live traces mix freely in one hub.
+// one shared response cache. With -follow, traces in tailable formats
+// are tailed live — batch and live traces mix freely in one hub.
 func runServe(args []string, o runOptions) error {
 	if o.httpAddr == "" {
 		return fmt.Errorf("-serve requires -http")
@@ -231,42 +264,54 @@ func runServe(args []string, o runOptions) error {
 	if err != nil {
 		return err
 	}
+	hub, err := buildHub(paths, hubNames(paths), o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d traces on http://%s (index at /, JSON listing at /traces, push events at /events)\n",
+		len(hub.Names()), o.httpAddr)
+	return http.ListenAndServe(o.httpAddr, hub)
+}
+
+// buildHub mounts the given traces into a hub, upgrading tailable
+// formats to live follows when -follow is set. The decision is based
+// on the detected format, not the file name, so a store snapshot or a
+// compressed trace sitting in a followed directory loads as a batch
+// trace instead of failing the whole hub.
+func buildHub(paths, names []string, o runOptions) (*aftermath.Hub, error) {
 	hub := aftermath.NewHub()
-	names := hubNames(paths)
 	for i, path := range paths {
 		name := names[i]
-		if o.follow && !strings.HasSuffix(path, ".gz") {
+		if o.follow && tailable(path) {
 			lv, f, err := followTrace(path, name, o)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			// The follower's lifetime is the hub's: Close stops the
 			// poll goroutine, releases the file handle and flushes the
 			// live trace's background spill compactions.
 			hub.AddCloser(f)
 			if err := hub.Add(name, lv); err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Printf("  /t/%s/ <- %s (live, polling every %s)\n", name, path, o.pollEvery)
 			continue
 		}
 		tr, err := aftermath.Open(path)
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		// Warm the shared counter min/max trees before accepting
 		// traffic, so the first overlay request is already fast.
 		tr.BuildCounterIndex(0)
 		if err := hub.Add(name, aftermath.Static(tr)); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("  /t/%s/ <- %s (%d tasks, %d CPUs)\n", name, path, len(tr.Tasks), tr.NumCPUs())
 	}
 	// After registration: SetPush propagates to every mounted viewer.
 	hub.SetPush(o.push)
-	fmt.Printf("serving %d traces on http://%s (index at /, JSON listing at /traces, push events at /events)\n",
-		len(hub.Names()), o.httpAddr)
-	return http.ListenAndServe(o.httpAddr, hub)
+	return hub, nil
 }
 
 // followTrace opens a trace file for live tailing and starts its poll
@@ -320,10 +365,47 @@ func runFollow(path string, o runOptions) error {
 	return http.ListenAndServe(o.httpAddr, viewer)
 }
 
+// openTrace loads the trace at path; a span stream additionally
+// yields the importer's inference report (nil for native formats).
+func openTrace(path string) (*aftermath.Trace, *aftermath.ImportReport, error) {
+	if fm, err := ingest.DetectFile(path); err == nil && fm != nil && fm.Name == "spans" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return aftermath.ImportSpans(f)
+	}
+	tr, err := aftermath.Open(path)
+	return tr, nil, err
+}
+
+// printImportReport summarizes what the span importer inferred: the
+// synthetic topology and the per-operation statistics and call styles.
+func printImportReport(rep *aftermath.ImportReport) {
+	fmt.Printf("imported: %d spans in %d traces across %d services (%d duplicates dropped)\n",
+		rep.Spans, rep.Traces, len(rep.Services), rep.Dropped)
+	for _, svc := range rep.Services {
+		fmt.Printf("  %s: node %d, %d workers\n", svc.Name, svc.Node, svc.Workers)
+		for _, op := range svc.Ops {
+			style := string(op.Style)
+			if style == "" {
+				style = "leaf"
+			}
+			fmt.Printf("    %-28s %6d calls  mean %8.1fµs  stddev %8.1fµs  errors %d  %s",
+				op.Name, op.Count, op.MeanNs/1e3, op.StdDevNs/1e3, op.Errors, style)
+			if len(op.Calls) > 0 {
+				fmt.Printf(" -> %s", strings.Join(op.Calls, ", "))
+			}
+			fmt.Println()
+		}
+	}
+}
+
 func run(path string, o runOptions) error {
 	httpAddr, dotOut, dotMax, width, rows, nmPath :=
 		o.httpAddr, o.dotOut, o.dotMax, o.width, o.rows, o.nmPath
-	tr, err := aftermath.Open(path)
+	tr, rep, err := openTrace(path)
 	if err != nil {
 		return err
 	}
@@ -342,6 +424,9 @@ func run(path string, o runOptions) error {
 	}
 
 	fmt.Printf("trace:    %s\n", path)
+	if rep != nil {
+		printImportReport(rep)
+	}
 	fmt.Printf("machine:  %s (%d CPUs, %d NUMA nodes)\n", tr.Topology.Name, tr.NumCPUs(), tr.NumNodes())
 	fmt.Printf("span:     %.3f Gcycles\n", float64(tr.Span.Duration())/1e9)
 	fmt.Printf("tasks:    %d in %d types\n", len(tr.Tasks), len(tr.Types))

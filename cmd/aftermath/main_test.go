@@ -1,10 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	aftermath "github.com/openstream/aftermath"
+	"github.com/openstream/aftermath/internal/trace"
 )
 
 // TestHubNamesMixedDirectories: serving runs/a and runs/b with equal
@@ -58,12 +67,63 @@ func TestHubNamesUnroutable(t *testing.T) {
 	}
 }
 
-// TestExpandTraceArgsMixed: directories expand sorted, files pass
-// through, non-traces are ignored.
+// nativeTraceBytes writes a minimal complete native trace for tests
+// that need real sniffable content.
+func nativeTraceBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.WriteTopology(trace.Topology{
+		Name: "test", NumNodes: 1,
+		NodeOfCPU: []int32{0, 0},
+		Distance:  []int32{0},
+	}))
+	must(w.WriteTaskType(trace.TaskType{ID: 1, Name: "work"}))
+	must(w.WriteTask(trace.Task{ID: 10, Type: 1, Created: 5, CreatorCPU: 0}))
+	must(w.WriteState(trace.StateEvent{CPU: 0, State: trace.StateTaskExec, Start: 100, End: 300, Task: 10}))
+	must(w.Flush())
+	return buf.Bytes()
+}
+
+func gzipped(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const spanFixture = "../../internal/ingest/otlp/testdata/spans.jsonl"
+
+// TestExpandTraceArgsMixed: directories expand sorted and recognize
+// members by content, not extension; files the sniffers reject are
+// skipped; explicit file arguments pass through.
 func TestExpandTraceArgsMixed(t *testing.T) {
 	dir := t.TempDir()
-	for _, n := range []string{"b.atm", "a.atm.gz", "notes.txt"} {
-		if err := os.WriteFile(filepath.Join(dir, n), nil, 0o644); err != nil {
+	spanData, err := os.ReadFile(spanFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{
+		"b.atm":     nativeTraceBytes(t),
+		"a.atm.gz":  gzipped(t, nativeTraceBytes(t)),
+		"s.jsonl":   spanData,
+		"snap.blob": []byte("ATMSTOR1 head only, detection does not load it"),
+		"notes.txt": []byte("not a trace\n"),
+		"empty":     nil,
+	}
+	for n, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, n), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -72,8 +132,119 @@ func TestExpandTraceArgsMixed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{filepath.Join(dir, "a.atm.gz"), filepath.Join(dir, "b.atm"), lone}
+	want := []string{
+		filepath.Join(dir, "a.atm.gz"),
+		filepath.Join(dir, "b.atm"),
+		filepath.Join(dir, "s.jsonl"),
+		filepath.Join(dir, "snap.blob"),
+		lone,
+	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("expandTraceArgs = %v, want %v", got, want)
+	}
+}
+
+// TestBuildHubMixedDirectory: -serve on a directory holding a native
+// trace, a gzip-compressed trace, a store snapshot and an imported
+// span stream mounts all four, and the imported trace answers
+// /anomalies with ranked findings — the importer feeds the analysis
+// stack with no special-casing downstream.
+func TestBuildHubMixedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	native := nativeTraceBytes(t)
+	spanData, err := os.ReadFile(spanFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("run.atm", native)
+	write("run-gz.atm.gz", gzipped(t, native))
+	write("spans.jsonl", spanData)
+	tr, err := aftermath.OpenReader(bytes.NewReader(native))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aftermath.SaveSnapshot(tr, filepath.Join(dir, "snap.store")); err != nil {
+		t.Fatal(err)
+	}
+
+	paths, err := expandTraceArgs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("expanded %d paths, want 4: %v", len(paths), paths)
+	}
+	hub, err := buildHub(paths, hubNames(paths), runOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+
+	for _, name := range []string{"run", "run-gz", "snap", "spans"} {
+		resp, err := http.Get(srv.URL + "/t/" + name + "/live")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/t/%s/live = %d, want 200", name, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/t/spans/anomalies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/t/spans/anomalies = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "duration-outlier") {
+		t.Fatalf("anomalies response lacks the planted duration outlier: %s", body)
+	}
+}
+
+// TestOpenTraceImportReport: opening a span file through the CLI helper
+// surfaces the inference report; native traces surface none.
+func TestOpenTraceImportReport(t *testing.T) {
+	dir := t.TempDir()
+	spanData, err := os.ReadFile(spanFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanPath := filepath.Join(dir, "spans.data")
+	if err := os.WriteFile(spanPath, spanData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := openTrace(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Spans != 60 || len(rep.Services) != 3 {
+		t.Fatalf("import report = %+v, want 60 spans over 3 services", rep)
+	}
+
+	nativePath := filepath.Join(dir, "run.atm")
+	if err := os.WriteFile(nativePath, nativeTraceBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err = openTrace(nativePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("native open produced an import report: %+v", rep)
 	}
 }

@@ -7,8 +7,11 @@ import (
 
 // DeterminismCheck forbids nondeterminism sources in the golden-tested
 // output paths: the timeline renderer (byte-identical framebuffer
-// goldens), the exporters (CSV/Paraver golden files) and the anomaly
-// engine (rankings asserted stable across runs and worker counts).
+// goldens), the exporters (CSV/Paraver golden files), the anomaly
+// engine (rankings asserted stable across runs and worker counts) and
+// the span importer's inference path (the inferred topology, call-style
+// votes and statistics are pinned by golden tests — a map iteration in
+// the voting would make two imports of the same file disagree).
 // Three sources have bitten or nearly bitten those tests:
 //
 //   - time.Now / time.Since / time.Until: wall-clock values in output
@@ -24,11 +27,12 @@ import (
 //     reduces order-insensitively (a sum, a max).
 var DeterminismCheck = &Analyzer{
 	Name: "determinismcheck",
-	Doc:  "no time.Now, unseeded math/rand, or raw map iteration in golden-tested render/export/anomaly paths",
+	Doc:  "no time.Now, unseeded math/rand, or raw map iteration in golden-tested render/export/anomaly/import paths",
 	Applies: pathIn(
 		"internal/render",
 		"internal/export",
 		"internal/anomaly",
+		"internal/ingest/otlp",
 	),
 	Run: runDeterminismCheck,
 }

@@ -251,11 +251,13 @@ func (lv *Live) Publish() (*Trace, uint64) {
 	return lv.publishLocked()
 }
 
-// Feed polls the stream reader once, appends every decoded batch and,
-// if any records arrived, publishes a new snapshot. It returns the
-// number of records appended. This is the per-tick body of the
-// follow/live-monitoring loop.
-func (lv *Live) Feed(sr *trace.StreamReader) (int, error) {
+// Feed polls the decoder once, appends every decoded batch and, if any
+// records arrived, publishes a new snapshot. It returns the number of
+// records appended. This is the per-tick body of the follow/live-
+// monitoring loop; any format's incremental decoder (the native
+// StreamReader, a foreign-format importer) feeds through the same
+// path.
+func (lv *Live) Feed(sr trace.Decoder) (int, error) {
 	lv.mu.Lock()
 	defer lv.mu.Unlock()
 	n, err := sr.Poll(func(b *trace.RecordBatch) error {

@@ -35,6 +35,25 @@ func FromReader(r io.Reader) (*Trace, error) {
 	return fromReader(r, par.Workers())
 }
 
+// FromDecoder builds a trace by draining an incremental decoder: the
+// whole stream is fed through the live ingest path and the final
+// snapshot returned. Foreign-format importers load through here — a
+// snapshot is byte-identical to what a batch indexer would build from
+// the same record stream (the TestStreamEqualsBatch guarantee), so one
+// Decoder implementation gives a format both batch loading and live
+// tailing.
+func FromDecoder(d trace.Decoder) (*Trace, error) {
+	lv := NewLive()
+	if _, err := lv.Feed(d); err != nil {
+		return nil, err
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	tr, _ := lv.Snapshot()
+	return tr, nil
+}
+
 // Pipeline sizing: decode parallelism saturates well below large
 // GOMAXPROCS values, and each extra shard re-scans every batch, so
 // both are capped independently of the machine size.

@@ -1,0 +1,237 @@
+package otlp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// flushSpans is the batch granularity: the decoder hands a record
+// batch to its consumer after folding in this many spans (and always
+// at the end of a poll). Batch boundaries carry no meaning — the
+// emitted record stream is identical for any flush size, which is what
+// makes a batch import and an incremental follow of the same file
+// converge on the same trace.
+const flushSpans = 2048
+
+// readChunk is the read granularity of one Poll iteration.
+const readChunk = 1 << 16
+
+// partialRetry is how much the buffer must grow past a partial
+// document before the decoder re-attempts a parse. Each attempt
+// re-scans the buffered tail from its start, so retrying after every
+// small read would cost O(len²) on a document arriving in dribbles;
+// deferring until the buffer grows by a chunk (or the reader reports
+// EOF) keeps the total parse cost linear in the document size.
+const partialRetry = readChunk
+
+// Decoder incrementally parses a span stream (stdouttrace lines or
+// concatenated OTLP-JSON documents) and emits normalized record
+// batches; it implements trace.Decoder, so core.Live and the follow
+// loop ingest span files exactly like native traces. A partial
+// document at the end of the available bytes is kept buffered until
+// the producer appends the rest — Consumed advances only over fully
+// parsed documents, mirroring the native reader's record-aligned
+// accounting that the truncation check depends on.
+type Decoder struct {
+	r        io.Reader
+	buf      []byte
+	scratch  []byte
+	consumed int64
+	eof      bool
+	err      error
+	// minParse is the buffer length below which a parse attempt is
+	// known to be futile: the buffered bytes end mid-document and not
+	// enough has arrived since the last attempt.
+	minParse int
+
+	st       *inferState
+	spanBuf  []span
+	sawDoc   bool
+	pollSeen int // spans folded since the last flush
+	batch    *trace.RecordBatch
+}
+
+var _ trace.Decoder = (*Decoder)(nil)
+
+// NewDecoder returns a Decoder reading the span stream from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, st: newInferState(), batch: &trace.RecordBatch{}}
+}
+
+// Poll parses all complete documents currently available from the
+// reader, emitting record batches, and returns the number of spans
+// imported. Parse errors are sticky: span streams have no record
+// framing to resynchronize on, so a malformed document poisons
+// everything after it.
+func (d *Decoder) Poll(emit func(*trace.RecordBatch) error) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	total := 0
+	for {
+		n, err := d.parseBuffered(emit)
+		total += n
+		if err != nil {
+			d.err = err
+			return total, err
+		}
+		if d.eof {
+			break
+		}
+		if d.scratch == nil {
+			d.scratch = make([]byte, readChunk)
+		}
+		nr, rerr := d.r.Read(d.scratch)
+		d.buf = append(d.buf, d.scratch[:nr]...)
+		if rerr == io.EOF {
+			// EOF is not sticky for the reader: a growing file yields
+			// EOF at its current end and more bytes on the next poll.
+			d.eof = true
+		} else if rerr != nil {
+			d.err = rerr
+			return total, rerr
+		}
+		if nr == 0 && rerr == nil {
+			break
+		}
+	}
+	if n, err := d.parseBuffered(emit); err != nil {
+		total += n
+		d.err = err
+		return total, err
+	} else {
+		total += n
+	}
+	if err := d.flush(emit); err != nil {
+		d.err = err
+		return total, err
+	}
+	d.eof = false
+	return total, nil
+}
+
+// parseBuffered consumes complete JSON documents from the front of the
+// buffer, folding their spans into the inference state.
+func (d *Decoder) parseBuffered(emit func(*trace.RecordBatch) error) (int, error) {
+	total := 0
+	moved := false
+	for {
+		// Leading whitespace between documents is consumed eagerly so
+		// the buffered tail is exactly the partial document.
+		i := 0
+		for i < len(d.buf) && isJSONSpace(d.buf[i]) {
+			i++
+		}
+		if i > 0 {
+			d.buf = d.buf[i:]
+			d.consumed += int64(i)
+			moved = true
+		}
+		if len(d.buf) == 0 {
+			break
+		}
+		if len(d.buf) < d.minParse && !d.eof {
+			break // known-partial document, not enough new bytes yet
+		}
+		dec := json.NewDecoder(bytes.NewReader(d.buf))
+		var doc spanDoc
+		if err := dec.Decode(&doc); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				// Partial document: wait for more bytes, and don't
+				// rescan until a chunk's worth has arrived.
+				d.minParse = len(d.buf) + partialRetry
+				break
+			}
+			return total, fmt.Errorf("spans: offset %d: %w", d.consumed+dec.InputOffset(), err)
+		}
+		d.minParse = 0
+		n := int(dec.InputOffset())
+		d.sawDoc = true
+		spans, err := docSpans(d.spanBuf[:0], &doc)
+		d.spanBuf = spans[:0]
+		if err != nil {
+			return total, fmt.Errorf("spans: offset %d: %w", d.consumed, err)
+		}
+		for i := range spans {
+			d.batch = d.st.addSpan(&spans[i], d.batch)
+			d.pollSeen++
+			total++
+			if d.pollSeen >= flushSpans {
+				if err := d.flush(emit); err != nil {
+					return total, err
+				}
+			}
+		}
+		d.buf = d.buf[n:]
+		d.consumed += int64(n)
+		moved = true
+	}
+	// Re-anchor the tail so the consumed prefix does not pin the
+	// backing array across polls. An unmoved buffer pins nothing and
+	// copying it on every skipped parse would itself be quadratic.
+	if moved {
+		if len(d.buf) > 0 {
+			d.buf = append([]byte(nil), d.buf...)
+		} else {
+			d.buf = nil
+		}
+	}
+	return total, nil
+}
+
+// flush completes and emits the in-progress batch; an empty batch (an
+// idle poll) publishes nothing.
+func (d *Decoder) flush(emit func(*trace.RecordBatch) error) error {
+	if d.pollSeen == 0 && batchEmpty(d.batch) {
+		return nil
+	}
+	d.st.finishBatch(d.batch)
+	b := d.batch
+	d.batch = &trace.RecordBatch{}
+	d.pollSeen = 0
+	return emit(b)
+}
+
+func batchEmpty(b *trace.RecordBatch) bool {
+	return len(b.Topologies) == 0 && len(b.TaskTypes) == 0 && len(b.Tasks) == 0 &&
+		len(b.States) == 0 && len(b.Discrete) == 0 && len(b.Descs) == 0 &&
+		len(b.Samples) == 0 && len(b.Comms) == 0 && len(b.Regions) == 0
+}
+
+// Consumed returns the bytes consumed as fully parsed documents.
+func (d *Decoder) Consumed() int64 { return d.consumed }
+
+// Buffered returns the bytes of the partial document held back for the
+// next poll.
+func (d *Decoder) Buffered() int { return len(d.buf) }
+
+// Done verifies the stream ended cleanly: no sticky error, no partial
+// document in the buffer, and at least one span document seen (an
+// empty "span stream" is indistinguishable from a misdetected file and
+// is rejected rather than imported as an empty trace).
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(bytes.TrimLeft(d.buf, " \t\r\n")) != 0 {
+		return fmt.Errorf("spans: stream ends with a truncated document (%d bytes after offset %d)", len(d.buf), d.consumed)
+	}
+	if !d.sawDoc {
+		return errors.New("spans: stream contained no span documents")
+	}
+	return nil
+}
+
+// Report returns the inference summary over everything imported so
+// far. It is safe to call at any point of the stream; the report
+// reflects the spans seen up to that point.
+func (d *Decoder) Report() *Report { return d.st.report() }
+
+func isJSONSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}

@@ -1,0 +1,350 @@
+// Package otlp imports distributed tracing spans — stdouttrace
+// line-delimited JSON and OTLP-JSON export payloads — as Aftermath
+// traces. Span data carries none of the structure the analysis layer
+// works on, so the importer infers it (the staged pipeline of `motel
+// import`): task trees are reconstructed from parent span IDs, the
+// parallel-vs-sequential call style of every operation is voted from
+// its children's start times, services and their concurrent spans are
+// mapped onto a synthetic worker/CPU topology (one NUMA node per
+// service, one worker lane per observed level of intra-service
+// concurrency), and per-(service, operation) duration and error
+// statistics are collected along the way. The result is a normalized
+// record stream: timelines, metrics, anomaly scans, the hub and the
+// Paraver exporter all run on an imported microservice trace
+// unmodified.
+//
+// The Decoder implements the trace.Decoder contract, so one
+// implementation serves both batch loading (ingest.Open on a .jsonl
+// file) and live tailing (-follow on a file a collector is still
+// appending to).
+package otlp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/openstream/aftermath/internal/trace"
+)
+
+// span is the normalized representation both input formats parse into
+// (pipeline stage 1): one operation execution in one service.
+type span struct {
+	TraceID string
+	ID      uint64 // span id; never 0
+	Parent  uint64 // parent span id; 0 for roots
+	Service string
+	Op      string
+	Start   trace.Time // unix nanoseconds
+	End     trace.Time
+	Err     bool
+}
+
+// Duration returns the span's duration (>= 0; End is clamped to Start
+// at parse time).
+func (s *span) Duration() trace.Time { return s.End - s.Start }
+
+// spanDoc is one top-level JSON value of the input: either a single
+// stdouttrace span (the fields below) or an OTLP-JSON export envelope
+// (ResourceSpans). The two never mix in one document.
+type spanDoc struct {
+	// stdouttrace (one span per line, emitted by the OpenTelemetry Go
+	// SDK's stdout exporter).
+	Name        string     `json:"Name"`
+	SpanContext *sdtCtx    `json:"SpanContext"`
+	Parent      *sdtCtx    `json:"Parent"`
+	StartTime   string     `json:"StartTime"`
+	EndTime     string     `json:"EndTime"`
+	Status      *sdtStatus `json:"Status"`
+	Resource    []sdtKV    `json:"Resource"`
+
+	// OTLP-JSON envelope; RawMessage so presence is distinguishable
+	// from an empty list.
+	ResourceSpans json.RawMessage `json:"resourceSpans"`
+}
+
+type sdtCtx struct {
+	TraceID string `json:"TraceID"`
+	SpanID  string `json:"SpanID"`
+}
+
+// sdtStatus carries the stdouttrace status; the SDK marshals the code
+// as a string ("Unset", "Error", "Ok"), older builds as its numeric
+// value (codes.Error == 1).
+type sdtStatus struct {
+	Code json.RawMessage `json:"Code"`
+}
+
+type sdtKV struct {
+	Key   string `json:"Key"`
+	Value struct {
+		Value any `json:"Value"`
+	} `json:"Value"`
+}
+
+// OTLP-JSON (ExportTraceServiceRequest rendered with protojson).
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpKV `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+	// Pre-1.0 payloads used the instrumentationLibrarySpans name.
+	LibrarySpans []otlpScopeSpans `json:"instrumentationLibrarySpans"`
+}
+
+type otlpScopeSpans struct {
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpKV struct {
+	Key   string `json:"key"`
+	Value struct {
+		StringValue string `json:"stringValue"`
+	} `json:"value"`
+}
+
+type otlpSpan struct {
+	TraceID      string      `json:"traceId"`
+	SpanID       string      `json:"spanId"`
+	ParentSpanID string      `json:"parentSpanId"`
+	Name         string      `json:"name"`
+	Start        json.Number `json:"startTimeUnixNano"`
+	End          json.Number `json:"endTimeUnixNano"`
+	Status       struct {
+		// 2 (STATUS_CODE_ERROR) as a number, or the enum name.
+		Code json.RawMessage `json:"code"`
+	} `json:"status"`
+}
+
+// serviceNameKey is the OpenTelemetry resource attribute naming the
+// service a span belongs to.
+const serviceNameKey = "service.name"
+
+// unknownService groups spans whose resource carries no service name.
+const unknownService = "unknown"
+
+// Timestamp sanity bounds: unix nanoseconds from 1970 up to the year
+// 2200 (~7.3e18, comfortably inside int64). Values outside are corrupt
+// input, not exotic clocks — rejecting them keeps every downstream
+// interval computation overflow-free.
+const maxSpanTime = 7_258_118_400_000_000_000
+
+// SniffSpans reports whether head looks like the start of a span
+// stream: a JSON object opening with one of the markers both supported
+// encodings put within the first bytes of their first document.
+func SniffSpans(head []byte) bool {
+	h := bytes.TrimLeft(head, " \t\r\n")
+	if len(h) == 0 || h[0] != '{' {
+		return false
+	}
+	return bytes.Contains(head, []byte(`"resourceSpans"`)) ||
+		bytes.Contains(head, []byte(`"SpanContext"`)) ||
+		bytes.Contains(head, []byte(`"spanId"`))
+}
+
+// docSpans parses one top-level document into normalized spans,
+// appending to dst. A document that is valid JSON but neither format
+// is an error — garbage in a span stream should fail loudly, not
+// silently import an empty trace.
+func docSpans(dst []span, doc *spanDoc) ([]span, error) {
+	if doc.ResourceSpans != nil {
+		var rss []otlpResourceSpans
+		if err := json.Unmarshal(doc.ResourceSpans, &rss); err != nil {
+			return dst, fmt.Errorf("spans: resourceSpans: %w", err)
+		}
+		for i := range rss {
+			var err error
+			if dst, err = resourceSpans(dst, &rss[i]); err != nil {
+				return dst, err
+			}
+		}
+		return dst, nil
+	}
+	if doc.SpanContext != nil {
+		s, err := stdoutSpan(doc)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, s), nil
+	}
+	return dst, errors.New("spans: JSON document is neither a stdouttrace span nor an OTLP resourceSpans payload")
+}
+
+// stdoutSpan normalizes one stdouttrace document.
+func stdoutSpan(doc *spanDoc) (span, error) {
+	id, err := spanID(doc.SpanContext.SpanID)
+	if err != nil {
+		return span{}, err
+	}
+	if id == 0 {
+		return span{}, errors.New("spans: span with zero SpanID")
+	}
+	var parent uint64
+	if doc.Parent != nil && doc.Parent.SpanID != "" {
+		if parent, err = spanID(doc.Parent.SpanID); err != nil {
+			return span{}, err
+		}
+	}
+	start, err := stdoutTime(doc.StartTime)
+	if err != nil {
+		return span{}, err
+	}
+	end, err := stdoutTime(doc.EndTime)
+	if err != nil {
+		return span{}, err
+	}
+	if end < start {
+		end = start
+	}
+	svc := unknownService
+	for _, kv := range doc.Resource {
+		if kv.Key == serviceNameKey {
+			if s, ok := kv.Value.Value.(string); ok && s != "" {
+				svc = s
+			}
+		}
+	}
+	op := doc.Name
+	if op == "" {
+		op = "unknown"
+	}
+	isErr := false
+	if doc.Status != nil {
+		isErr = statusErr(doc.Status.Code, `"Error"`, 1)
+	}
+	return span{
+		TraceID: doc.SpanContext.TraceID,
+		ID:      id,
+		Parent:  parent,
+		Service: svc,
+		Op:      op,
+		Start:   start,
+		End:     end,
+		Err:     isErr,
+	}, nil
+}
+
+// resourceSpans normalizes every span of one OTLP resourceSpans entry.
+func resourceSpans(dst []span, rs *otlpResourceSpans) ([]span, error) {
+	svc := unknownService
+	for _, kv := range rs.Resource.Attributes {
+		if kv.Key == serviceNameKey && kv.Value.StringValue != "" {
+			svc = kv.Value.StringValue
+		}
+	}
+	groups := rs.ScopeSpans
+	if len(groups) == 0 {
+		groups = rs.LibrarySpans
+	}
+	for gi := range groups {
+		for si := range groups[gi].Spans {
+			os := &groups[gi].Spans[si]
+			id, err := spanID(os.SpanID)
+			if err != nil {
+				return dst, err
+			}
+			if id == 0 {
+				return dst, errors.New("spans: span with zero spanId")
+			}
+			var parent uint64
+			if os.ParentSpanID != "" {
+				if parent, err = spanID(os.ParentSpanID); err != nil {
+					return dst, err
+				}
+			}
+			start, err := unixNanos(os.Start)
+			if err != nil {
+				return dst, err
+			}
+			end, err := unixNanos(os.End)
+			if err != nil {
+				return dst, err
+			}
+			if end < start {
+				end = start
+			}
+			op := os.Name
+			if op == "" {
+				op = "unknown"
+			}
+			dst = append(dst, span{
+				TraceID: os.TraceID,
+				ID:      id,
+				Parent:  parent,
+				Service: svc,
+				Op:      op,
+				Start:   start,
+				End:     end,
+				// OTLP numbers its codes differently from the SDK:
+				// STATUS_CODE_ERROR == 2.
+				Err: statusErr(os.Status.Code, `"STATUS_CODE_ERROR"`, 2),
+			})
+		}
+	}
+	return dst, nil
+}
+
+// spanID parses a hex span id (8 bytes, 16 hex digits; shorter ids are
+// accepted and zero-extended). The raw id doubles as the TaskID in the
+// normalized trace, so it must fit uint64.
+func spanID(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if len(s) > 16 {
+		return 0, fmt.Errorf("spans: span id %q longer than 8 bytes", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spans: bad span id %q", s)
+	}
+	return v, nil
+}
+
+// stdoutTime parses an RFC3339 timestamp into bounded unix nanoseconds.
+func stdoutTime(s string) (trace.Time, error) {
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return 0, fmt.Errorf("spans: bad timestamp %q: %w", s, err)
+	}
+	return boundedNanos(t.UnixNano())
+}
+
+// unixNanos parses an OTLP nanosecond timestamp (JSON string or
+// number) into bounded unix nanoseconds.
+func unixNanos(n json.Number) (trace.Time, error) {
+	if n == "" {
+		return 0, errors.New("spans: span without timestamp")
+	}
+	v, err := strconv.ParseInt(string(n), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spans: bad timestamp %q", string(n))
+	}
+	return boundedNanos(v)
+}
+
+func boundedNanos(v int64) (trace.Time, error) {
+	if v < 0 || v > maxSpanTime {
+		return 0, fmt.Errorf("spans: timestamp %d outside the supported range", v)
+	}
+	return v, nil
+}
+
+// statusErr reports whether a status code marks an error, given the
+// format's error spelling (enum string and numeric value — the SDK and
+// OTLP number their codes differently).
+func statusErr(raw json.RawMessage, errName string, errNum int64) bool {
+	if len(raw) == 0 {
+		return false
+	}
+	if string(raw) == errName {
+		return true
+	}
+	if v, err := strconv.ParseInt(string(bytes.TrimSpace(raw)), 10, 64); err == nil {
+		return v == errNum
+	}
+	return false
+}

@@ -52,6 +52,25 @@ func (fw *FileWriter) Close() error {
 // gzipMagic is the two-byte gzip stream signature.
 var gzipMagic = [2]byte{0x1f, 0x8b}
 
+// SniffGzip reports whether head begins with the gzip stream
+// signature. This is the single gzip detection used everywhere —
+// transparent decompression in Open, the tail rejection in
+// openStreamFile and the ingest format registry — so a renamed or
+// extension-less compressed trace is recognized identically on every
+// path. A head shorter than the two magic bytes is never gzip.
+func SniffGzip(head []byte) bool {
+	return len(head) >= 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1]
+}
+
+// SniffNative reports whether head begins with the native binary trace
+// magic. Like SniffGzip it is the single native-format detection the
+// ingest registry builds on.
+func SniffNative(head []byte) bool {
+	return len(head) >= len(magic) &&
+		head[0] == magic[0] && head[1] == magic[1] &&
+		head[2] == magic[2] && head[3] == magic[3]
+}
+
 // Open opens a trace file for reading, transparently decompressing
 // gzip streams. Compression is detected by content, not extension, so
 // renamed files still open.
@@ -62,7 +81,7 @@ func Open(path string) (io.ReadCloser, error) {
 	}
 	br := bufio.NewReaderSize(f, 1<<16)
 	head, err := br.Peek(2)
-	if err == nil && len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+	if err == nil && SniffGzip(head) {
 		gz, err := gzip.NewReader(br)
 		if err != nil {
 			f.Close()
@@ -84,8 +103,7 @@ func openStreamFile(path string) (*os.File, error) {
 		return nil, err
 	}
 	var head [2]byte
-	if n, _ := io.ReadFull(f, head[:]); n == 2 &&
-		head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+	if n, _ := io.ReadFull(f, head[:]); SniffGzip(head[:n]) {
 		f.Close()
 		return nil, errors.New("trace: cannot tail a gzip-compressed trace; decompress it first")
 	}
